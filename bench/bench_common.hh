@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Shared support for the table/figure reproduction benches: workload
+ * factories at the scaled (default) or paper-exact (--full) sizes, the
+ * matching cache-size pairs, and row printers.
+ *
+ * Scaling (DESIGN.md / EXPERIMENTS.md): problem sizes and cache sizes
+ * shrink together so every benchmark stays in the same fits/doesn't-fit
+ * regime the paper analyses. "Small" cache means the paper's 16K (8K
+ * scaled); "large" means 64K (32K scaled).
+ */
+
+#ifndef MCSIM_BENCH_COMMON_HH
+#define MCSIM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "core/metrics.hh"
+#include "workloads/gauss.hh"
+#include "workloads/psim.hh"
+#include "workloads/qsort.hh"
+#include "workloads/relax.hh"
+#include "workloads/workload.hh"
+
+namespace mcsim::bench
+{
+
+/** Benchmark identifiers in the paper's presentation order. */
+inline const std::vector<std::string> benchmarkNames = {"Gauss", "Qsort",
+                                                        "Relax", "Psim"};
+
+/** True when --full was passed: paper-exact problem and cache sizes. */
+inline bool
+parseFull(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--full"))
+            return true;
+    return false;
+}
+
+inline unsigned
+smallCache(bool full)
+{
+    return full ? 16 * 1024 : 8 * 1024;
+}
+
+inline unsigned
+largeCache(bool full)
+{
+    return full ? 64 * 1024 : 32 * 1024;
+}
+
+inline const char *
+cacheLabel(bool full, bool large)
+{
+    if (full)
+        return large ? "64K" : "16K";
+    return large ? "32K (64K-eq)" : "8K (16K-eq)";
+}
+
+/** Build one of the paper's benchmarks at the chosen scale. */
+inline std::unique_ptr<workloads::Workload>
+makeWorkload(const std::string &name, bool full,
+             workloads::RelaxSchedule schedule =
+                 workloads::RelaxSchedule::Default)
+{
+    if (name == "Gauss") {
+        workloads::GaussParams p;
+        p.n = full ? 250 : 150;
+        return std::make_unique<workloads::GaussWorkload>(p);
+    }
+    if (name == "Qsort") {
+        workloads::QsortParams p;
+        p.n = full ? 500000 : 65536;
+        return std::make_unique<workloads::QsortWorkload>(p);
+    }
+    if (name == "Relax") {
+        workloads::RelaxParams p;
+        p.interior = full ? 512 : 192;
+        p.iterations = full ? 8 : 3;
+        p.schedule = schedule;
+        return std::make_unique<workloads::RelaxWorkload>(p);
+    }
+    if (name == "Psim") {
+        workloads::PsimParams p;
+        p.packetsPerProc = full ? 513 : 96;
+        return std::make_unique<workloads::PsimWorkload>(p);
+    }
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+/** Baseline paper machine (16 processors, 4x4 switches). */
+inline core::MachineConfig
+baseConfig(bool full, unsigned procs = 16)
+{
+    core::MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.numModules = procs;
+    cfg.cacheBytes = smallCache(full);
+    cfg.lineBytes = 16;
+    return cfg;
+}
+
+/** Run one benchmark on one configuration. */
+inline core::RunMetrics
+run(const std::string &name, const core::MachineConfig &cfg, bool full,
+    workloads::RelaxSchedule schedule = workloads::RelaxSchedule::Default)
+{
+    auto w = makeWorkload(name, full, schedule);
+    return workloads::runWorkload(*w, cfg).metrics;
+}
+
+/** Standard line sizes swept throughout the paper. */
+inline const std::vector<unsigned> lineSizes = {8, 16, 64};
+
+inline void
+printHeaderRule()
+{
+    std::printf("--------------------------------------------------------"
+                "----------------------\n");
+}
+
+} // namespace mcsim::bench
+
+#endif // MCSIM_BENCH_COMMON_HH

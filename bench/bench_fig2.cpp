@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces paper Figure 2: SC1 run-time by line size for each
+ * benchmark, at both cache sizes. The paper's shapes to look for:
+ * Gauss improves steeply with line size at the small cache but is flat
+ * at the large one; Qsort's 64B point is the slowest; Relax and Psim
+ * improve modestly, with Psim's 64B run-time rising from network load.
+ *
+ * Usage: bench_fig2 [--full]
+ */
+
+#include "bench_common.hh"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool full = parseFull(argc, argv);
+
+    std::printf("Figure 2 reproduction: SC1 run-time (Mcycles) by line "
+                "size%s\n",
+                full ? " (paper-size)" : " (scaled)");
+    printHeaderRule();
+
+    for (int big = 0; big < 2; ++big) {
+        std::printf("\n%s caches\n", cacheLabel(full, big));
+        std::printf("%-7s %10s %10s %10s\n", "Program", "8B", "16B",
+                    "64B");
+        for (const auto &name : benchmarkNames) {
+            std::printf("%-7s", name.c_str());
+            for (unsigned line : lineSizes) {
+                auto cfg = baseConfig(full);
+                cfg.cacheBytes = big ? largeCache(full) : smallCache(full);
+                cfg.lineBytes = line;
+                const auto m = run(name, cfg, full);
+                std::printf(" %10.3f",
+                            static_cast<double>(m.cycles) / 1e6);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

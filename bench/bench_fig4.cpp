@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: percentage performance gain over SC1 of
+ * SC2, WO1, WO2 and RC with the small ("16K") caches, 16 processors,
+ * per benchmark and line size. Also prints the section 4.2.3/4.2.4
+ * auxiliaries: WO2 buffer bypass counts and SC2 prefetch counts.
+ *
+ * Expected shapes: Gauss gains ordered 8B >> 16B >> 64B; Qsort moderate
+ * at every line size; Relax small; Psim moderate with SC2 negative at
+ * 64B; WO1 ~ WO2 ~ RC everywhere.
+ *
+ * Usage: bench_fig4 [--full]
+ */
+
+#include "bench_common.hh"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool full = parseFull(argc, argv);
+    const std::vector<core::Model> models = {
+        core::Model::SC2, core::Model::WO1, core::Model::WO2,
+        core::Model::RC};
+
+    std::printf("Figure 4 reproduction: %% gain over SC1, 16 procs, "
+                "%s caches%s\n",
+                cacheLabel(full, false), full ? " (paper-size)" : "");
+    printHeaderRule();
+
+    for (const auto &name : benchmarkNames) {
+        std::printf("\n%s\n", name.c_str());
+        std::printf("%-6s %10s %10s %10s %14s %12s\n", "model", "8B",
+                    "16B", "64B", "bypasses/16B", "pref/16B");
+        // SC1 baselines per line size.
+        core::RunMetrics base[3];
+        for (std::size_t l = 0; l < lineSizes.size(); ++l) {
+            auto cfg = baseConfig(full);
+            cfg.lineBytes = lineSizes[l];
+            base[l] = run(name, cfg, full);
+        }
+        for (core::Model model : models) {
+            std::printf("%-6s", core::modelName(model));
+            double bypasses16 = 0, prefetch16 = 0;
+            for (std::size_t l = 0; l < lineSizes.size(); ++l) {
+                auto cfg = baseConfig(full);
+                cfg.lineBytes = lineSizes[l];
+                cfg.model = model;
+                const auto m = run(name, cfg, full);
+                std::printf(" %9.1f%%", core::percentGain(base[l], m));
+                if (lineSizes[l] == 16) {
+                    bypasses16 = static_cast<double>(m.bufferBypasses);
+                    prefetch16 = static_cast<double>(m.prefetchesIssued);
+                }
+            }
+            std::printf(" %14.0f %12.0f\n", bypasses16, prefetch16);
+        }
+    }
+    return 0;
+}

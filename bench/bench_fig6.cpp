@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: Gauss on 32 processors -- % gain over SC1
+ * for SC2, WO1 and RC at both cache sizes (the paper skipped WO2 at 32
+ * processors). The extra network stage raises memory latency (18 -> 20
+ * cycles), so the paper found slightly larger gains than at 16
+ * processors.
+ *
+ * Usage: bench_fig6 [--full]
+ */
+
+#include "bench_common.hh"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool full = parseFull(argc, argv);
+    const std::vector<core::Model> models = {
+        core::Model::SC2, core::Model::WO1, core::Model::RC};
+
+    std::printf("Figure 6 reproduction: Gauss, 32 processors, %% gain "
+                "over SC1%s\n",
+                full ? " (paper-size)" : " (scaled)");
+    printHeaderRule();
+
+    for (int big = 0; big < 2; ++big) {
+        std::printf("\n%s caches\n", cacheLabel(full, big));
+        std::printf("%-6s %10s %10s %10s\n", "model", "8B", "16B", "64B");
+        core::RunMetrics base[3];
+        for (std::size_t l = 0; l < lineSizes.size(); ++l) {
+            auto cfg = baseConfig(full, 32);
+            cfg.cacheBytes = big ? largeCache(full) : smallCache(full);
+            cfg.lineBytes = lineSizes[l];
+            base[l] = run("Gauss", cfg, full);
+        }
+        for (core::Model model : models) {
+            std::printf("%-6s", core::modelName(model));
+            for (std::size_t l = 0; l < lineSizes.size(); ++l) {
+                auto cfg = baseConfig(full, 32);
+                cfg.cacheBytes = big ? largeCache(full) : smallCache(full);
+                cfg.lineBytes = lineSizes[l];
+                cfg.model = model;
+                const auto m = run("Gauss", cfg, full);
+                std::printf(" %9.1f%%", core::percentGain(base[l], m));
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

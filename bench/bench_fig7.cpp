@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: the blocking-loads study at the small
+ * caches -- SC1, bWO1 and WO1 plotted as % gain over bSC1 (the
+ * blocking-load sequentially consistent baseline).
+ *
+ * What the paper found: SC1 ~ bSC1 (non-blocking loads alone buy the SC
+ * system little); for Relax nearly all of WO1's gain needs non-blocking
+ * loads (bWO1 ~ bSC1), i.e. Relax's hidden latency is read latency; for
+ * Psim bWO1 already captures 75-85%% of WO1's gain (mostly write
+ * latency).
+ *
+ * Usage: bench_fig7 [--full]
+ */
+
+#include "bench_common.hh"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool full = parseFull(argc, argv);
+    const std::vector<core::Model> models = {
+        core::Model::SC1, core::Model::BWO1, core::Model::WO1};
+
+    std::printf("Figure 7 reproduction: %% gain over bSC1, 16 procs, "
+                "%s caches%s\n",
+                cacheLabel(full, false), full ? " (paper-size)" : "");
+    printHeaderRule();
+
+    for (const auto &name : benchmarkNames) {
+        std::printf("\n%s\n", name.c_str());
+        std::printf("%-6s %10s %10s %10s\n", "model", "8B", "16B", "64B");
+        core::RunMetrics base[3];
+        for (std::size_t l = 0; l < lineSizes.size(); ++l) {
+            auto cfg = baseConfig(full);
+            cfg.lineBytes = lineSizes[l];
+            cfg.model = core::Model::BSC1;
+            base[l] = run(name, cfg, full);
+        }
+        for (core::Model model : models) {
+            std::printf("%-6s", core::modelName(model));
+            for (std::size_t l = 0; l < lineSizes.size(); ++l) {
+                auto cfg = baseConfig(full);
+                cfg.lineBytes = lineSizes[l];
+                cfg.model = model;
+                const auto m = run(name, cfg, full);
+                std::printf(" %9.1f%%", core::percentGain(base[l], m));
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: the effect of hand-scheduling Relax's
+ * stencil loads. For SC1 and WO1, at both cache sizes, prints the
+ * run-time change of the model-specific optimal schedule and of a
+ * deliberately bad schedule relative to the compiler's default order.
+ *
+ * The paper found up to ~8% swing between good and bad schedules, and
+ * that the optimal order differs between SC (missing load issued last,
+ * nothing after it) and WO (missing load issued first, used last).
+ *
+ * Usage: bench_fig9 [--full]
+ */
+
+#include "bench_common.hh"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+using workloads::RelaxSchedule;
+
+int
+main(int argc, char **argv)
+{
+    const bool full = parseFull(argc, argv);
+
+    std::printf("Figure 9 reproduction: Relax scheduling, %% run-time "
+                "change vs default schedule%s\n",
+                full ? " (paper-size)" : " (scaled)");
+    std::printf("(positive = faster than the default schedule)\n");
+    printHeaderRule();
+
+    struct Variant
+    {
+        core::Model model;
+        RelaxSchedule optimal;
+        RelaxSchedule bad;
+    };
+    const Variant variants[] = {
+        {core::Model::SC1, RelaxSchedule::OptimalSC, RelaxSchedule::BadSC},
+        {core::Model::WO1, RelaxSchedule::OptimalWO, RelaxSchedule::BadWO},
+    };
+
+    for (int big = 0; big < 2; ++big) {
+        for (const auto &v : variants) {
+            std::printf("\n%s, %s caches\n", core::modelName(v.model),
+                        cacheLabel(full, big));
+            std::printf("%-9s %10s %10s %10s\n", "schedule", "8B", "16B",
+                        "64B");
+            core::RunMetrics def[3], opt[3], bad[3];
+            for (std::size_t l = 0; l < lineSizes.size(); ++l) {
+                auto cfg = baseConfig(full);
+                cfg.cacheBytes = big ? largeCache(full) : smallCache(full);
+                cfg.lineBytes = lineSizes[l];
+                cfg.model = v.model;
+                def[l] = run("Relax", cfg, full, RelaxSchedule::Default);
+                opt[l] = run("Relax", cfg, full, v.optimal);
+                bad[l] = run("Relax", cfg, full, v.bad);
+            }
+            std::printf("%-9s", "optimal");
+            for (std::size_t l = 0; l < lineSizes.size(); ++l)
+                std::printf(" %9.1f%%", core::percentGain(def[l], opt[l]));
+            std::printf("\n%-9s", "bad");
+            for (std::size_t l = 0; l < lineSizes.size(); ++l)
+                std::printf(" %9.1f%%", core::percentGain(def[l], bad[l]));
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

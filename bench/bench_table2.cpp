@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces paper Table 2 (benchmark statistics under SC1: references
+ * and overall hit rates by line and cache size), Table 7 (read hit
+ * rates), Table 8 (write hit rates), and Table 9 (cycles between
+ * references), plus the section 3.3 Psim observations (invalidation-miss
+ * share and memory-module utilization skew).
+ *
+ * Usage: bench_table2 [--full]
+ */
+
+#include "bench_common.hh"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool full = parseFull(argc, argv);
+
+    struct Row
+    {
+        double reads = 0, writes = 0;
+        double hit[2][3];   // [cache][line]
+        double rhit[2][3];
+        double whit[2][3];
+        double cbr = 0, cbw = 0;  // 16B-line pacing (Table 9 uses 16B)
+        double invShare = 0, skew = 0, missLat = 0;
+    };
+
+    std::printf("Table 2 / 7 / 8 / 9 reproduction (SC1, 16 processors%s)\n",
+                full ? ", paper-size" : ", scaled");
+    printHeaderRule();
+
+    std::vector<Row> rows(benchmarkNames.size());
+    for (std::size_t b = 0; b < benchmarkNames.size(); ++b) {
+        for (int big = 0; big < 2; ++big) {
+            for (std::size_t l = 0; l < lineSizes.size(); ++l) {
+                auto cfg = baseConfig(full);
+                cfg.cacheBytes = big ? largeCache(full) : smallCache(full);
+                cfg.lineBytes = lineSizes[l];
+                const auto m = run(benchmarkNames[b], cfg, full);
+                rows[b].hit[big][l] = 100.0 * m.hitRate;
+                rows[b].rhit[big][l] = 100.0 * m.readHitRate;
+                rows[b].whit[big][l] = 100.0 * m.writeHitRate;
+                if (!big && lineSizes[l] == 16) {
+                    rows[b].reads = m.readsPerProc / 1000.0;
+                    rows[b].writes = m.writesPerProc / 1000.0;
+                    rows[b].cbr = m.cyclesBetweenReads();
+                    rows[b].cbw = m.cyclesBetweenWrites();
+                    rows[b].invShare =
+                        m.totalMisses
+                            ? 100.0 * static_cast<double>(
+                                          m.invalidationMisses) /
+                                  static_cast<double>(m.totalMisses)
+                            : 0.0;
+                    rows[b].skew = m.moduleSkew;
+                    rows[b].missLat = m.avgMissLatency;
+                }
+            }
+        }
+    }
+
+    std::printf("\nTable 2: references (1,000s/proc) and hit rate (%%)\n");
+    std::printf("%-7s %7s %7s | %6s %6s %6s | %6s %6s %6s\n", "Program",
+                "Reads", "Writes", "s/8B", "s/16B", "s/64B", "l/8B",
+                "l/16B", "l/64B");
+    for (std::size_t b = 0; b < benchmarkNames.size(); ++b) {
+        const Row &r = rows[b];
+        std::printf(
+            "%-7s %7.0f %7.0f | %6.1f %6.1f %6.1f | %6.1f %6.1f %6.1f\n",
+            benchmarkNames[b].c_str(), r.reads, r.writes, r.hit[0][0],
+            r.hit[0][1], r.hit[0][2], r.hit[1][0], r.hit[1][1],
+            r.hit[1][2]);
+    }
+    std::printf("(s = small cache %s, l = large cache %s)\n",
+                cacheLabel(full, false), cacheLabel(full, true));
+
+    std::printf("\nTable 7: read hit rates (%%)\n");
+    std::printf("%-7s | %6s %6s %6s | %6s %6s %6s\n", "Program", "s/8B",
+                "s/16B", "s/64B", "l/8B", "l/16B", "l/64B");
+    for (std::size_t b = 0; b < benchmarkNames.size(); ++b) {
+        const Row &r = rows[b];
+        std::printf("%-7s | %6.1f %6.1f %6.1f | %6.1f %6.1f %6.1f\n",
+                    benchmarkNames[b].c_str(), r.rhit[0][0], r.rhit[0][1],
+                    r.rhit[0][2], r.rhit[1][0], r.rhit[1][1],
+                    r.rhit[1][2]);
+    }
+
+    std::printf("\nTable 8: write hit rates (%%)\n");
+    std::printf("%-7s | %6s %6s %6s | %6s %6s %6s\n", "Program", "s/8B",
+                "s/16B", "s/64B", "l/8B", "l/16B", "l/64B");
+    for (std::size_t b = 0; b < benchmarkNames.size(); ++b) {
+        const Row &r = rows[b];
+        std::printf("%-7s | %6.1f %6.1f %6.1f | %6.1f %6.1f %6.1f\n",
+                    benchmarkNames[b].c_str(), r.whit[0][0], r.whit[0][1],
+                    r.whit[0][2], r.whit[1][0], r.whit[1][1],
+                    r.whit[1][2]);
+    }
+
+    std::printf("\nTable 9: cycles between references (16B lines, small "
+                "cache)\n");
+    std::printf("%-7s %12s %12s\n", "Program", "Reads", "Writes");
+    for (std::size_t b = 0; b < benchmarkNames.size(); ++b) {
+        std::printf("%-7s %12.1f %12.1f\n", benchmarkNames[b].c_str(),
+                    rows[b].cbr, rows[b].cbw);
+    }
+
+    std::printf("\nSection 3.3 characteristics (16B lines, small cache)\n");
+    std::printf("%-7s %18s %14s %16s\n", "Program", "inval-miss share",
+                "module skew", "avg miss lat");
+    for (std::size_t b = 0; b < benchmarkNames.size(); ++b) {
+        std::printf("%-7s %17.0f%% %14.2f %15.1f\n",
+                    benchmarkNames[b].c_str(), rows[b].invShare,
+                    rows[b].skew, rows[b].missLat);
+    }
+    return 0;
+}

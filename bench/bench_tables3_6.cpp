@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces paper Tables 3-6: the absolute (kilocycles) and relative
+ * (%%) benefit of WO1 over SC1 for each benchmark, at load/branch delays
+ * of two and four cycles, across cache and line sizes. The paper's
+ * conclusion: the two-cycle results "are consistent with those obtained
+ * with a four cycle delay and do not bring any further insight".
+ *
+ * Usage: bench_tables3_6 [--full]
+ */
+
+#include "bench_common.hh"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    const bool full = parseFull(argc, argv);
+
+    std::printf("Tables 3-6 reproduction: WO1 benefit over SC1 at 2- and "
+                "4-cycle delays%s\n",
+                full ? " (paper-size)" : " (scaled)");
+    printHeaderRule();
+
+    for (const auto &name : benchmarkNames) {
+        std::printf("\n%s: absolute (kcycles) / relative (%%)\n",
+                    name.c_str());
+        std::printf("%-6s %-7s | %16s | %16s | %16s\n", "cache", "delay",
+                    "8B lines", "16B lines", "64B lines");
+        for (int big = 0; big < 2; ++big) {
+            for (unsigned delay : {2u, 4u}) {
+                std::printf("%-6s %-7u |", big ? "large" : "small",
+                            delay);
+                for (unsigned line : lineSizes) {
+                    auto cfg = baseConfig(full);
+                    cfg.cacheBytes =
+                        big ? largeCache(full) : smallCache(full);
+                    cfg.lineBytes = line;
+                    cfg.loadDelay = delay;
+                    cfg.branchDelay = delay;
+                    const auto sc1 = run(name, cfg, full);
+                    cfg.model = core::Model::WO1;
+                    const auto wo1 = run(name, cfg, full);
+                    std::printf(" %8.0f /%5.1f%% |",
+                                core::absoluteGainKCycles(sc1, wo1),
+                                core::percentGain(sc1, wo1));
+                }
+                std::printf("\n");
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+#include "core/consistency.hh"
+
+#include "sim/logging.hh"
+
+namespace mcsim::core
+{
+
+ModelParams
+modelParams(Model model, unsigned relaxed_mshrs)
+{
+    ModelParams p;
+    p.model = model;
+    switch (model) {
+      case Model::SC1:
+        p.numMshrs = 1;
+        p.singleOutstanding = true;
+        break;
+      case Model::BSC1:
+        p.numMshrs = 1;
+        p.singleOutstanding = true;
+        p.blockingLoads = true;
+        break;
+      case Model::SC2:
+        p.numMshrs = 2;  // one demand reference + one prefetch
+        p.singleOutstanding = true;
+        p.prefetchOnStall = true;
+        break;
+      case Model::WO1:
+        p.numMshrs = relaxed_mshrs;
+        p.singleOutstanding = false;
+        p.syncDrains = true;
+        break;
+      case Model::BWO1:
+        p.numMshrs = relaxed_mshrs;
+        p.singleOutstanding = false;
+        p.syncDrains = true;
+        p.blockingLoads = true;
+        break;
+      case Model::WO2:
+        p.numMshrs = relaxed_mshrs;
+        p.singleOutstanding = false;
+        p.syncDrains = true;
+        p.loadBypass = true;
+        break;
+      case Model::RC:
+        p.numMshrs = relaxed_mshrs;
+        p.singleOutstanding = false;
+        p.releaseConsistent = true;
+        break;
+    }
+    return p;
+}
+
+const char *
+modelName(Model model)
+{
+    switch (model) {
+      case Model::SC1: return "SC1";
+      case Model::SC2: return "SC2";
+      case Model::WO1: return "WO1";
+      case Model::WO2: return "WO2";
+      case Model::RC: return "RC";
+      case Model::BSC1: return "bSC1";
+      case Model::BWO1: return "bWO1";
+    }
+    return "<model>";
+}
+
+Model
+modelFromName(const std::string &name)
+{
+    for (Model m : allModels)
+        if (name == modelName(m))
+            return m;
+    fatal("unknown consistency model '%s'", name.c_str());
+}
+
+bool
+isSequentiallyConsistent(Model model)
+{
+    return model == Model::SC1 || model == Model::SC2 ||
+           model == Model::BSC1;
+}
+
+} // namespace mcsim::core

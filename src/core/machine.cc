@@ -1,0 +1,154 @@
+#include "core/machine.hh"
+
+#include "sim/logging.hh"
+
+namespace mcsim::core
+{
+
+void
+MachineConfig::validate() const
+{
+    if (numProcs == 0 || numProcs > 64)
+        fatal("numProcs must be 1..64 (got %u)", numProcs);
+    if (numModules == 0 || numModules > 64)
+        fatal("numModules must be 1..64 (got %u)", numModules);
+    if (!isPowerOf2(numModules))
+        fatal("numModules must be a power of two (got %u)", numModules);
+    if (switchRadix < 2)
+        fatal("switchRadix must be >= 2");
+    if (bufferEntries == 0)
+        fatal("bufferEntries must be >= 1");
+    if (loadDelay == 0)
+        fatal("loadDelay must be >= 1");
+    if (relaxedMshrs == 0)
+        fatal("relaxedMshrs must be >= 1");
+    // Cache geometry is validated by CacheParams::validate().
+}
+
+Machine::Machine(const MachineConfig &config) : cfg(config)
+{
+    cfg.validate();
+
+    const unsigned ports = std::max(cfg.numProcs, cfg.numModules);
+    const ModelParams model = cfg.modelParams();
+
+    reqNet = std::make_unique<Network>(
+        queue, ports, cfg.switchRadix, [this](mem::NetMsg &&msg) {
+            modules[msg.dst % cfg.numModules]->handleRequest(std::move(msg));
+        });
+    respNet = std::make_unique<Network>(
+        queue, ports, cfg.switchRadix, [this](mem::NetMsg &&msg) {
+            caches[msg.dst % cfg.numProcs]->handleResponse(std::move(msg));
+        });
+
+    mem::MemoryParams mem_params;
+    mem_params.lineBytes = cfg.lineBytes;
+    mem_params.initCycles = cfg.memInitCycles;
+    mem_params.numProcs = cfg.numProcs;
+
+    for (unsigned m = 0; m < cfg.numModules; ++m) {
+        respBufs.push_back(std::make_unique<Buffer>(
+            queue, *respNet, cfg.bufferEntries, /*bypass=*/false));
+        memOut.push_back(
+            std::make_unique<mem::Outbox>(*respBufs.back(), false));
+        modules.push_back(std::make_unique<mem::MemoryModule>(
+            queue, m, mem_params, *memOut.back()));
+    }
+
+    mem::CacheParams cache_params;
+    cache_params.cacheBytes = cfg.cacheBytes;
+    cache_params.lineBytes = cfg.lineBytes;
+    cache_params.assoc = cfg.assoc;
+    cache_params.numMshrs = model.numMshrs;
+    cache_params.missHandleCycles = cfg.missHandleCycles;
+    cache_params.fillCycles = cfg.fillCycles;
+    cache_params.bypassLoads = model.loadBypass;
+    cache_params.nextLinePrefetch = cfg.nextLinePrefetch;
+
+    for (unsigned p = 0; p < cfg.numProcs; ++p) {
+        reqBufs.push_back(std::make_unique<Buffer>(
+            queue, *reqNet, cfg.bufferEntries, model.loadBypass));
+        procOut.push_back(
+            std::make_unique<mem::Outbox>(*reqBufs.back(), model.loadBypass));
+        caches.push_back(std::make_unique<mem::Cache>(
+            queue, p, cache_params, *procOut.back(), cfg.numModules));
+
+        cpu::ProcParams proc_params;
+        proc_params.id = p;
+        proc_params.model = model;
+        proc_params.loadDelay = cfg.loadDelay;
+        proc_params.branchDelay = cfg.branchDelay;
+        procs.push_back(std::make_unique<cpu::Processor>(
+            queue, proc_params, *caches.back(), fmem));
+        procs.back()->setDoneHandler([this]() { onWorkloadDone(); });
+    }
+}
+
+void
+Machine::startWorkload(unsigned proc_id, SimTask &&task)
+{
+    if (proc_id >= cfg.numProcs)
+        fatal("startWorkload: processor %u out of range", proc_id);
+    procs[proc_id]->start(std::move(task));
+    ++started;
+}
+
+void
+Machine::onWorkloadDone()
+{
+    ++doneCount;
+}
+
+Tick
+Machine::run()
+{
+    if (started == 0)
+        fatal("Machine::run with no workloads started");
+    while (doneCount < started) {
+        if (queue.empty()) {
+            fatal("deadlock: %u of %u workloads unfinished at tick %llu",
+                  started - doneCount, started,
+                  static_cast<unsigned long long>(queue.now()));
+        }
+        queue.run(1 << 16);
+        if (queue.now() > cfg.maxCycles) {
+            fatal("simulation exceeded maxCycles=%llu with %u workloads "
+                  "unfinished",
+                  static_cast<unsigned long long>(cfg.maxCycles),
+                  started - doneCount);
+        }
+    }
+    Tick last = 0;
+    for (const auto &p : procs)
+        if (p->done())
+            last = std::max(last, p->stats().finishedAt);
+    return last;
+}
+
+StatSet
+Machine::collectStats() const
+{
+    StatSet out;
+    out.set("machine.num_procs", cfg.numProcs);
+    out.set("machine.line_bytes", cfg.lineBytes);
+    out.set("machine.cache_bytes", cfg.cacheBytes);
+
+    for (unsigned p = 0; p < cfg.numProcs; ++p) {
+        caches[p]->stats().addTo(out, "cache.total.");
+        procs[p]->stats().addTo(out, "proc.total.");
+    }
+    for (unsigned m = 0; m < cfg.numModules; ++m)
+        modules[m]->stats().addTo(out, "mem.total.");
+    reqNet->stats().addTo(out, "reqnet.");
+    respNet->stats().addTo(out, "respnet.");
+    for (unsigned p = 0; p < cfg.numProcs; ++p)
+        reqBufs[p]->stats().addTo(out, "reqbuf.total.");
+
+    Tick last = 0;
+    for (const auto &p : procs)
+        last = std::max(last, p->stats().finishedAt);
+    out.set("machine.run_ticks", static_cast<double>(last));
+    return out;
+}
+
+} // namespace mcsim::core

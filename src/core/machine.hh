@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The assembled dance-hall multiprocessor (paper Figure 1): processors
+ * with private caches on one side, global memory modules with directory
+ * slices on the other, connected by two Omega networks (requests and
+ * responses).
+ */
+
+#ifndef MCSIM_CORE_MACHINE_HH
+#define MCSIM_CORE_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/machine_config.hh"
+#include "cpu/processor.hh"
+#include "mem/cache.hh"
+#include "mem/functional_memory.hh"
+#include "mem/memory_module.hh"
+#include "mem/outbox.hh"
+#include "net/iface_buffer.hh"
+#include "net/omega_network.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace mcsim::core
+{
+
+/** A complete simulated machine. */
+class Machine
+{
+  public:
+    using Network = net::OmegaNetwork<mem::CoherenceMsg>;
+    using Buffer = net::IfaceBuffer<mem::CoherenceMsg>;
+
+    explicit Machine(const MachineConfig &config);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Bind a workload coroutine to processor @p proc and schedule it. */
+    void startWorkload(unsigned proc, SimTask &&task);
+
+    /**
+     * Run until every started workload completes.
+     * @return the tick at which the last workload finished
+     * @throws FatalError on deadlock or when maxCycles is exceeded
+     */
+    Tick run();
+
+    /** Component access. @{ */
+    const MachineConfig &config() const { return cfg; }
+    EventQueue &eventQueue() { return queue; }
+    mem::FunctionalMemory &memory() { return fmem; }
+    unsigned numProcs() const { return cfg.numProcs; }
+    cpu::Processor &proc(unsigned i) { return *procs.at(i); }
+    const cpu::Processor &proc(unsigned i) const { return *procs.at(i); }
+    mem::Cache &cache(unsigned i) { return *caches.at(i); }
+    const mem::Cache &cache(unsigned i) const { return *caches.at(i); }
+    mem::MemoryModule &module(unsigned i) { return *modules.at(i); }
+    const mem::MemoryModule &module(unsigned i) const
+    {
+        return *modules.at(i);
+    }
+    const net::NetStats &requestNetStats() const { return reqNet->stats(); }
+    const net::NetStats &responseNetStats() const { return respNet->stats(); }
+    const net::BufferStats &procBufferStats(unsigned i) const
+    {
+        return reqBufs.at(i)->stats();
+    }
+    /** @} */
+
+    /** Aggregate every component's statistics into one StatSet. */
+    StatSet collectStats() const;
+
+  private:
+    void onWorkloadDone();
+
+    MachineConfig cfg;
+    EventQueue queue;
+    mem::FunctionalMemory fmem;
+
+    std::unique_ptr<Network> reqNet;
+    std::unique_ptr<Network> respNet;
+
+    std::vector<std::unique_ptr<Buffer>> reqBufs;    ///< per processor
+    std::vector<std::unique_ptr<mem::Outbox>> procOut;
+    std::vector<std::unique_ptr<mem::Cache>> caches;
+    std::vector<std::unique_ptr<cpu::Processor>> procs;
+
+    std::vector<std::unique_ptr<Buffer>> respBufs;   ///< per module
+    std::vector<std::unique_ptr<mem::Outbox>> memOut;
+    std::vector<std::unique_ptr<mem::MemoryModule>> modules;
+
+    unsigned started = 0;
+    unsigned doneCount = 0;
+};
+
+} // namespace mcsim::core
+
+#endif // MCSIM_CORE_MACHINE_HH

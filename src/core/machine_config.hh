@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Full configuration of one simulated machine (paper section 3.1 defaults).
+ */
+
+#ifndef MCSIM_CORE_MACHINE_CONFIG_HH
+#define MCSIM_CORE_MACHINE_CONFIG_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "core/consistency.hh"
+#include "sim/types.hh"
+
+namespace mcsim::core
+{
+
+/** Machine-wide parameters; validate() is called by Machine. */
+struct MachineConfig
+{
+    /** Processors (paper: 16, plus 32 for Gauss). */
+    unsigned numProcs = 16;
+    /** Global memory modules (dance-hall: same count as processors). */
+    unsigned numModules = 16;
+
+    /** Consistency model the hardware implements. */
+    Model model = Model::SC1;
+    /** MSHRs for the relaxed models (paper: 5). */
+    unsigned relaxedMshrs = 5;
+
+    /** Cache geometry (paper: 16K/64K, 8/16/64-byte lines, 2-way). */
+    unsigned cacheBytes = 16 * 1024;
+    unsigned lineBytes = 16;
+    unsigned assoc = 2;
+
+    /** Delayed-load / branch delay in cycles (paper: 4; section 5.3: 2). */
+    unsigned loadDelay = 4;
+    unsigned branchDelay = 4;
+
+    /** Interconnect (paper: 4x4 switches, 4-entry interface buffers). */
+    unsigned switchRadix = 4;
+    unsigned bufferEntries = 4;
+
+    /** Sequential next-line hardware prefetch in every cache (an
+     *  extension beyond the paper's SC2 stall prefetch; off by default,
+     *  studied in bench_ablation). */
+    bool nextLinePrefetch = false;
+
+    /** Latency calibration (see DESIGN.md): 18-cycle uncontended miss for
+     *  16 processors, 20 for 32. @{ */
+    unsigned missHandleCycles = 2;
+    unsigned fillCycles = 3;
+    unsigned memInitCycles = 7;
+    /** @} */
+
+    /** Runaway guard: fatal() if simulated time exceeds this. */
+    Tick maxCycles = 4'000'000'000ull;
+
+    /** When set, use this exact feature set instead of the canonical one
+     *  for `model` -- the hook the ablation benches use to toggle single
+     *  hardware features (MSHR count, bypassing, the SC store buffer). */
+    std::optional<ModelParams> modelOverride;
+
+    /** fatal() on inconsistent settings. */
+    void validate() const;
+
+    /** The feature set to build: the override when present, else the
+     *  canonical parameters for `model`. */
+    ModelParams modelParams() const
+    {
+        if (modelOverride)
+            return *modelOverride;
+        return core::modelParams(model, relaxedMshrs);
+    }
+};
+
+} // namespace mcsim::core
+
+#endif // MCSIM_CORE_MACHINE_CONFIG_HH

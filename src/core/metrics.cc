@@ -1,0 +1,110 @@
+#include "core/metrics.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mcsim::core
+{
+
+RunMetrics
+RunMetrics::fromMachine(const Machine &machine, Tick run_ticks)
+{
+    RunMetrics m;
+    m.cycles = run_ticks;
+
+    const unsigned procs = machine.numProcs();
+    std::uint64_t read_hits = 0;
+    std::uint64_t write_hits = 0;
+
+    for (unsigned p = 0; p < procs; ++p) {
+        const auto &cs = machine.cache(p).stats();
+        m.totalReads += cs.loads;
+        m.totalWrites += cs.stores;
+        read_hits += cs.loadHits;
+        write_hits += cs.storeHits;
+        m.invalidationMisses += cs.invalidationMisses;
+        m.prefetchesIssued += cs.prefetchesIssued;
+        m.prefetchesUseful += cs.prefetchesUseful;
+
+        const auto &ps = machine.proc(p).stats();
+        m.totalSyncOps += ps.syncLoads + ps.syncRmws + ps.syncStores;
+        m.releasesDeferred += ps.releasesDeferred;
+
+        m.bufferBypasses += machine.procBufferStats(p).bypasses;
+    }
+
+    m.readsPerProc = static_cast<double>(m.totalReads) / procs;
+    m.writesPerProc = static_cast<double>(m.totalWrites) / procs;
+    m.syncOpsPerProc = static_cast<double>(m.totalSyncOps) / procs;
+
+    m.readHitRate = m.totalReads
+                        ? static_cast<double>(read_hits) / m.totalReads
+                        : 1.0;
+    m.writeHitRate = m.totalWrites
+                         ? static_cast<double>(write_hits) / m.totalWrites
+                         : 1.0;
+    const std::uint64_t refs = m.totalReads + m.totalWrites;
+    m.hitRate = refs ? static_cast<double>(read_hits + write_hits) / refs
+                     : 1.0;
+    m.totalMisses = refs - read_hits - write_hits;
+
+    std::uint64_t busy_max = 0;
+    std::uint64_t busy_min = ~std::uint64_t(0);
+    for (unsigned i = 0; i < machine.config().numModules; ++i) {
+        const std::uint64_t busy = machine.module(i).stats().busyCycles;
+        busy_max = std::max(busy_max, busy);
+        busy_min = std::min(busy_min, busy);
+    }
+    m.moduleSkew = busy_min > 0 ? static_cast<double>(busy_max) /
+                                      static_cast<double>(busy_min)
+                                : static_cast<double>(busy_max);
+
+    std::uint64_t lat_sum = 0;
+    std::uint64_t lat_count = 0;
+    for (unsigned p = 0; p < procs; ++p) {
+        lat_sum += machine.cache(p).stats().missLatencySum;
+        lat_count += machine.cache(p).stats().missLatencyCount;
+    }
+    m.avgMissLatency =
+        lat_count ? static_cast<double>(lat_sum) /
+                        static_cast<double>(lat_count)
+                  : 0.0;
+
+    const auto &rs = machine.responseNetStats();
+    m.avgRespLatency =
+        rs.messages ? static_cast<double>(rs.latencyCycles) / rs.messages
+                    : 0.0;
+    return m;
+}
+
+std::string
+RunMetrics::summary() const
+{
+    return strprintf(
+        "cycles=%llu refs/proc=%.0f hit=%.3f (r=%.3f w=%.3f) syncs/proc=%.0f",
+        static_cast<unsigned long long>(cycles),
+        readsPerProc + writesPerProc, hitRate, readHitRate, writeHitRate,
+        syncOpsPerProc);
+}
+
+double
+percentGain(const RunMetrics &base, const RunMetrics &other)
+{
+    if (base.cycles == 0)
+        return 0.0;
+    return 100.0 *
+           (static_cast<double>(base.cycles) -
+            static_cast<double>(other.cycles)) /
+           static_cast<double>(base.cycles);
+}
+
+double
+absoluteGainKCycles(const RunMetrics &base, const RunMetrics &other)
+{
+    return (static_cast<double>(base.cycles) -
+            static_cast<double>(other.cycles)) /
+           1000.0;
+}
+
+} // namespace mcsim::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Derived, paper-facing metrics for one simulation run: run time, hit
+ * rates by access type, reference pacing, hot-spot skew -- the quantities
+ * Tables 2-9 and Figures 2-9 are built from.
+ */
+
+#ifndef MCSIM_CORE_METRICS_HH
+#define MCSIM_CORE_METRICS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/machine.hh"
+#include "sim/types.hh"
+
+namespace mcsim::core
+{
+
+/** Summary of one completed run. */
+struct RunMetrics
+{
+    Tick cycles = 0;
+
+    /** Per-processor averages (the paper reports per-proc thousands). */
+    double readsPerProc = 0;
+    double writesPerProc = 0;
+    double syncOpsPerProc = 0;
+
+    /** Hit rates over all processors, in [0,1]. */
+    double readHitRate = 0;
+    double writeHitRate = 0;
+    double hitRate = 0;
+
+    std::uint64_t totalReads = 0;
+    std::uint64_t totalWrites = 0;
+    std::uint64_t totalSyncOps = 0;
+    std::uint64_t invalidationMisses = 0;
+    std::uint64_t totalMisses = 0;
+
+    std::uint64_t bufferBypasses = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesUseful = 0;
+    std::uint64_t releasesDeferred = 0;
+
+    /** Memory-module busy-cycle skew: max/min utilization ratio. */
+    double moduleSkew = 1.0;
+    /** Mean response-network message latency (cycles). */
+    double avgRespLatency = 0;
+    /** Mean miss service time seen by the caches (cycles); the
+     *  uncontended floor is 18 at 16 processors. */
+    double avgMissLatency = 0;
+
+    /** Mean cycles between successive reads / writes (paper Table 9). */
+    double cyclesBetweenReads() const
+    {
+        return readsPerProc > 0 ? static_cast<double>(cycles) / readsPerProc
+                                : 0.0;
+    }
+    double cyclesBetweenWrites() const
+    {
+        return writesPerProc > 0
+                   ? static_cast<double>(cycles) / writesPerProc
+                   : 0.0;
+    }
+
+    /** Extract from a machine that has finished running. */
+    static RunMetrics fromMachine(const Machine &machine, Tick run_ticks);
+
+    /** One compact human-readable line. */
+    std::string summary() const;
+};
+
+/**
+ * Relative performance gain of @p other over @p base in percent
+ * (the y-axis of paper Figures 4-8): positive when @p other is faster.
+ */
+double percentGain(const RunMetrics &base, const RunMetrics &other);
+
+/** Absolute benefit in kilocycles (paper Tables 3-6). */
+double absoluteGainKCycles(const RunMetrics &base, const RunMetrics &other);
+
+} // namespace mcsim::core
+
+#endif // MCSIM_CORE_METRICS_HH

@@ -1,0 +1,622 @@
+#include "cpu/processor.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace mcsim::cpu
+{
+
+bool
+Processor::traceEnabled()
+{
+    static const bool enabled = std::getenv("MCSIM_TRACE") != nullptr;
+    return enabled;
+}
+
+void
+Processor::trace(const char *what, Addr addr, std::uint64_t value) const
+{
+    if (traceEnabled()) {
+        std::fprintf(stderr, "%10llu p%-2u %-12s addr=%llx val=%llu\n",
+                     static_cast<unsigned long long>(queue.now()), cfg.id,
+                     what, static_cast<unsigned long long>(addr),
+                     static_cast<unsigned long long>(value));
+    }
+}
+
+std::uint64_t
+Processor::readMem(Addr addr, std::uint8_t width) const
+{
+    return width == 4 ? mem.readU32(addr) : mem.readU64(addr);
+}
+
+void
+Processor::writeMem(Addr addr, std::uint64_t value, std::uint8_t width)
+{
+    if (width == 4)
+        mem.writeU32(addr, static_cast<std::uint32_t>(value));
+    else
+        mem.writeU64(addr, value);
+}
+
+Processor::Processor(EventQueue &eq, const ProcParams &params,
+                     mem::Cache &cache_ref, mem::FunctionalMemory &memory)
+    : queue(eq), cfg(params), cache(cache_ref), mem(memory)
+{
+    cache.setCompletionHandler(
+        [this](std::uint64_t cookie) { onCompletion(cookie); });
+    cache.setRetryHandler([this]() { onRetry(); });
+}
+
+void
+Processor::start(SimTask &&t)
+{
+    MCSIM_ASSERT(!started, "processor %u started twice", cfg.id);
+    task = std::move(t);
+    started = true;
+    queue.schedule(
+        queue.now(),
+        [this]() {
+            task.resume();
+            afterResume();
+        },
+        EventQueue::prioCpu);
+}
+
+void
+Processor::afterResume()
+{
+    if (task.done() && !finished) {
+        finished = true;
+        procStats.finishedAt = queue.now();
+        task.rethrowIfFailed();
+        if (doneFn)
+            doneFn();
+    }
+}
+
+mem::AccessType
+Processor::accessTypeFor(OpKind kind) const
+{
+    switch (kind) {
+      case OpKind::Load:
+      case OpKind::LoadUse:
+        return mem::AccessType::Load;  // callers map `own` separately
+      case OpKind::Store:
+        return mem::AccessType::Store;
+      case OpKind::SyncLoad:
+        return mem::AccessType::SyncLoad;
+      case OpKind::SyncRmw:
+        return mem::AccessType::SyncRmw;
+      case OpKind::SyncStore:
+        return mem::AccessType::SyncStore;
+      default:
+        panic("no access type for op kind %d", static_cast<int>(kind));
+    }
+}
+
+void
+Processor::countOp(const Op &op)
+{
+    procStats.instructions += 1;
+    switch (op.kind) {
+      case OpKind::Exec:
+        procStats.execCycles += op.cycles;
+        break;
+      case OpKind::Load:
+      case OpKind::LoadUse:
+        procStats.loads += 1;
+        break;
+      case OpKind::Use:
+        break;
+      case OpKind::Store:
+        procStats.stores += 1;
+        break;
+      case OpKind::SyncLoad:
+        procStats.syncLoads += 1;
+        break;
+      case OpKind::SyncRmw:
+        procStats.syncRmws += 1;
+        break;
+      case OpKind::SyncStore:
+        procStats.syncStores += 1;
+        break;
+      case OpKind::Fence:
+        procStats.fences += 1;
+        break;
+    }
+}
+
+bool
+Processor::beginOp(const Op &op, std::coroutine_handle<> h)
+{
+    MCSIM_ASSERT(!active, "processor %u began op with one active", cfg.id);
+    const Tick now = queue.now();
+    countOp(op);
+
+    switch (op.kind) {
+      case OpKind::Exec: {
+        if (op.cycles == 0)
+            return false;
+        active = Active{op, h, now};
+        finishAt(now + op.cycles, 0);
+        return true;
+      }
+
+      case OpKind::Use: {
+        auto it = tokens.find(op.token);
+        MCSIM_ASSERT(it != tokens.end(),
+                     "use of unknown/consumed load token");
+        TokenState &tok = it->second;
+        if (tok.readyKnown && tok.ready <= now) {
+            opResult = tok.value;
+            tokens.erase(it);
+            return false;  // register already available: no stall
+        }
+        active = Active{op, h, now};
+        if (tok.readyKnown) {
+            procStats.useStallCycles += tok.ready - now;
+            const std::uint64_t value = tok.value;
+            tokens.erase(it);
+            finishAt(tok.ready, value);
+        } else {
+            active->wait = WaitKind::Register;
+            active->waitToken = op.token;
+        }
+        return true;
+      }
+
+      default: {
+        active = Active{op, h, now};
+        attemptMem();
+        return true;
+      }
+    }
+}
+
+void
+Processor::clearGate()
+{
+    if (!active || active->gate == Gate::None)
+        return;
+    const Tick waited = queue.now() - active->gateStart;
+    switch (active->gate) {
+      case Gate::SingleOutstanding:
+        procStats.issueStallCycles += waited;
+        break;
+      case Gate::Drain:
+        procStats.drainStallCycles += waited;
+        break;
+      case Gate::ReleaseBusy:
+        procStats.syncStallCycles += waited;
+        break;
+      case Gate::CacheBlocked:
+        procStats.blockedStallCycles += waited;
+        break;
+      case Gate::None:
+        break;
+    }
+    active->gate = Gate::None;
+}
+
+void
+Processor::attemptMem()
+{
+    MCSIM_ASSERT(active, "attemptMem without active op");
+    const Op &op = active->op;
+    const Tick now = queue.now();
+    const auto &model = cfg.model;
+    const bool is_sync = op.kind == OpKind::SyncLoad ||
+                         op.kind == OpKind::SyncRmw ||
+                         op.kind == OpKind::SyncStore;
+
+    auto gateOn = [&](Gate g) {
+        if (active->gate == Gate::None) {
+            active->gateStart = now;
+        } else if (active->gate != g) {
+            // Switching gates: charge the old one first.
+            clearGate();
+            active->gateStart = now;
+        }
+        active->gate = g;
+        active->wait = WaitKind::Gated;
+    };
+
+    // SYNC fence: under the relaxed models wait for every outstanding
+    // reference (and any pending release) to be performed; under SC the
+    // single-outstanding rule already provides the ordering.
+    if (op.kind == OpKind::Fence) {
+        const bool relaxed = !model.singleOutstanding;
+        if (relaxed && (outstanding > 0 || releasePending)) {
+            gateOn(Gate::Drain);
+            return;
+        }
+        clearGate();
+        finishAt(now + 1, 0);
+        return;
+    }
+
+    // RC: releases never stall the processor; they are deferred until the
+    // references outstanding at the release have been performed.
+    if (model.releaseConsistent && op.kind == OpKind::SyncStore) {
+        if (releasePending) {
+            gateOn(Gate::ReleaseBusy);  // hardware tracks one release
+            return;
+        }
+        clearGate();
+        // Commit this op (resume scheduled, wait cleared) BEFORE starting
+        // the release machinery: its completion path re-enters onRetry()
+        // and must not see this op still gated.
+        const Op release_op = op;
+        finishAt(now + 1, 0);
+        deferRelease(release_op);
+        return;
+    }
+
+    // Weak ordering: every sync operation waits for all outstanding
+    // references to be performed before it is issued.
+    if (model.syncDrains && is_sync && outstanding > 0) {
+        gateOn(Gate::Drain);
+        return;
+    }
+
+    // Sequential consistency: any access stalls while another is
+    // outstanding. SC2 additionally prefetches the stalled access's line.
+    if (model.singleOutstanding && outstanding > 0) {
+        if (model.prefetchOnStall && !active->prefetched) {
+            active->prefetched = true;
+            cache.prefetch(op.addr,
+                           mem::needsExclusive(accessTypeFor(op.kind)));
+        }
+        gateOn(Gate::SingleOutstanding);
+        return;
+    }
+
+    // Issue to the cache.
+    const std::uint64_t cookie = nextCookie++;
+    mem::AccessType acc_type = accessTypeFor(op.kind);
+    if (op.own && acc_type == mem::AccessType::Load)
+        acc_type = mem::AccessType::LoadOwn;
+    const auto outcome = cache.access(op.addr, acc_type, cookie);
+    switch (outcome) {
+      case mem::AccessOutcome::Hit:
+        clearGate();
+        handleHit();
+        return;
+      case mem::AccessOutcome::Miss:
+      case mem::AccessOutcome::Merged:
+        clearGate();
+        handleIssued(cookie);
+        return;
+      case mem::AccessOutcome::Blocked:
+        gateOn(Gate::CacheBlocked);
+        return;
+    }
+}
+
+void
+Processor::handleHit()
+{
+    const Op &op = active->op;
+    const Tick now = queue.now();
+    switch (op.kind) {
+      case OpKind::Load: {
+        const std::uint64_t id = nextToken++;
+        tokens[id] = TokenState{readMem(op.addr, op.width),
+                                now + cfg.loadDelay, true};
+        finishAt(now + 1, id);
+        return;
+      }
+      case OpKind::LoadUse: {
+        const std::uint64_t value = readMem(op.addr, op.width);
+        procStats.useStallCycles += cfg.loadDelay > 1
+                                        ? cfg.loadDelay - 1
+                                        : 0;
+        finishAt(now + cfg.loadDelay, value);
+        return;
+      }
+      case OpKind::Store:
+        writeMem(op.addr, op.value, op.width);
+        finishAt(now + 1, 0);
+        return;
+      case OpKind::SyncLoad: {
+        const Addr a = op.addr;
+        finishAtEval(now + cfg.loadDelay, [this, a]() {
+            const std::uint64_t v = mem.readU64(a);
+            trace("syncload.hit", a, v);
+            return v;
+        });
+        return;
+      }
+      case OpKind::SyncRmw: {
+        const Addr a = op.addr;
+        finishAtEval(now + cfg.loadDelay, [this, a]() {
+            const std::uint64_t v = mem.testAndSet(a);
+            trace("rmw.hit", a, v);
+            return v;
+        });
+        return;
+      }
+      case OpKind::SyncStore:
+        // Hit in M state: the write is globally performed immediately
+        // (every other copy is already invalid).
+        mem.writeU64(op.addr, op.value);
+        trace("syncst.hit", op.addr, op.value);
+        finishAt(now + 1, 0);
+        return;
+      default:
+        panic("unexpected hit op kind");
+    }
+}
+
+void
+Processor::handleIssued(std::uint64_t cookie)
+{
+    const Op &op = active->op;
+    const Tick now = queue.now();
+    outstanding += 1;
+
+    InFlight rec;
+    rec.kind = op.kind;
+    rec.addr = op.addr;
+    rec.value = op.value;
+
+    switch (op.kind) {
+      case OpKind::Load: {
+        const std::uint64_t id = nextToken++;
+        rec.token = id;
+        tokens[id] = TokenState{readMem(op.addr, op.width), maxTick, false};
+        inFlight.emplace(cookie, rec);
+        if (cfg.model.blockingLoads) {
+            active->wait = WaitKind::Completion;
+            active->waitCookie = cookie;
+        } else {
+            finishAt(now + 1, id);
+        }
+        return;
+      }
+      case OpKind::LoadUse: {
+        rec.value = readMem(op.addr, op.width);
+        inFlight.emplace(cookie, rec);
+        active->wait = WaitKind::Completion;
+        active->waitCookie = cookie;
+        return;
+      }
+      case OpKind::Store: {
+        writeMem(op.addr, op.value, op.width);
+        inFlight.emplace(cookie, rec);
+        if (cfg.model.scStoreBufferRelease) {
+            // The write stops being "the outstanding reference" once its
+            // request is in the network interface buffer; the line fill
+            // still completes (and frees the MSHR) in the background.
+            const Tick handoff =
+                now + cache.params().missHandleCycles + 2;
+            queue.schedule(
+                handoff,
+                [this, cookie]() {
+                    auto it = inFlight.find(cookie);
+                    if (it == inFlight.end() || it->second.earlyReleased)
+                        return;
+                    it->second.earlyReleased = true;
+                    MCSIM_ASSERT(outstanding > 0,
+                                 "early release with zero outstanding");
+                    outstanding -= 1;
+                    onRetry();
+                },
+                EventQueue::prioDeliver);
+        }
+        finishAt(now + 1, 0);
+        return;
+      }
+      case OpKind::SyncStore:
+        if (cfg.model.singleOutstanding) {
+            // Under SC a sync write needs no extra stall: the
+            // single-outstanding rule already orders everything after it.
+            // Its value still becomes visible to other processors only at
+            // completion (when sharers' invalidations have been taken),
+            // the same protocol point as under the relaxed models.
+            inFlight.emplace(cookie, rec);
+            finishAt(now + 1, 0);
+            return;
+        }
+        [[fallthrough]];
+      case OpKind::SyncLoad:
+      case OpKind::SyncRmw:
+        // Blocking: the sync operation must be performed before the
+        // processor proceeds (weak ordering / SC / RC acquire).
+        inFlight.emplace(cookie, rec);
+        active->wait = WaitKind::Completion;
+        active->waitCookie = cookie;
+        return;
+      default:
+        panic("unexpected issued op kind");
+    }
+}
+
+void
+Processor::deferRelease(const Op &op)
+{
+    MCSIM_ASSERT(!releasePending, "second release while one pending");
+    releasePending = true;
+    deferredRelease = op;
+    if (outstanding > 0) {
+        procStats.releasesDeferred += 1;
+        releaseCounter = outstanding;
+        for (auto &[cookie, rec] : inFlight)
+            rec.releaseTagged = true;
+    } else {
+        releaseCounter = 0;
+        tryIssueRelease();
+    }
+}
+
+void
+Processor::tryIssueRelease()
+{
+    MCSIM_ASSERT(releasePending && deferredRelease && releaseCounter == 0,
+                 "tryIssueRelease in bad state");
+    const Op op = *deferredRelease;
+    const std::uint64_t cookie = nextCookie++;
+    const auto outcome =
+        cache.access(op.addr, mem::AccessType::SyncStore, cookie);
+    switch (outcome) {
+      case mem::AccessOutcome::Hit:
+        mem.writeU64(op.addr, op.value);
+        releasePending = false;
+        deferredRelease.reset();
+        onRetry();  // a fence or second release may be waiting
+        return;
+      case mem::AccessOutcome::Miss:
+      case mem::AccessOutcome::Merged: {
+        outstanding += 1;
+        InFlight rec;
+        rec.kind = OpKind::SyncStore;
+        rec.addr = op.addr;
+        rec.value = op.value;
+        rec.isRelease = true;
+        inFlight.emplace(cookie, rec);
+        deferredRelease.reset();
+        return;
+      }
+      case mem::AccessOutcome::Blocked:
+        // Keep deferredRelease set; onRetry() will try again.
+        return;
+    }
+}
+
+void
+Processor::onCompletion(std::uint64_t cookie)
+{
+    auto node = inFlight.extract(cookie);
+    MCSIM_ASSERT(!node.empty(), "completion for unknown cookie");
+    const InFlight rec = node.mapped();
+    if (!rec.earlyReleased) {
+        MCSIM_ASSERT(outstanding > 0, "completion with zero outstanding");
+        outstanding -= 1;
+    }
+
+    if (rec.releaseTagged) {
+        MCSIM_ASSERT(releaseCounter > 0, "tagged completion, zero counter");
+        releaseCounter -= 1;
+        if (releaseCounter == 0 && deferredRelease)
+            tryIssueRelease();
+    }
+
+    const Tick now = queue.now();
+    switch (rec.kind) {
+      case OpKind::Load: {
+        auto it = tokens.find(rec.token);
+        MCSIM_ASSERT(it != tokens.end(), "completion for missing token");
+        it->second.ready = now;
+        it->second.readyKnown = true;
+        if (active && active->wait == WaitKind::Register &&
+            active->waitToken == rec.token) {
+            procStats.useStallCycles += now - active->startTick;
+            const std::uint64_t value = it->second.value;
+            tokens.erase(it);
+            resumeNow(value);
+        } else if (active && active->wait == WaitKind::Completion &&
+                   active->waitCookie == cookie) {
+            // Blocking-load wait: hand back the (ready) token.
+            procStats.useStallCycles += now - active->startTick;
+            resumeNow(rec.token);
+        }
+        break;
+      }
+
+      case OpKind::LoadUse:
+        if (active && active->wait == WaitKind::Completion &&
+            active->waitCookie == cookie) {
+            procStats.useStallCycles += now - active->startTick;
+            resumeNow(rec.value);
+        }
+        break;
+
+      case OpKind::Store:
+        break;
+
+      case OpKind::SyncLoad:
+        if (active && active->wait == WaitKind::Completion &&
+            active->waitCookie == cookie) {
+            procStats.syncStallCycles += now - active->startTick;
+            const std::uint64_t v = mem.readU64(rec.addr);
+            trace("syncload.cpl", rec.addr, v);
+            resumeNow(v);
+        }
+        break;
+
+      case OpKind::SyncRmw:
+        if (active && active->wait == WaitKind::Completion &&
+            active->waitCookie == cookie) {
+            procStats.syncStallCycles += now - active->startTick;
+            const std::uint64_t v = mem.testAndSet(rec.addr);
+            trace("rmw.cpl", rec.addr, v);
+            resumeNow(v);
+        }
+        break;
+
+      case OpKind::SyncStore:
+        mem.writeU64(rec.addr, rec.value);
+        trace("syncst.cpl", rec.addr, rec.value);
+        if (rec.isRelease) {
+            releasePending = false;
+        } else if (active && active->wait == WaitKind::Completion &&
+                   active->waitCookie == cookie) {
+            procStats.syncStallCycles += now - active->startTick;
+            resumeNow(0);
+        }
+        break;
+
+      default:
+        panic("completion for unexpected op kind");
+    }
+
+    onRetry();
+}
+
+void
+Processor::onRetry()
+{
+    // A deferred release whose counter has drained (or that was blocked on
+    // cache resources) gets priority: it is older than the active op.
+    if (releasePending && deferredRelease && releaseCounter == 0)
+        tryIssueRelease();
+
+    if (active && active->wait == WaitKind::Gated)
+        attemptMem();
+}
+
+void
+Processor::finishAt(Tick when, std::uint64_t result)
+{
+    MCSIM_ASSERT(active, "finishAt without active op");
+    active->wait = WaitKind::None;
+    queue.schedule(
+        when, [this, result]() { resumeNow(result); },
+        EventQueue::prioCpu);
+}
+
+void
+Processor::finishAtEval(Tick when, std::function<std::uint64_t()> eval)
+{
+    MCSIM_ASSERT(active, "finishAtEval without active op");
+    active->wait = WaitKind::None;
+    queue.schedule(
+        when, [this, eval = std::move(eval)]() { resumeNow(eval()); },
+        EventQueue::prioCpu);
+}
+
+void
+Processor::resumeNow(std::uint64_t result)
+{
+    MCSIM_ASSERT(active, "resume without active op");
+    opResult = result;
+    auto h = active->h;
+    active.reset();
+    h.resume();
+    afterResume();
+}
+
+} // namespace mcsim::cpu

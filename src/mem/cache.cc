@@ -1,0 +1,520 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mcsim::mem
+{
+
+void
+CacheParams::validate() const
+{
+    if (!isPowerOf2(lineBytes) || lineBytes < 8)
+        fatal("cache line size must be a power of two >= 8 (got %u)",
+              lineBytes);
+    if (assoc == 0)
+        fatal("cache associativity must be nonzero");
+    if (cacheBytes % (lineBytes * assoc) != 0)
+        fatal("cache size %u not divisible by line*assoc (%u)", cacheBytes,
+              lineBytes * assoc);
+    if (!isPowerOf2(numSets()))
+        fatal("cache set count %u must be a power of two", numSets());
+    if (numMshrs == 0)
+        fatal("cache needs at least one MSHR");
+}
+
+Cache::Cache(EventQueue &eq, ProcId proc, const CacheParams &params,
+             Outbox &outbox, unsigned num_modules)
+    : queue(eq), procId(proc), cfg(params), out(outbox),
+      numModules(num_modules), lines(cfg.numSets() * cfg.assoc),
+      mshrs(cfg.numMshrs)
+{
+    cfg.validate();
+    if (num_modules == 0)
+        fatal("cache needs at least one memory module");
+}
+
+std::uint32_t
+Cache::setOf(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>((line_addr / cfg.lineBytes) &
+                                      (cfg.numSets() - 1));
+}
+
+ModuleId
+Cache::moduleOf(Addr line_addr) const
+{
+    return static_cast<ModuleId>((line_addr / cfg.lineBytes) % numModules);
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    const std::uint32_t set = setOf(line_addr);
+    for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+        Line &line = lines[set * cfg.assoc + w];
+        if (line.state != LineState::Invalid && line.lineAddr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+Cache::Mshr *
+Cache::findMshr(Addr line_addr)
+{
+    for (auto &m : mshrs)
+        if (m.valid && m.lineAddr == line_addr)
+            return &m;
+    return nullptr;
+}
+
+Cache::Mshr *
+Cache::allocMshr()
+{
+    for (auto &m : mshrs)
+        if (!m.valid)
+            return &m;
+    return nullptr;
+}
+
+unsigned
+Cache::freeMshrs() const
+{
+    unsigned n = 0;
+    for (const auto &m : mshrs)
+        if (!m.valid)
+            ++n;
+    return n;
+}
+
+Cache::LineState
+Cache::lineState(Addr addr) const
+{
+    const Line *line = findLine(lineOf(addr));
+    return line ? line->state : LineState::Invalid;
+}
+
+unsigned
+Cache::validLineCount() const
+{
+    unsigned n = 0;
+    for (const auto &line : lines)
+        if (line.state == LineState::Shared || line.state == LineState::Modified)
+            ++n;
+    return n;
+}
+
+std::vector<std::pair<Addr, Cache::LineState>>
+Cache::validLines() const
+{
+    std::vector<std::pair<Addr, LineState>> out;
+    for (const auto &line : lines) {
+        if (line.state == LineState::Shared ||
+            line.state == LineState::Modified) {
+            out.emplace_back(line.lineAddr, line.state);
+        }
+    }
+    return out;
+}
+
+Cache::Line *
+Cache::pickVictim(std::uint32_t set)
+{
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+        Line &line = lines[set * cfg.assoc + w];
+        if (line.state == LineState::Invalid)
+            return &line;
+        if (line.state == LineState::Pending)
+            continue;
+        if (!victim || line.lru < victim->lru)
+            victim = &line;
+    }
+    return victim;
+}
+
+void
+Cache::evict(Line &line)
+{
+    MCSIM_ASSERT(line.state == LineState::Shared ||
+                     line.state == LineState::Modified,
+                 "evicting line in bad state");
+    if (line.state == LineState::Modified) {
+        // Exclusive lines always surrender via Writeback so the directory
+        // never waits forever on a recall (see DESIGN.md).
+        cacheStats.writebacks += 1;
+        sendRequest(MsgKind::Writeback, line.lineAddr, false, 0);
+    }
+    // Clean (Shared) lines are dropped silently; the directory's stale
+    // presence bit costs at worst one spurious Invalidate later.
+    line.state = LineState::Invalid;
+    line.lineAddr = invalidAddr;
+}
+
+void
+Cache::sendRequest(MsgKind kind, Addr line_addr, bool bypass_eligible,
+                   Tick delay)
+{
+    NetMsg msg;
+    msg.src = procId;
+    msg.dst = moduleOf(line_addr);
+    msg.bytes = messageBytes(kind, cfg.lineBytes);
+    msg.bypassEligible = bypass_eligible;
+    msg.payload = CoherenceMsg{kind, line_addr, procId};
+    if (delay == 0) {
+        out.send(std::move(msg));
+    } else {
+        queue.scheduleIn(
+            delay, [this, m = msg]() mutable { out.send(std::move(m)); },
+            EventQueue::prioDeliver);
+    }
+}
+
+void
+Cache::launchMiss(Line &way_line, std::uint32_t set, Addr line_addr,
+                  bool exclusive, bool is_prefetch, std::uint64_t cookie,
+                  bool bypass_eligible, bool count_inval)
+{
+    Mshr *mshr = allocMshr();
+    MCSIM_ASSERT(mshr != nullptr, "launchMiss without free MSHR");
+
+    if (way_line.state != LineState::Invalid)
+        evict(way_line);
+
+    way_line.lineAddr = line_addr;
+    way_line.state = LineState::Pending;
+    way_line.lru = queue.now();
+
+    mshr->valid = true;
+    mshr->lineAddr = line_addr;
+    mshr->exclusive = exclusive;
+    mshr->prefetch = is_prefetch;
+    mshr->set = set;
+    mshr->way = static_cast<std::uint32_t>(&way_line - &lines[set * cfg.assoc]);
+    mshr->cookies.clear();
+    mshr->issueTick = queue.now();
+    mshr->replyReceived = false;
+    mshr->completed = false;
+    mshr->completionTick = 0;
+    mshr->freeTick = 0;
+    mshr->deferredInvalidate = false;
+    mshr->deferredRecallExclusive = false;
+    mshr->deferredRecallShared = false;
+    if (!is_prefetch)
+        mshr->cookies.push_back(cookie);
+
+    if (invalidatedLines.erase(line_addr) > 0 && !is_prefetch &&
+        count_inval) {
+        cacheStats.invalidationMisses += 1;
+    }
+
+    sendRequest(exclusive ? MsgKind::GetExclusive : MsgKind::GetShared,
+                line_addr, bypass_eligible, cfg.missHandleCycles);
+}
+
+AccessOutcome
+Cache::access(Addr addr, AccessType type, std::uint64_t cookie)
+{
+    const Addr line_addr = lineOf(addr);
+    const bool wants_excl = needsExclusive(type);
+
+    // Statistics are recorded on the first (non-Blocked) attempt outcome;
+    // Blocked attempts will be retried and counted then.
+    auto count = [&](bool hit) {
+        switch (type) {
+          case AccessType::Load:
+          case AccessType::LoadOwn:
+            cacheStats.loads += 1;
+            cacheStats.loadHits += hit ? 1 : 0;
+            break;
+          case AccessType::Store:
+            cacheStats.stores += 1;
+            cacheStats.storeHits += hit ? 1 : 0;
+            break;
+          default:
+            cacheStats.syncAccesses += 1;
+            cacheStats.syncHits += hit ? 1 : 0;
+            break;
+        }
+    };
+
+    if (Line *line = findLine(line_addr)) {
+        if (line->state == LineState::Modified ||
+            (line->state == LineState::Shared && !wants_excl)) {
+            line->lru = queue.now();
+            count(true);
+            return AccessOutcome::Hit;
+        }
+
+        if (line->state == LineState::Shared && wants_excl) {
+            // Write to a read-held line: invalidate the local copy and
+            // refetch with write permission -- a write miss (paper 3.3).
+            if (Mshr *mshr = allocMshr()) {
+                count(false);
+                line->state = LineState::Invalid;
+                line->lineAddr = invalidAddr;
+                (void)mshr;
+                const std::uint32_t set = setOf(line_addr);
+                launchMiss(*line, set, line_addr, true, false, cookie,
+                           false, !isSync(type));
+                return AccessOutcome::Miss;
+            }
+            cacheStats.blockedAccesses += 1;
+            return AccessOutcome::Blocked;
+        }
+
+        // Pending fill in this set for this line.
+        MCSIM_ASSERT(line->state == LineState::Pending,
+                     "unexpected line state");
+        Mshr *mshr = findMshr(line_addr);
+        MCSIM_ASSERT(mshr != nullptr, "pending line without MSHR");
+        if (wants_excl && !mshr->exclusive) {
+            // Store onto an in-flight read fetch: must wait, then upgrade.
+            cacheStats.blockedAccesses += 1;
+            return AccessOutcome::Blocked;
+        }
+        count(false);
+        cacheStats.mergedAccesses += 1;
+        if (mshr->prefetch) {
+            mshr->prefetch = false;  // becomes a demand fetch
+            cacheStats.prefetchesUseful += 1;
+        }
+        if (mshr->completed) {
+            // Reply already processed; this consumer completes when the
+            // fill fully settles.
+            fireCompletion(cookie, std::max(queue.now(), mshr->freeTick));
+        } else {
+            mshr->cookies.push_back(cookie);
+        }
+        return AccessOutcome::Merged;
+    }
+
+    // True miss.
+    if (allocMshr() == nullptr) {
+        cacheStats.blockedAccesses += 1;
+        return AccessOutcome::Blocked;
+    }
+    const std::uint32_t set = setOf(line_addr);
+    Line *victim = pickVictim(set);
+    if (!victim) {
+        cacheStats.blockedAccesses += 1;
+        return AccessOutcome::Blocked;
+    }
+    count(false);
+    const bool bypass =
+        cfg.bypassLoads && !wants_excl;  // load requests bypass under WO2
+    launchMiss(*victim, set, line_addr, wants_excl, false, cookie, bypass,
+               !isSync(type));
+    if (cfg.nextLinePrefetch && !isSync(type))
+        prefetch(line_addr + cfg.lineBytes, false);
+    return AccessOutcome::Miss;
+}
+
+bool
+Cache::prefetch(Addr addr, bool exclusive)
+{
+    const Addr line_addr = lineOf(addr);
+    if (Line *line = findLine(line_addr)) {
+        // Present (in any state) or already being fetched: nothing to do.
+        // A non-binding prefetch never invalidates a valid copy.
+        (void)line;
+        return false;
+    }
+    if (allocMshr() == nullptr)
+        return false;
+    const std::uint32_t set = setOf(line_addr);
+    Line *victim = pickVictim(set);
+    if (!victim)
+        return false;
+    cacheStats.prefetchesIssued += 1;
+    launchMiss(*victim, set, line_addr, exclusive, true, 0, false, false);
+    return true;
+}
+
+void
+Cache::fireCompletion(std::uint64_t cookie, Tick when)
+{
+    queue.schedule(
+        std::max(when, queue.now()),
+        [this, cookie]() {
+            if (completionFn)
+                completionFn(cookie);
+        },
+        EventQueue::prioCpu);
+}
+
+void
+Cache::notifyRetry()
+{
+    if (retryFn)
+        retryFn();
+}
+
+void
+Cache::handleResponse(NetMsg &&msg)
+{
+    const CoherenceMsg &cm = msg.payload;
+    switch (cm.kind) {
+      case MsgKind::DataReplyShared:
+      case MsgKind::DataReplyExclusive: {
+        Mshr *mshr = findMshr(cm.lineAddr);
+        MCSIM_ASSERT(mshr != nullptr, "data reply without MSHR for line");
+        MCSIM_ASSERT(!mshr->replyReceived, "duplicate data reply");
+        const bool excl = cm.kind == MsgKind::DataReplyExclusive;
+        MCSIM_ASSERT(excl == mshr->exclusive,
+                     "reply permission does not match request");
+        mshr->replyReceived = true;
+        const Tick completion = queue.now() + cfg.fillCycles;
+        const Tick latency = completion - mshr->issueTick;
+        cacheStats.missLatencySum += latency;
+        cacheStats.missLatencyCount += 1;
+        cacheStats.missLatencyMax =
+            std::max<Tick>(cacheStats.missLatencyMax, latency);
+        const Tick install = queue.now() + cfg.lineWords();
+        mshr->completionTick = completion;
+        mshr->freeTick = std::max(completion, install);
+        // Fire completions for consumers attached so far. Scheduled ahead
+        // of the settle event so that, when completion and settle land on
+        // the same tick, consumers are marked complete before the MSHR is
+        // reclaimed.
+        queue.schedule(
+            completion,
+            [this, line_addr = cm.lineAddr]() {
+                Mshr *m = findMshr(line_addr);
+                if (!m || m->completed)
+                    return;
+                m->completed = true;
+                std::vector<std::uint64_t> cookies;
+                cookies.swap(m->cookies);
+                for (std::uint64_t c : cookies) {
+                    if (completionFn)
+                        completionFn(c);
+                }
+            },
+            EventQueue::prioDeliver);
+        queue.schedule(
+            mshr->freeTick,
+            [this, line_addr = cm.lineAddr]() { settleFill(line_addr); },
+            EventQueue::prioDeliver);
+        break;
+      }
+
+      case MsgKind::Invalidate: {
+        cacheStats.invalidationsReceived += 1;
+        if (Mshr *mshr = findMshr(cm.lineAddr)) {
+            if (mshr->replyReceived) {
+                // The invalidation targets the line we are installing;
+                // apply it once the fill settles.
+                mshr->deferredInvalidate = true;
+            } else {
+                // Stale presence bit: our old copy is long gone and our
+                // own fetch is ordered after the invalidating transaction.
+                sendRequest(MsgKind::InvAck, cm.lineAddr, false, 0);
+            }
+            break;
+        }
+        applyInvalidate(cm.lineAddr);
+        sendRequest(MsgKind::InvAck, cm.lineAddr, false, 0);
+        break;
+      }
+
+      case MsgKind::RecallShared:
+      case MsgKind::RecallExclusive: {
+        const bool excl = cm.kind == MsgKind::RecallExclusive;
+        if (Mshr *mshr = findMshr(cm.lineAddr)) {
+            if (mshr->replyReceived) {
+                if (excl)
+                    mshr->deferredRecallExclusive = true;
+                else
+                    mshr->deferredRecallShared = true;
+            } else {
+                // We no longer own the line (writeback in flight).
+                sendRequest(MsgKind::RecallStale, cm.lineAddr, false, 0);
+            }
+            break;
+        }
+        Line *line = findLine(cm.lineAddr);
+        if (!line) {
+            sendRequest(MsgKind::RecallStale, cm.lineAddr, false, 0);
+            break;
+        }
+        applyRecall(cm.lineAddr, excl);
+        break;
+      }
+
+      default:
+        panic("cache %u received unexpected message kind %s", procId,
+              msgKindName(cm.kind));
+    }
+}
+
+void
+Cache::applyInvalidate(Addr line_addr)
+{
+    Line *line = findLine(line_addr);
+    if (!line)
+        return;
+    MCSIM_ASSERT(line->state == LineState::Shared,
+                 "Invalidate for line in state %d",
+                 static_cast<int>(line->state));
+    line->state = LineState::Invalid;
+    line->lineAddr = invalidAddr;
+    invalidatedLines.insert(line_addr);
+}
+
+void
+Cache::applyRecall(Addr line_addr, bool exclusive_recall)
+{
+    Line *line = findLine(line_addr);
+    MCSIM_ASSERT(line && line->state == LineState::Modified,
+                 "recall for line not in M state");
+    cacheStats.recallsServed += 1;
+    sendRequest(MsgKind::FlushData, line_addr, false, 0);
+    if (exclusive_recall) {
+        line->state = LineState::Invalid;
+        line->lineAddr = invalidAddr;
+        invalidatedLines.insert(line_addr);
+    } else {
+        line->state = LineState::Shared;
+    }
+}
+
+void
+Cache::settleFill(Addr line_addr)
+{
+    Mshr *mshr = findMshr(line_addr);
+    MCSIM_ASSERT(mshr != nullptr && mshr->replyReceived,
+                 "settleFill without received reply");
+    Line &line = lines[mshr->set * cfg.assoc + mshr->way];
+    MCSIM_ASSERT(line.state == LineState::Pending &&
+                     line.lineAddr == line_addr,
+                 "settleFill on non-pending line");
+
+    line.state = mshr->exclusive ? LineState::Modified : LineState::Shared;
+    line.lru = queue.now();
+
+    const bool deferred_inv = mshr->deferredInvalidate;
+    const bool deferred_recall_excl = mshr->deferredRecallExclusive;
+    const bool deferred_recall_shared = mshr->deferredRecallShared;
+    MCSIM_ASSERT(mshr->completed || mshr->cookies.empty(),
+                 "freeing MSHR with unfired consumers");
+    mshr->valid = false;
+
+    if (deferred_inv) {
+        applyInvalidate(line_addr);
+        sendRequest(MsgKind::InvAck, line_addr, false, 0);
+    } else if (deferred_recall_excl || deferred_recall_shared) {
+        applyRecall(line_addr, deferred_recall_excl);
+    }
+
+    notifyRetry();
+}
+
+} // namespace mcsim::mem

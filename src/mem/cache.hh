@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Per-processor two-way set-associative, write-back, write-allocate,
+ * lockup-free cache for shared data (paper section 3.1/3.2).
+ *
+ * The cache tracks timing state only (tags, MESI-less I/S/M states, MSHRs);
+ * data values live in FunctionalMemory. Misses allocate an MSHR and a
+ * pending way, emit a GetShared/GetExclusive request through the Outbox,
+ * and complete when the matching DataReply returns. Per the paper's
+ * protocol, a store that hits a Shared line invalidates the local copy and
+ * refetches the line with write permission -- i.e. it counts as a write
+ * miss, which is the cause of the "curiously low" write hit ratios the
+ * paper analyses for Qsort.
+ */
+
+#ifndef MCSIM_MEM_CACHE_HH
+#define MCSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/cache_stats.hh"
+#include "mem/outbox.hh"
+#include "mem/protocol.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace mcsim::mem
+{
+
+/** Classification of a shared-memory access as seen by the cache. */
+enum class AccessType : std::uint8_t
+{
+    Load,       ///< ordinary data read
+    LoadOwn,    ///< read with ownership (fetch exclusive; paper sec. 3.3)
+    Store,      ///< ordinary data write
+    SyncLoad,   ///< strongly-ordered read (spin test, flag read)
+    SyncRmw,    ///< test-and-set
+    SyncStore,  ///< lock release / flag write
+};
+
+/** True for access types that require write permission (M state). */
+constexpr bool
+needsExclusive(AccessType t)
+{
+    return t == AccessType::LoadOwn || t == AccessType::Store ||
+           t == AccessType::SyncRmw || t == AccessType::SyncStore;
+}
+
+/** True for synchronization accesses (counted separately from data). */
+constexpr bool
+isSync(AccessType t)
+{
+    return t == AccessType::SyncLoad || t == AccessType::SyncRmw ||
+           t == AccessType::SyncStore;
+}
+
+/** What the cache did with an access. */
+enum class AccessOutcome : std::uint8_t
+{
+    Hit,      ///< satisfied locally; the CPU applies its own hit latency
+    Miss,     ///< MSHR allocated, request sent; completion will fire
+    Merged,   ///< attached to an in-flight MSHR; completion will fire
+    Blocked,  ///< no resources / conflicting transaction; retry later
+};
+
+/** Static cache geometry and latencies. */
+struct CacheParams
+{
+    std::uint32_t cacheBytes = 16 * 1024;
+    std::uint32_t lineBytes = 16;
+    std::uint32_t assoc = 2;
+    std::uint32_t numMshrs = 5;
+    /** Cycles from miss detection to the request entering the Outbox. */
+    std::uint32_t missHandleCycles = 2;
+    /** Cycles from reply-head arrival to consumer completion. */
+    std::uint32_t fillCycles = 3;
+    /** Mark load-miss requests bypass-eligible (WO2). */
+    bool bypassLoads = false;
+    /** Sequential hardware prefetch: a demand miss also fetches the next
+     *  line (shared mode) when an MSHR and a way are free. An extension
+     *  in the spirit of the paper's conclusion that relaxed consistency
+     *  should be combined "with other memory latency reducing techniques
+     *  such as more sophisticated prefetching". */
+    bool nextLinePrefetch = false;
+
+    /** Validate; fatal() on inconsistent geometry. */
+    void validate() const;
+
+    std::uint32_t numSets() const { return cacheBytes / (lineBytes * assoc); }
+    std::uint32_t lineWords() const { return std::max(lineBytes / 8u, 1u); }
+};
+
+/**
+ * One processor's shared-data cache with its miss-handling machinery.
+ */
+class Cache
+{
+  public:
+    /** Observable line states (Pending = fill in flight). */
+    enum class LineState : std::uint8_t { Invalid, Shared, Modified, Pending };
+
+    /** Invoked at completion time of each miss/merge, with its cookie. */
+    using CompletionFn = std::function<void(std::uint64_t cookie)>;
+    /** Invoked whenever a Blocked condition may have cleared. */
+    using RetryFn = std::function<void()>;
+
+    /**
+     * @param eq shared event queue
+     * @param proc owning processor id (network source port)
+     * @param params geometry and latencies
+     * @param outbox request-network injection queue
+     * @param num_modules memory module count (address interleaving)
+     */
+    Cache(EventQueue &eq, ProcId proc, const CacheParams &params,
+          Outbox &outbox, unsigned num_modules);
+
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
+    /**
+     * Attempt a shared-memory access at the current tick.
+     *
+     * Hit: the caller applies its hit latency. Miss/Merged: the completion
+     * handler will later be invoked with @p cookie. Blocked: the caller
+     * must retry when the retry handler fires.
+     */
+    AccessOutcome access(Addr addr, AccessType type, std::uint64_t cookie);
+
+    /**
+     * SC2 non-binding prefetch of the line containing @p addr; best
+     * effort. @return true when a prefetch transaction was launched.
+     */
+    bool prefetch(Addr addr, bool exclusive);
+
+    /** Response-network delivery entry point (wired by the Machine). */
+    void handleResponse(NetMsg &&msg);
+
+    void setCompletionHandler(CompletionFn fn) { completionFn = std::move(fn); }
+    void setRetryHandler(RetryFn fn) { retryFn = std::move(fn); }
+
+    /** Free MSHR count (CPU issue gating). */
+    unsigned freeMshrs() const;
+
+    /** Statistics. */
+    const CacheStats &stats() const { return cacheStats; }
+
+    /** State of the line containing @p addr (tests/diagnostics). */
+    LineState lineState(Addr addr) const;
+
+    /** Number of lines currently valid (S or M); tests. */
+    unsigned validLineCount() const;
+
+    /** Snapshot of all valid lines (tests/invariant checks). */
+    std::vector<std::pair<Addr, LineState>> validLines() const;
+
+    const CacheParams &params() const { return cfg; }
+
+  private:
+    struct Line
+    {
+        Addr lineAddr = invalidAddr;
+        LineState state = LineState::Invalid;
+        Tick lru = 0;
+    };
+
+    struct Mshr
+    {
+        bool valid = false;
+        Addr lineAddr = invalidAddr;
+        bool exclusive = false;
+        bool prefetch = false;
+        std::uint32_t set = 0;
+        std::uint32_t way = 0;
+        std::vector<std::uint64_t> cookies;
+        Tick issueTick = 0;
+        bool replyReceived = false;
+        bool completed = false;
+        Tick completionTick = 0;
+        Tick freeTick = 0;
+        /** Coherence request deferred until the fill settles. */
+        bool deferredInvalidate = false;
+        bool deferredRecallExclusive = false;
+        bool deferredRecallShared = false;
+    };
+
+    Addr lineOf(Addr addr) const { return alignDown(addr, cfg.lineBytes); }
+    std::uint32_t setOf(Addr line_addr) const;
+    ModuleId moduleOf(Addr line_addr) const;
+
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+    Mshr *findMshr(Addr line_addr);
+    Mshr *allocMshr();
+
+    /** Pick an evictable way in @p set; nullptr when all ways pending. */
+    Line *pickVictim(std::uint32_t set);
+
+    /** Start a miss transaction; assumes resources were checked. */
+    void launchMiss(Line &way_line, std::uint32_t set, Addr line_addr,
+                    bool exclusive, bool is_prefetch, std::uint64_t cookie,
+                    bool bypass_eligible, bool count_inval = true);
+
+    /** Evict @p line (writeback if Modified). */
+    void evict(Line &line);
+
+    void sendRequest(MsgKind kind, Addr line_addr, bool bypass_eligible,
+                     Tick delay);
+
+    /** Fill settle: install line, free MSHR, run deferred coherence. */
+    void settleFill(Addr line_addr);
+
+    void applyInvalidate(Addr line_addr);
+    void applyRecall(Addr line_addr, bool exclusive_recall);
+
+    void fireCompletion(std::uint64_t cookie, Tick when);
+    void notifyRetry();
+
+    EventQueue &queue;
+    ProcId procId;
+    CacheParams cfg;
+    Outbox &out;
+    unsigned numModules;
+
+    std::vector<Line> lines;  ///< sets * assoc, way-major within set
+    std::vector<Mshr> mshrs;
+    /** Lines removed by coherence; a later miss on one is an inv. miss. */
+    std::unordered_set<Addr> invalidatedLines;
+
+    CompletionFn completionFn;
+    RetryFn retryFn;
+    CacheStats cacheStats;
+};
+
+} // namespace mcsim::mem
+
+#endif // MCSIM_MEM_CACHE_HH

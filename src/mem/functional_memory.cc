@@ -1,0 +1,110 @@
+#include "mem/functional_memory.hh"
+
+#include "sim/logging.hh"
+
+namespace mcsim::mem
+{
+
+FunctionalMemory::FunctionalMemory(std::size_t initial_bytes)
+    : bytes(initial_bytes, 0)
+{}
+
+void
+FunctionalMemory::ensure(Addr limit)
+{
+    if (limit > bytes.size()) {
+        std::size_t grown = bytes.size() ? bytes.size() : 1;
+        while (grown < limit)
+            grown *= 2;
+        bytes.resize(grown, 0);
+    }
+}
+
+void
+FunctionalMemory::read(Addr addr, void *out, std::size_t n) const
+{
+    if (addr + n <= bytes.size()) {
+        std::memcpy(out, bytes.data() + addr, n);
+    } else {
+        // Unbacked reads return zero; workloads initialize their data so
+        // this only happens for never-written padding.
+        std::memset(out, 0, n);
+        if (addr < bytes.size()) {
+            std::size_t avail = bytes.size() - addr;
+            std::memcpy(out, bytes.data() + addr, avail);
+        }
+    }
+}
+
+void
+FunctionalMemory::write(Addr addr, const void *in, std::size_t n)
+{
+    ensure(addr + n);
+    std::memcpy(bytes.data() + addr, in, n);
+}
+
+std::uint32_t
+FunctionalMemory::readU32(Addr addr) const
+{
+    std::uint32_t v;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+FunctionalMemory::writeU32(Addr addr, std::uint32_t value)
+{
+    write(addr, &value, sizeof(value));
+}
+
+std::uint64_t
+FunctionalMemory::readU64(Addr addr) const
+{
+    std::uint64_t v;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+FunctionalMemory::writeU64(Addr addr, std::uint64_t value)
+{
+    write(addr, &value, sizeof(value));
+}
+
+std::int64_t
+FunctionalMemory::readI64(Addr addr) const
+{
+    std::int64_t v;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+FunctionalMemory::writeI64(Addr addr, std::int64_t value)
+{
+    write(addr, &value, sizeof(value));
+}
+
+double
+FunctionalMemory::readF64(Addr addr) const
+{
+    double v;
+    read(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+FunctionalMemory::writeF64(Addr addr, double value)
+{
+    write(addr, &value, sizeof(value));
+}
+
+std::uint64_t
+FunctionalMemory::testAndSet(Addr addr)
+{
+    const std::uint64_t old = readU64(addr);
+    writeU64(addr, 1);
+    return old;
+}
+
+} // namespace mcsim::mem

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Functional (value-holding) image of the shared address space.
+ *
+ * Timing and function are decoupled: workloads perform loads and stores
+ * against this byte store at instruction issue time, while the caches,
+ * directory and networks model only timing. Synchronization operations are
+ * the exception -- they execute functionally at their timed completion so
+ * that lock handoffs and barrier releases are serialized exactly as the
+ * hardware would serialize them (see DESIGN.md).
+ */
+
+#ifndef MCSIM_MEM_FUNCTIONAL_MEMORY_HH
+#define MCSIM_MEM_FUNCTIONAL_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mcsim::mem
+{
+
+/** A flat, growable byte store for the simulated shared segment. */
+class FunctionalMemory
+{
+  public:
+    /** @param initial_bytes initial allocation (grows on demand). */
+    explicit FunctionalMemory(std::size_t initial_bytes = 1 << 20);
+
+    /** Currently backed size in bytes. */
+    std::size_t size() const { return bytes.size(); }
+
+    /** Read @p n bytes at @p addr into @p out. */
+    void read(Addr addr, void *out, std::size_t n) const;
+
+    /** Write @p n bytes from @p in at @p addr. */
+    void write(Addr addr, const void *in, std::size_t n);
+
+    /** Typed accessors. @{ */
+    std::uint32_t readU32(Addr addr) const;
+    void writeU32(Addr addr, std::uint32_t value);
+    std::uint64_t readU64(Addr addr) const;
+    void writeU64(Addr addr, std::uint64_t value);
+    std::int64_t readI64(Addr addr) const;
+    void writeI64(Addr addr, std::int64_t value);
+    double readF64(Addr addr) const;
+    void writeF64(Addr addr, double value);
+    /** @} */
+
+    /**
+     * Atomic test-and-set used by lock acquisition: reads the 64-bit word
+     * at @p addr and unconditionally writes 1. Returns the old value.
+     */
+    std::uint64_t testAndSet(Addr addr);
+
+    /** Ensure addresses [0, limit) are backed. */
+    void ensure(Addr limit);
+
+  private:
+    // A const read of an unbacked address returns zero without growing;
+    // writes grow the store. mutable is avoided by pre-growing in ensure().
+    std::vector<std::uint8_t> bytes;
+};
+
+} // namespace mcsim::mem
+
+#endif // MCSIM_MEM_FUNCTIONAL_MEMORY_HH

@@ -1,0 +1,303 @@
+#include "mem/memory_module.hh"
+
+#include <bit>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace mcsim::mem
+{
+
+namespace
+{
+
+constexpr std::uint64_t
+bitOf(ProcId p)
+{
+    return std::uint64_t(1) << p;
+}
+
+} // namespace
+
+void
+MemoryParams::validate() const
+{
+    if (!isPowerOf2(lineBytes) || lineBytes < 8)
+        fatal("memory line size must be a power of two >= 8 (got %u)",
+              lineBytes);
+    if (numProcs == 0 || numProcs > 64)
+        fatal("directory presence vector supports 1..64 processors (got %u)",
+              numProcs);
+}
+
+MemoryModule::MemoryModule(EventQueue &eq, ModuleId id,
+                           const MemoryParams &params, Outbox &outbox)
+    : queue(eq), moduleId(id), cfg(params), out(outbox)
+{
+    cfg.validate();
+}
+
+MemoryModule::DirState
+MemoryModule::dirState(Addr line_addr) const
+{
+    auto it = dir.find(line_addr);
+    return it == dir.end() ? DirState::Uncached : it->second.state;
+}
+
+std::uint64_t
+MemoryModule::presenceMask(Addr line_addr) const
+{
+    auto it = dir.find(line_addr);
+    return it == dir.end() ? 0 : it->second.presence;
+}
+
+std::vector<std::pair<Addr, MemoryModule::DirState>>
+MemoryModule::knownLines() const
+{
+    std::vector<std::pair<Addr, DirState>> out;
+    for (const auto &[addr, entry] : dir)
+        out.emplace_back(addr, entry.state);
+    return out;
+}
+
+ProcId
+MemoryModule::ownerOf(Addr line_addr) const
+{
+    auto it = dir.find(line_addr);
+    return it == dir.end() ? 0 : it->second.owner;
+}
+
+Tick
+MemoryModule::reserveRead()
+{
+    const Tick start = std::max(queue.now(), busyUntil);
+    const Tick first_word = start + cfg.initCycles;
+    busyUntil = first_word + cfg.lineWords();
+    modStats.busyCycles += busyUntil - start;
+    return first_word;
+}
+
+void
+MemoryModule::reserveWrite()
+{
+    const Tick start = std::max(queue.now(), busyUntil);
+    busyUntil = start + cfg.initCycles + cfg.lineWords();
+    modStats.busyCycles += busyUntil - start;
+}
+
+void
+MemoryModule::sendToProc(MsgKind kind, Addr line_addr, ProcId proc,
+                         Tick when)
+{
+    NetMsg msg;
+    msg.src = moduleId;
+    msg.dst = proc;
+    msg.bytes = messageBytes(kind, cfg.lineBytes);
+    msg.payload = CoherenceMsg{kind, line_addr, proc};
+    if (when <= queue.now()) {
+        out.send(std::move(msg));
+    } else {
+        queue.schedule(
+            when, [this, m = msg]() mutable { out.send(std::move(m)); },
+            EventQueue::prioDeliver);
+    }
+}
+
+void
+MemoryModule::handleRequest(NetMsg &&msg)
+{
+    const CoherenceMsg cm = msg.payload;
+    switch (cm.kind) {
+      case MsgKind::GetShared:
+      case MsgKind::GetExclusive: {
+        auto it = txns.find(cm.lineAddr);
+        if (it != txns.end()) {
+            modStats.queuedRequests += 1;
+            it->second.waiters.push_back(std::move(msg));
+            return;
+        }
+        startTransaction(std::move(msg));
+        return;
+      }
+
+      case MsgKind::Writeback: {
+        modStats.writebacks += 1;
+        auto it = txns.find(cm.lineAddr);
+        if (it != txns.end()) {
+            MCSIM_ASSERT(it->second.waitingData,
+                         "writeback during non-recall transaction");
+            handleDataArrival(cm.lineAddr, false);
+            return;
+        }
+        DirEntry &entry = dir[cm.lineAddr];
+        MCSIM_ASSERT(entry.state == DirState::Exclusive &&
+                         entry.owner == cm.proc,
+                     "writeback from non-owner %u", cm.proc);
+        entry.state = DirState::Uncached;
+        entry.presence = 0;
+        reserveWrite();
+        return;
+      }
+
+      case MsgKind::FlushData: {
+        MCSIM_ASSERT(txns.count(cm.lineAddr) &&
+                         txns.at(cm.lineAddr).waitingData,
+                     "flush data without a recall transaction");
+        handleDataArrival(cm.lineAddr, true);
+        return;
+      }
+
+      case MsgKind::RecallStale: {
+        auto it = txns.find(cm.lineAddr);
+        if (it != txns.end())
+            it->second.ownerStale = true;
+        return;
+      }
+
+      case MsgKind::InvAck:
+        handleInvAck(cm.lineAddr, cm.proc);
+        return;
+
+      default:
+        panic("memory module %u received unexpected message kind %s",
+              moduleId, msgKindName(cm.kind));
+    }
+}
+
+void
+MemoryModule::startTransaction(NetMsg &&msg)
+{
+    const CoherenceMsg cm = msg.payload;
+    const ProcId req = cm.proc;
+    DirEntry &entry = dir[cm.lineAddr];
+    Txn &txn = txns[cm.lineAddr];
+    txn.reqKind = cm.kind;
+    txn.requester = req;
+
+    if (cm.kind == MsgKind::GetShared) {
+        switch (entry.state) {
+          case DirState::Uncached:
+          case DirState::Shared:
+            finish(cm.lineAddr, reserveRead(), false);
+            return;
+          case DirState::Exclusive:
+            txn.waitingData = true;
+            txn.owner = entry.owner;
+            if (entry.owner == req) {
+                // The owner wrote the line back and re-requested it before
+                // the writeback arrived; just wait for the writeback.
+                txn.keepOwnerShared = false;
+            } else {
+                txn.keepOwnerShared = true;
+                modStats.recallsSent += 1;
+                sendToProc(MsgKind::RecallShared, cm.lineAddr, entry.owner,
+                           queue.now());
+            }
+            return;
+        }
+        return;
+    }
+
+    // GetExclusive
+    switch (entry.state) {
+      case DirState::Uncached:
+        finish(cm.lineAddr, reserveRead(), false);
+        return;
+
+      case DirState::Shared: {
+        entry.presence &= ~bitOf(req);
+        if (entry.presence == 0) {
+            finish(cm.lineAddr, reserveRead(), false);
+            return;
+        }
+        unsigned sharers = 0;
+        for (ProcId p = 0; p < cfg.numProcs; ++p) {
+            if (entry.presence & bitOf(p)) {
+                sendToProc(MsgKind::Invalidate, cm.lineAddr, p, queue.now());
+                ++sharers;
+            }
+        }
+        modStats.invalidatesSent += sharers;
+        txn.acksLeft = sharers;
+        txn.memReadDone = true;
+        txn.dataReadyTick = reserveRead();
+        return;
+      }
+
+      case DirState::Exclusive:
+        txn.waitingData = true;
+        txn.owner = entry.owner;
+        txn.keepOwnerShared = false;
+        if (entry.owner != req) {
+            modStats.recallsSent += 1;
+            sendToProc(MsgKind::RecallExclusive, cm.lineAddr, entry.owner,
+                       queue.now());
+        }
+        return;
+    }
+}
+
+void
+MemoryModule::handleDataArrival(Addr line_addr, bool via_flush)
+{
+    Txn &txn = txns.at(line_addr);
+    MCSIM_ASSERT(txn.waitingData, "data arrival without recall");
+    txn.waitingData = false;
+    const bool owner_shares = txn.keepOwnerShared && via_flush;
+    // The arriving line is written to memory and streamed to the requester
+    // in one reservation.
+    finish(line_addr, reserveRead(), owner_shares);
+}
+
+void
+MemoryModule::handleInvAck(Addr line_addr, ProcId from)
+{
+    auto it = txns.find(line_addr);
+    MCSIM_ASSERT(it != txns.end() && it->second.acksLeft > 0,
+                 "unexpected InvAck from %u", from);
+    Txn &txn = it->second;
+    txn.acksLeft -= 1;
+    if (txn.acksLeft == 0) {
+        MCSIM_ASSERT(txn.memReadDone, "acks complete before read issued");
+        finish(line_addr, std::max(queue.now(), txn.dataReadyTick), false);
+    }
+}
+
+void
+MemoryModule::finish(Addr line_addr, Tick reply_tick, bool owner_shares)
+{
+    queue.schedule(
+        reply_tick,
+        [this, line_addr, owner_shares]() {
+            Txn &txn = txns.at(line_addr);
+            DirEntry &entry = dir[line_addr];
+            const ProcId req = txn.requester;
+
+            if (txn.reqKind == MsgKind::GetShared) {
+                if (entry.state == DirState::Exclusive)
+                    entry.presence = 0;
+                entry.state = DirState::Shared;
+                entry.presence |= bitOf(req);
+                if (owner_shares)
+                    entry.presence |= bitOf(txn.owner);
+                sendToProc(MsgKind::DataReplyShared, line_addr, req,
+                           queue.now());
+            } else {
+                entry.state = DirState::Exclusive;
+                entry.owner = req;
+                entry.presence = bitOf(req);
+                sendToProc(MsgKind::DataReplyExclusive, line_addr, req,
+                           queue.now());
+            }
+            modStats.requests += 1;
+
+            std::deque<NetMsg> waiters = std::move(txn.waiters);
+            txns.erase(line_addr);
+            for (auto &w : waiters)
+                handleRequest(std::move(w));
+        },
+        EventQueue::prioDeliver);
+}
+
+} // namespace mcsim::mem

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Global memory module with a full-map directory (Censier & Feautrier).
+ *
+ * Each module owns an interleaved slice of the shared address space and
+ * keeps, per line, a presence bit vector and an exclusive-owner record.
+ * The directory is blocking per line: while a transaction (recall or
+ * invalidation collection) is in flight for a line, later requests for
+ * that line queue at the module in arrival order.
+ *
+ * Timing (paper section 3.1): a memory access takes 7 cycles to initiate,
+ * after which the first word goes onto the response network; the module
+ * stays busy one further cycle per 8-byte word of the line. Latency of the
+ * first word is thus independent of line size while module occupancy --
+ * which produces Psim's hot-spot behaviour -- is proportional to it.
+ */
+
+#ifndef MCSIM_MEM_MEMORY_MODULE_HH
+#define MCSIM_MEM_MEMORY_MODULE_HH
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+#include <string>
+#include <unordered_map>
+
+#include "mem/outbox.hh"
+#include "mem/protocol.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcsim::mem
+{
+
+/** Static memory-module parameters. */
+struct MemoryParams
+{
+    std::uint32_t lineBytes = 16;
+    /** Cycles to initiate an access before the first word is available. */
+    std::uint32_t initCycles = 7;
+    /** Number of processors (presence-vector width, <= 64). */
+    std::uint32_t numProcs = 16;
+
+    void validate() const;
+
+    std::uint32_t lineWords() const { return std::max(lineBytes / 8u, 1u); }
+};
+
+/** Per-module statistics. */
+struct ModuleStats
+{
+    std::uint64_t requests = 0;        ///< GetShared + GetExclusive served
+    std::uint64_t writebacks = 0;
+    std::uint64_t recallsSent = 0;
+    std::uint64_t invalidatesSent = 0;
+    std::uint64_t queuedRequests = 0;  ///< arrived while line blocked
+    std::uint64_t busyCycles = 0;      ///< DRAM occupancy
+
+    void
+    addTo(StatSet &out, const std::string &prefix) const
+    {
+        out.add(prefix + "requests", static_cast<double>(requests));
+        out.add(prefix + "writebacks", static_cast<double>(writebacks));
+        out.add(prefix + "recalls_sent", static_cast<double>(recallsSent));
+        out.add(prefix + "invalidates_sent",
+                static_cast<double>(invalidatesSent));
+        out.add(prefix + "queued_requests",
+                static_cast<double>(queuedRequests));
+        out.add(prefix + "busy_cycles", static_cast<double>(busyCycles));
+    }
+};
+
+/** One memory module plus its slice of the directory. */
+class MemoryModule
+{
+  public:
+    /**
+     * @param eq shared event queue
+     * @param id this module's response-network source port
+     * @param params timing parameters
+     * @param outbox response-network injection queue
+     */
+    MemoryModule(EventQueue &eq, ModuleId id, const MemoryParams &params,
+                 Outbox &outbox);
+
+    MemoryModule(const MemoryModule &) = delete;
+    MemoryModule &operator=(const MemoryModule &) = delete;
+
+    /** Request-network delivery entry point (wired by the Machine). */
+    void handleRequest(NetMsg &&msg);
+
+    /** Statistics. */
+    const ModuleStats &stats() const { return modStats; }
+
+    /** Directory state of a line (tests/diagnostics). */
+    enum class DirState : std::uint8_t { Uncached, Shared, Exclusive };
+    DirState dirState(Addr line_addr) const;
+    std::uint64_t presenceMask(Addr line_addr) const;
+
+    /** Open transactions (should be zero at quiesce; tests). */
+    std::size_t openTransactions() const { return txns.size(); }
+
+    /** Snapshot of all known directory lines (tests/invariant checks). */
+    std::vector<std::pair<Addr, DirState>> knownLines() const;
+    /** Registered exclusive owner of @p line_addr (valid when Exclusive). */
+    ProcId ownerOf(Addr line_addr) const;
+
+  private:
+    struct DirEntry
+    {
+        DirState state = DirState::Uncached;
+        std::uint64_t presence = 0;  ///< sharer bit per processor
+        ProcId owner = 0;            ///< valid when Exclusive
+    };
+
+    struct Txn
+    {
+        MsgKind reqKind{MsgKind::GetShared};
+        ProcId requester = 0;
+        ProcId owner = 0;            ///< recall target, when waitingData
+        bool waitingData = false;    ///< FlushData/Writeback expected
+        bool keepOwnerShared = false;///< GetShared recall downgrades owner
+        unsigned acksLeft = 0;
+        bool memReadDone = false;
+        Tick dataReadyTick = 0;
+        bool ownerStale = false;
+        std::deque<NetMsg> waiters;  ///< blocked requests for this line
+    };
+
+    /** Reserve the DRAM for a read; returns the first-word tick. */
+    Tick reserveRead();
+    /** Reserve the DRAM for a (writeback) write. */
+    void reserveWrite();
+
+    void startTransaction(NetMsg &&msg);
+    void handleDataArrival(Addr line_addr, bool via_flush);
+    void handleInvAck(Addr line_addr, ProcId from);
+    void finish(Addr line_addr, Tick reply_tick, bool owner_shares);
+    void sendToProc(MsgKind kind, Addr line_addr, ProcId proc, Tick when);
+
+    EventQueue &queue;
+    ModuleId moduleId;
+    MemoryParams cfg;
+    Outbox &out;
+
+    std::unordered_map<Addr, DirEntry> dir;
+    std::unordered_map<Addr, Txn> txns;
+    Tick busyUntil = 0;
+    ModuleStats modStats;
+};
+
+} // namespace mcsim::mem
+
+#endif // MCSIM_MEM_MEMORY_MODULE_HH

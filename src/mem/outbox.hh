@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unbounded overflow queue in front of a (bounded) network interface
+ * buffer.
+ *
+ * Caches and memory modules generate protocol messages at rates that can
+ * momentarily exceed the 4-entry interface buffer; the controller keeps
+ * them in its own outbound queue and feeds the buffer as space frees. The
+ * WO2 bypass rule is honoured here too: while messages are waiting in the
+ * overflow queue, a bypass-eligible message (a load request) is inserted
+ * ahead of the others, so the bypass semantics are independent of where a
+ * message happens to be queued.
+ */
+
+#ifndef MCSIM_MEM_OUTBOX_HH
+#define MCSIM_MEM_OUTBOX_HH
+
+#include <deque>
+#include <utility>
+
+#include "mem/protocol.hh"
+#include "net/iface_buffer.hh"
+
+namespace mcsim::mem
+{
+
+/** Controller-side outbound message queue feeding an IfaceBuffer. */
+class Outbox
+{
+  public:
+    using Buffer = net::IfaceBuffer<CoherenceMsg>;
+
+    /**
+     * @param buffer the interface buffer to drain into
+     * @param bypass_enabled honour bypassEligible ordering in the overflow
+     *        queue (matches the buffer's own configuration under WO2)
+     */
+    explicit Outbox(Buffer &buffer, bool bypass_enabled = false)
+        : buf(buffer), bypassEnabled(bypass_enabled)
+    {}
+
+    Outbox(const Outbox &) = delete;
+    Outbox &operator=(const Outbox &) = delete;
+
+    /** Queue @p msg for injection; delivery order is FIFO (plus bypass). */
+    void
+    send(NetMsg &&msg)
+    {
+        if (bypassEnabled && msg.bypassEligible && !overflow.empty())
+            overflow.push_front(std::move(msg));
+        else
+            overflow.push_back(std::move(msg));
+        drain();
+    }
+
+    /** Messages waiting in the overflow queue (not yet in the buffer). */
+    std::size_t backlog() const { return overflow.size(); }
+
+  private:
+    void
+    drain()
+    {
+        while (!overflow.empty()) {
+            if (!buf.tryEnqueue(std::move(overflow.front()))) {
+                if (!waitingForSpace) {
+                    waitingForSpace = true;
+                    buf.onSpace([this]() {
+                        waitingForSpace = false;
+                        drain();
+                    });
+                }
+                return;
+            }
+            overflow.pop_front();
+        }
+    }
+
+    Buffer &buf;
+    bool bypassEnabled;
+    bool waitingForSpace = false;
+    std::deque<NetMsg> overflow;
+};
+
+} // namespace mcsim::mem
+
+#endif // MCSIM_MEM_OUTBOX_HH

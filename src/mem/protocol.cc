@@ -1,0 +1,25 @@
+#include "mem/protocol.hh"
+
+namespace mcsim::mem
+{
+
+const char *
+msgKindName(MsgKind kind)
+{
+    switch (kind) {
+      case MsgKind::GetShared: return "GetShared";
+      case MsgKind::GetExclusive: return "GetExclusive";
+      case MsgKind::Writeback: return "Writeback";
+      case MsgKind::InvAck: return "InvAck";
+      case MsgKind::RecallStale: return "RecallStale";
+      case MsgKind::FlushData: return "FlushData";
+      case MsgKind::DataReplyShared: return "DataReplyShared";
+      case MsgKind::DataReplyExclusive: return "DataReplyExclusive";
+      case MsgKind::Invalidate: return "Invalidate";
+      case MsgKind::RecallShared: return "RecallShared";
+      case MsgKind::RecallExclusive: return "RecallExclusive";
+    }
+    return "<unknown>";
+}
+
+} // namespace mcsim::mem

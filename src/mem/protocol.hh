@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cache-coherence protocol message definitions (full-map directory scheme,
+ * after Censier & Feautrier 1978, as specified in paper section 3.1).
+ *
+ * Traffic directions:
+ *  - processor -> memory (request network): GetShared, GetExclusive,
+ *    Writeback, InvAck, RecallStale, FlushData
+ *  - memory -> processor (response network): DataReplyShared,
+ *    DataReplyExclusive, Invalidate, RecallShared, RecallExclusive
+ *
+ * Only timing flows through the protocol; functional data is maintained by
+ * the processors against FunctionalMemory at instruction issue time (see
+ * DESIGN.md, "Functional/timing split").
+ */
+
+#ifndef MCSIM_MEM_PROTOCOL_HH
+#define MCSIM_MEM_PROTOCOL_HH
+
+#include <cstdint>
+
+#include "net/message.hh"
+#include "sim/types.hh"
+
+namespace mcsim::mem
+{
+
+/** Protocol message kinds. */
+enum class MsgKind : std::uint8_t
+{
+    // processor -> memory
+    GetShared,       ///< read miss: fetch line for read
+    GetExclusive,    ///< write/RMW miss: fetch line with ownership
+    Writeback,       ///< eviction of an exclusive line (carries data)
+    InvAck,          ///< acknowledgment of an Invalidate
+    RecallStale,     ///< recall target no longer holds the line
+    FlushData,       ///< recall reply carrying the dirty line
+
+    // memory -> processor
+    DataReplyShared,     ///< line data, read permission
+    DataReplyExclusive,  ///< line data, write permission (after invs/acks)
+    Invalidate,          ///< directory asks a sharer to drop its copy
+    RecallShared,        ///< directory asks the owner to flush, keep shared
+    RecallExclusive,     ///< directory asks the owner to flush + invalidate
+};
+
+/** Human-readable kind name (diagnostics and tests). */
+const char *msgKindName(MsgKind kind);
+
+/** True for kinds that carry a full cache line of data. */
+constexpr bool
+carriesLine(MsgKind kind)
+{
+    return kind == MsgKind::Writeback || kind == MsgKind::FlushData ||
+           kind == MsgKind::DataReplyShared ||
+           kind == MsgKind::DataReplyExclusive;
+}
+
+/** Protocol payload carried opaquely by the network layer. */
+struct CoherenceMsg
+{
+    MsgKind kind{MsgKind::GetShared};
+    /** Line-aligned address the message concerns. */
+    Addr lineAddr = 0;
+    /** Processor involved (requester for requests, target for replies). */
+    ProcId proc = 0;
+};
+
+/** Message envelope type used by both machine networks. */
+using NetMsg = net::Msg<CoherenceMsg>;
+
+/**
+ * Network size in bytes of a protocol message: one flit of header/address,
+ * plus the line data when present.
+ */
+constexpr std::uint32_t
+messageBytes(MsgKind kind, std::uint32_t line_bytes)
+{
+    return net::flitBytes + (carriesLine(kind) ? line_bytes : 0);
+}
+
+} // namespace mcsim::mem
+
+#endif // MCSIM_MEM_PROTOCOL_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The four-element buffer between a processor (or memory module) and its
+ * network, per paper section 3.1, including the WO2 load-bypass behaviour
+ * of section 3.2.
+ *
+ * Messages drain into the network one at a time; the buffer-to-network link
+ * carries one flit per cycle, so a message of F flits holds the link for F
+ * cycles and its head enters the stage-0 switch one cycle after it starts
+ * draining. When bypassing is enabled, bypass-eligible messages (loads)
+ * enter at the head of the waiting queue -- in front of waiting stores and
+ * waiting loads alike, reproducing the paper's "simple, but slightly
+ * flawed" implementation that its section 4.2.3 analyses.
+ */
+
+#ifndef MCSIM_NET_IFACE_BUFFER_HH
+#define MCSIM_NET_IFACE_BUFFER_HH
+
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "net/message.hh"
+#include "net/net_stats.hh"
+#include "net/omega_network.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace mcsim::net
+{
+
+/** FIFO (optionally load-bypassing) injection buffer for one network port. */
+template <typename Payload>
+class IfaceBuffer
+{
+  public:
+    using Message = Msg<Payload>;
+
+    /**
+     * @param eq shared event queue
+     * @param net network this buffer injects into
+     * @param capacity maximum queued messages (paper: 4)
+     * @param bypass_enabled WO2 load bypassing
+     */
+    IfaceBuffer(EventQueue &eq, OmegaNetwork<Payload> &net, unsigned capacity,
+                bool bypass_enabled)
+        : queue(eq), network(net), cap(capacity), bypassEnabled(bypass_enabled)
+    {}
+
+    IfaceBuffer(const IfaceBuffer &) = delete;
+    IfaceBuffer &operator=(const IfaceBuffer &) = delete;
+
+    /** True when no more messages can be accepted right now. */
+    bool full() const { return waiting.size() >= cap; }
+
+    /** Currently queued (not yet injected) messages. */
+    std::size_t occupancy() const { return waiting.size(); }
+
+    /** Buffer statistics. */
+    const BufferStats &stats() const { return bufStats; }
+
+    /**
+     * Try to accept @p msg. Returns false (and counts a reject) when the
+     * buffer is full; the caller should retry after registering an
+     * onSpace() callback.
+     */
+    bool
+    tryEnqueue(Message &&msg)
+    {
+        if (full()) {
+            bufStats.fullRejects += 1;
+            return false;
+        }
+        msg.createdAt = queue.now();
+        bufStats.enqueued += 1;
+        if (bypassEnabled && msg.bypassEligible && !waiting.empty()) {
+            bufStats.bypasses += 1;
+            bufStats.messagesJumped += waiting.size();
+            waiting.push_front(std::move(msg));
+        } else {
+            waiting.push_back(std::move(msg));
+        }
+        pump();
+        return true;
+    }
+
+    /**
+     * Register a one-shot callback invoked the next time a queue slot
+     * frees up. Callbacks fire in registration order.
+     */
+    void
+    onSpace(std::function<void()> cb)
+    {
+        spaceWaiters.push_back(std::move(cb));
+    }
+
+  private:
+    /**
+     * Arrange for the head message to start draining once the link frees.
+     * The head keeps its buffer slot until its drain actually starts, so a
+     * bypass-eligible arrival can still jump in front of it meanwhile.
+     */
+    void
+    pump()
+    {
+        if (pumping || waiting.empty())
+            return;
+        pumping = true;
+        const Tick start = std::max(queue.now(), linkFree);
+        queue.schedule(
+            start, [this]() { drainHead(); }, EventQueue::prioDeliver);
+    }
+
+    /** Move the current head onto the buffer-to-network link. */
+    void
+    drainHead()
+    {
+        Message msg = std::move(waiting.front());
+        waiting.pop_front();
+        const Tick now = queue.now();
+        bufStats.residencyCycles += now - msg.createdAt;
+        linkFree = now + msg.flits();
+        // Head flit reaches the stage-0 switch one cycle after the message
+        // starts on the buffer-to-network link.
+        queue.schedule(
+            now + 1,
+            [this, m = std::move(msg)]() mutable {
+                network.inject(std::move(m));
+            },
+            EventQueue::prioDeliver);
+        pumping = false;
+        notifySpace();
+        pump();
+    }
+
+    void
+    notifySpace()
+    {
+        if (spaceWaiters.empty() || full())
+            return;
+        std::vector<std::function<void()>> cbs;
+        cbs.swap(spaceWaiters);
+        for (auto &cb : cbs)
+            cb();
+    }
+
+    EventQueue &queue;
+    OmegaNetwork<Payload> &network;
+    unsigned cap;
+    bool bypassEnabled;
+    std::deque<Message> waiting;
+    std::vector<std::function<void()>> spaceWaiters;
+    Tick linkFree = 0;
+    bool pumping = false;
+    BufferStats bufStats;
+};
+
+} // namespace mcsim::net
+
+#endif // MCSIM_NET_IFACE_BUFFER_HH

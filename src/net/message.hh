@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Generic network message envelope.
+ *
+ * The network layer is independent of the cache-coherence protocol: it
+ * transports opaque payloads between numbered ports. The only payload
+ * property the network layer ever inspects is bypassEligible, which marks
+ * messages (loads, in WO2) allowed to jump to the head of an interface
+ * buffer.
+ */
+
+#ifndef MCSIM_NET_MESSAGE_HH
+#define MCSIM_NET_MESSAGE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace mcsim::net
+{
+
+/** Width of one network flit in bytes (one cycle per flit per stage). */
+constexpr std::uint32_t flitBytes = 8;
+
+/**
+ * A message in flight on an Omega network.
+ *
+ * @tparam Payload protocol-level content carried opaquely.
+ */
+template <typename Payload>
+struct Msg
+{
+    /** Input port the message enters at. */
+    std::uint32_t src = 0;
+    /** Output port the message must be delivered to. */
+    std::uint32_t dst = 0;
+    /** Message size in bytes; determines flit count and port occupancy. */
+    std::uint32_t bytes = flitBytes;
+    /** True when an interface buffer may promote this message (WO2 loads). */
+    bool bypassEligible = false;
+    /** Tick at which the sender handed the message to the interface. */
+    Tick createdAt = 0;
+    /** Protocol-level content. */
+    Payload payload{};
+
+    /** Number of flits (>= 1). */
+    std::uint32_t
+    flits() const
+    {
+        return bytes == 0 ? 1 : (bytes + flitBytes - 1) / flitBytes;
+    }
+};
+
+} // namespace mcsim::net
+
+#endif // MCSIM_NET_MESSAGE_HH

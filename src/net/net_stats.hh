@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Counters collected by one Omega network instance.
+ */
+
+#ifndef MCSIM_NET_NET_STATS_HH
+#define MCSIM_NET_NET_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcsim::net
+{
+
+/** Aggregate traffic and contention statistics for one network. */
+struct NetStats
+{
+    /** Messages fully injected. */
+    std::uint64_t messages = 0;
+    /** Flits carried (sum over messages). */
+    std::uint64_t flits = 0;
+    /** Sum over messages of cycles spent waiting for busy output ports. */
+    std::uint64_t queueCycles = 0;
+    /** Sum over messages of total in-network head latency. */
+    std::uint64_t latencyCycles = 0;
+    /** Largest single-message queueing delay observed. */
+    Tick maxQueueDelay = 0;
+
+    /** Export under @p prefix (e.g. "reqnet."). */
+    void
+    addTo(StatSet &out, const std::string &prefix) const
+    {
+        out.add(prefix + "messages", static_cast<double>(messages));
+        out.add(prefix + "flits", static_cast<double>(flits));
+        out.add(prefix + "queue_cycles", static_cast<double>(queueCycles));
+        out.add(prefix + "latency_cycles",
+                static_cast<double>(latencyCycles));
+        out.set(prefix + "max_queue_delay",
+                static_cast<double>(maxQueueDelay));
+        if (messages > 0) {
+            out.set(prefix + "avg_latency",
+                    static_cast<double>(latencyCycles) /
+                        static_cast<double>(messages));
+            out.set(prefix + "avg_queue_delay",
+                    static_cast<double>(queueCycles) /
+                        static_cast<double>(messages));
+        }
+    }
+};
+
+/** Counters collected by one interface buffer. */
+struct BufferStats
+{
+    /** Messages accepted into the buffer. */
+    std::uint64_t enqueued = 0;
+    /** Messages that entered at the head, jumping queued messages (WO2). */
+    std::uint64_t bypasses = 0;
+    /** Number of queued messages jumped over, summed over bypasses. */
+    std::uint64_t messagesJumped = 0;
+    /** Enqueue attempts rejected because the buffer was full. */
+    std::uint64_t fullRejects = 0;
+    /** Total cycles messages spent queued in the buffer. */
+    std::uint64_t residencyCycles = 0;
+
+    void
+    addTo(StatSet &out, const std::string &prefix) const
+    {
+        out.add(prefix + "enqueued", static_cast<double>(enqueued));
+        out.add(prefix + "bypasses", static_cast<double>(bypasses));
+        out.add(prefix + "messages_jumped",
+                static_cast<double>(messagesJumped));
+        out.add(prefix + "full_rejects", static_cast<double>(fullRejects));
+        out.add(prefix + "residency_cycles",
+                static_cast<double>(residencyCycles));
+    }
+};
+
+} // namespace mcsim::net
+
+#endif // MCSIM_NET_NET_STATS_HH

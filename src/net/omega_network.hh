@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Timed message transport over an Omega topology.
+ *
+ * Timing model (paper section 3.1): each switch stage forwards one flit
+ * (8 bytes) per cycle; a message of F flits occupies a switch output port
+ * for F cycles while its head advances one stage per cycle (virtual
+ * cut-through). First-word latency is therefore independent of line size,
+ * while port occupancy -- and thus contention -- is proportional to it.
+ * Switch-internal queues are unbounded (the 4-entry buffers the paper
+ * specifies sit at the processor and memory interfaces, see IfaceBuffer);
+ * ordering on a contended port is FIFO by arrival.
+ */
+
+#ifndef MCSIM_NET_OMEGA_NETWORK_HH
+#define MCSIM_NET_OMEGA_NETWORK_HH
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "net/message.hh"
+#include "net/net_stats.hh"
+#include "net/topology.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mcsim::net
+{
+
+/**
+ * One direction of interconnect (the machine has two: requests and
+ * responses).
+ *
+ * @tparam Payload protocol content carried opaquely.
+ */
+template <typename Payload>
+class OmegaNetwork
+{
+  public:
+    using Message = Msg<Payload>;
+    using DeliverFn = std::function<void(Message &&)>;
+
+    /**
+     * @param eq shared event queue
+     * @param n_ports usable ports (processors on one side, modules on the
+     *        other)
+     * @param radix switch arity
+     * @param deliver invoked (at delivery tick) with each arriving message
+     */
+    OmegaNetwork(EventQueue &eq, unsigned n_ports, unsigned radix,
+                 DeliverFn deliver)
+        : queue(eq), topo(n_ports, radix), deliverFn(std::move(deliver)),
+          portFree(topo.stages(),
+                   std::vector<Tick>(topo.width(), 0))
+    {}
+
+    OmegaNetwork(const OmegaNetwork &) = delete;
+    OmegaNetwork &operator=(const OmegaNetwork &) = delete;
+
+    /** Topology under this network. */
+    const OmegaTopology &topology() const { return topo; }
+
+    /** Uncontended head latency through the network, in cycles. */
+    Tick headLatency() const { return topo.stages(); }
+
+    /** Traffic statistics. */
+    const NetStats &stats() const { return netStats; }
+
+    /**
+     * Inject a message whose head flit is at the stage-0 switch input at
+     * the current tick. Caller (the interface buffer) is responsible for
+     * the buffer-to-network link cycle.
+     */
+    void
+    inject(Message &&msg)
+    {
+        MCSIM_ASSERT(msg.dst < topo.width(), "bad network destination %u",
+                     msg.dst);
+        netStats.messages += 1;
+        netStats.flits += msg.flits();
+        hop(std::move(msg), 0, msg.src, queue.now(), queue.now());
+    }
+
+  private:
+    /**
+     * Process arrival of @p msg at stage @p stage on link @p link at tick
+     * @p t; reserve the output port and advance the head.
+     */
+    void
+    hop(Message &&msg, unsigned stage, unsigned link, Tick t, Tick inject_t)
+    {
+        const auto h = topo.hop(stage, link, msg.dst);
+        Tick &port_free = portFree[stage][h.outLink];
+        const Tick start = std::max(t, port_free);
+        if (start > t) {
+            const Tick waited = start - t;
+            netStats.queueCycles += waited;
+            if (waited > netStats.maxQueueDelay)
+                netStats.maxQueueDelay = waited;
+        }
+        port_free = start + msg.flits();
+        const Tick head_out = start + 1;
+        const unsigned next_stage = stage + 1;
+        const unsigned out_link = h.outLink;
+        if (next_stage == topo.stages()) {
+            queue.schedule(
+                head_out,
+                [this, m = std::move(msg), inject_t]() mutable {
+                    netStats.latencyCycles += queue.now() - inject_t;
+                    deliverFn(std::move(m));
+                },
+                EventQueue::prioDeliver);
+        } else {
+            queue.schedule(
+                head_out,
+                [this, m = std::move(msg), next_stage, out_link,
+                 inject_t]() mutable {
+                    hop(std::move(m), next_stage, out_link, queue.now(),
+                        inject_t);
+                },
+                EventQueue::prioDeliver);
+        }
+    }
+
+    EventQueue &queue;
+    OmegaTopology topo;
+    DeliverFn deliverFn;
+    /** Per-stage, per-output-link earliest-free tick. */
+    std::vector<std::vector<Tick>> portFree;
+    NetStats netStats;
+};
+
+} // namespace mcsim::net
+
+#endif // MCSIM_NET_OMEGA_NETWORK_HH

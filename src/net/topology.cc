@@ -1,0 +1,68 @@
+#include "net/topology.hh"
+
+#include "sim/logging.hh"
+
+namespace mcsim::net
+{
+
+OmegaTopology::OmegaTopology(unsigned n_ports, unsigned radix)
+    : nPorts(n_ports), switchRadix(radix)
+{
+    if (radix < 2)
+        fatal("omega network radix must be >= 2 (got %u)", radix);
+    if (n_ports < 1)
+        fatal("omega network needs at least one port");
+    nStages = logCeil(n_ports, radix);
+    if (nStages == 0)
+        nStages = 1;
+    linkWidth = 1;
+    for (unsigned s = 0; s < nStages; ++s)
+        linkWidth *= switchRadix;
+}
+
+unsigned
+OmegaTopology::shuffle(unsigned link) const
+{
+    // Left-rotate the base-radix digits of the link id by one position:
+    // the most-significant digit becomes least significant.
+    const unsigned msd_weight = linkWidth / switchRadix;
+    const unsigned msd = link / msd_weight;
+    return (link % msd_weight) * switchRadix + msd;
+}
+
+unsigned
+OmegaTopology::destDigit(unsigned dest, unsigned stage) const
+{
+    // Stage 0 consumes the most-significant digit.
+    unsigned weight = linkWidth / switchRadix;
+    for (unsigned s = 0; s < stage; ++s)
+        weight /= switchRadix;
+    return (dest / weight) % switchRadix;
+}
+
+OmegaTopology::Hop
+OmegaTopology::hop(unsigned stage, unsigned link, unsigned dest) const
+{
+    MCSIM_ASSERT(stage < nStages, "stage %u out of range", stage);
+    MCSIM_ASSERT(link < linkWidth, "link %u out of range", link);
+    MCSIM_ASSERT(dest < linkWidth, "dest %u out of range", dest);
+
+    const unsigned shuffled = shuffle(link);
+    Hop h;
+    h.switchIdx = shuffled / switchRadix;
+    h.inPort = shuffled % switchRadix;
+    h.outPort = destDigit(dest, stage);
+    h.outLink = h.switchIdx * switchRadix + h.outPort;
+    return h;
+}
+
+unsigned
+OmegaTopology::route(unsigned src, unsigned dest) const
+{
+    unsigned link = src;
+    for (unsigned s = 0; s < nStages; ++s)
+        link = hop(s, link, dest).outLink;
+    return link;
+}
+
+} // namespace mcsim::net

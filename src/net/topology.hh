@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Omega (shuffle-exchange) network topology and destination-tag routing.
+ *
+ * The network is built from radix x radix crossbar switches arranged in
+ * ceil(log_radix(nPorts)) stages, with a radix-way perfect shuffle ahead of
+ * every stage. Routing is destination-tag: at stage s the switch output port
+ * is digit (stages-1-s) of the destination, written base radix. The path
+ * between any (input, output) pair is unique, which is what produces the
+ * blocking behaviour and hot-spot contention the paper discusses for Psim.
+ */
+
+#ifndef MCSIM_NET_TOPOLOGY_HH
+#define MCSIM_NET_TOPOLOGY_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace mcsim::net
+{
+
+/** Pure routing math for one Omega network; no timing state. */
+class OmegaTopology
+{
+  public:
+    /**
+     * @param n_ports number of usable input/output ports (processors or
+     *                memory modules); need not be a power of the radix
+     * @param radix switch arity (the paper uses 4x4 switches)
+     */
+    OmegaTopology(unsigned n_ports, unsigned radix);
+
+    /** Usable ports. */
+    unsigned ports() const { return nPorts; }
+
+    /** Switch arity. */
+    unsigned radix() const { return switchRadix; }
+
+    /** Number of switch stages (paper: 2 for 16 procs, 3 for 32). */
+    unsigned stages() const { return nStages; }
+
+    /** Link count per stage boundary: radix^stages >= ports. */
+    unsigned width() const { return linkWidth; }
+
+    /** Switches per stage. */
+    unsigned switchesPerStage() const { return linkWidth / switchRadix; }
+
+    /** Radix-way perfect shuffle applied ahead of each stage. */
+    unsigned shuffle(unsigned link) const;
+
+    /** Destination digit consumed at stage @p stage (0 = first stage). */
+    unsigned destDigit(unsigned dest, unsigned stage) const;
+
+    /** One stage traversal: which switch/ports a message uses. */
+    struct Hop
+    {
+        unsigned switchIdx;  ///< switch within the stage
+        unsigned inPort;     ///< switch input port
+        unsigned outPort;    ///< switch output port (routing decision)
+        unsigned outLink;    ///< global link id entering the next stage
+    };
+
+    /**
+     * Compute the hop taken at @p stage by a message currently on global
+     * link @p link and destined for output port @p dest.
+     */
+    Hop hop(unsigned stage, unsigned link, unsigned dest) const;
+
+    /**
+     * Full route check: the link a message ends on after all stages.
+     * Must equal @p dest for every (src, dest) pair; unit tested.
+     */
+    unsigned route(unsigned src, unsigned dest) const;
+
+  private:
+    unsigned nPorts;
+    unsigned switchRadix;
+    unsigned nStages;
+    unsigned linkWidth;
+};
+
+} // namespace mcsim::net
+
+#endif // MCSIM_NET_TOPOLOGY_HH

@@ -1,0 +1,53 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace mcsim
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    if (when < curTick_) {
+        panic("event scheduled in the past (when=%llu, now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick_));
+    }
+    events.push(Event{when, priority, nextSeq++, std::move(cb)});
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t count = 0;
+    while (!events.empty() && events.top().when <= limit) {
+        // Move the callback out before popping so re-entrant scheduling
+        // from within the callback is safe.
+        Event ev = events.top();
+        events.pop();
+        curTick_ = ev.when;
+        ev.cb();
+        ++numExecuted;
+        ++count;
+    }
+    if (curTick_ < limit && events.empty())
+        curTick_ = limit;
+    return count;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t maxEvents)
+{
+    std::uint64_t count = 0;
+    while (!events.empty() && count < maxEvents) {
+        Event ev = events.top();
+        events.pop();
+        curTick_ = ev.when;
+        ev.cb();
+        ++numExecuted;
+        ++count;
+    }
+    return count;
+}
+
+} // namespace mcsim

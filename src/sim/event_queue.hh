@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * Events are ordered by (tick, priority, insertion sequence), so two runs of
+ * the same configuration always execute events in the same order; the paper's
+ * methodology depends on run-to-run reproducibility for everything except
+ * Qsort's intrinsic dynamic-scheduling variability.
+ */
+
+#ifndef MCSIM_SIM_EVENT_QUEUE_HH
+#define MCSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mcsim
+{
+
+/**
+ * Discrete-event simulation kernel.
+ *
+ * Components schedule closures at absolute ticks. Scheduling in the past is a
+ * simulator bug (panic). Within a tick, lower priority values run first and
+ * ties preserve insertion order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Well-known intra-tick priorities (lower runs first). */
+    enum Priority : int
+    {
+        prioDeliver = -10,  ///< message deliveries / component state updates
+        prioDefault = 0,    ///< ordinary events
+        prioCpu = 10,       ///< processor resumption (sees this tick's state)
+    };
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick_; }
+
+    /** Number of events not yet executed. */
+    std::size_t pending() const { return events.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     * @param when absolute tick; must be >= now()
+     * @param cb the closure to execute
+     * @param priority intra-tick ordering; lower runs first
+     */
+    void schedule(Tick when, Callback cb, int priority = prioDefault);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb, int priority = prioDefault)
+    {
+        schedule(curTick_ + delta, std::move(cb), priority);
+    }
+
+    /**
+     * Execute events until the queue is empty or time would exceed
+     * @p limit. Events scheduled exactly at @p limit are executed.
+     * @return number of events executed by this call
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Execute all events (or up to @p maxEvents as a runaway guard). */
+    std::uint64_t run(std::uint64_t maxEvents = ~std::uint64_t(0));
+
+  private:
+    struct Event
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace mcsim
+
+#endif // MCSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Error and status reporting, in the spirit of gem5's logging.hh.
+ *
+ * panic()  - a simulator bug: a condition that should never happen
+ *            regardless of user input. Aborts (core-dumpable).
+ * fatal()  - a user error (bad configuration, invalid arguments). Throws
+ *            FatalError so embedding code and tests can recover.
+ * warn()   - something dubious but survivable.
+ * inform() - plain status output.
+ */
+
+#ifndef MCSIM_SIM_LOGGING_HH
+#define MCSIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace mcsim
+{
+
+/** Exception thrown by fatal(): a user-correctable configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/** Report a simulator bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user error; throws FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but non-fatal condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a simulator invariant; on failure, panic with location info.
+ * Active in all build types (these guard protocol invariants whose
+ * violation would silently corrupt results).
+ */
+#define MCSIM_ASSERT(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::mcsim::panic("assertion '%s' failed at %s:%d: %s", #cond,      \
+                           __FILE__, __LINE__,                               \
+                           ::mcsim::strprintf(__VA_ARGS__).c_str());         \
+        }                                                                    \
+    } while (0)
+
+} // namespace mcsim
+
+#endif // MCSIM_SIM_LOGGING_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * The standard library engines are implementation-defined across platforms;
+ * workload data generation (Qsort input, synthetic reference streams) must be
+ * bit-identical everywhere for the experiments to be reproducible, so we
+ * carry our own small generator.
+ */
+
+#ifndef MCSIM_SIM_RANDOM_HH
+#define MCSIM_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace mcsim
+{
+
+/** xoshiro256** by Blackman & Vigna; public-domain reference algorithm. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's multiply-shift. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace mcsim
+
+#endif // MCSIM_SIM_RANDOM_HH

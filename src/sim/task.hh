@@ -1,0 +1,289 @@
+/**
+ * @file
+ * C++20 coroutine task used to express simulated programs.
+ *
+ * A workload is a coroutine returning SimTask. It issues abstract
+ * instructions by co_awaiting awaitables supplied by its Processor; the
+ * processor suspends/resumes the coroutine according to the timing rules of
+ * the consistency model being simulated.
+ */
+
+#ifndef MCSIM_SIM_TASK_HH
+#define MCSIM_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace mcsim
+{
+
+/**
+ * An eagerly-suspended coroutine handle with RAII ownership.
+ *
+ * The coroutine body does not start executing until resume() is first
+ * called; it suspends at its final point so done() and rethrowIfFailed()
+ * remain valid until destruction.
+ */
+class SimTask
+{
+  public:
+    struct promise_type
+    {
+        std::exception_ptr exception;
+
+        SimTask
+        get_return_object()
+        {
+            return SimTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    SimTask() = default;
+
+    explicit SimTask(std::coroutine_handle<promise_type> h) : handle(h) {}
+
+    SimTask(SimTask &&other) noexcept
+        : handle(std::exchange(other.handle, nullptr))
+    {}
+
+    SimTask &
+    operator=(SimTask &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle = std::exchange(other.handle, nullptr);
+        }
+        return *this;
+    }
+
+    SimTask(const SimTask &) = delete;
+    SimTask &operator=(const SimTask &) = delete;
+
+    ~SimTask() { destroy(); }
+
+    /** True when a coroutine is attached. */
+    bool valid() const { return static_cast<bool>(handle); }
+
+    /** True when the coroutine has run to completion (or threw). */
+    bool done() const { return !handle || handle.done(); }
+
+    /** Resume the coroutine; it runs until its next suspension point. */
+    void
+    resume()
+    {
+        if (handle && !handle.done())
+            handle.resume();
+    }
+
+    /** Re-raise any exception that escaped the coroutine body. */
+    void
+    rethrowIfFailed() const
+    {
+        if (handle && handle.promise().exception)
+            std::rethrow_exception(handle.promise().exception);
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle) {
+            handle.destroy();
+            handle = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle;
+};
+
+/**
+ * An awaitable sub-coroutine, used to write reusable simulated routines
+ * (lock acquire, barrier wait) that workloads invoke with
+ * `co_await routine(...)`. The child starts when awaited; when it
+ * completes, control transfers symmetrically back to the caller.
+ *
+ * @tparam T the value the routine co_returns (void by default).
+ */
+template <typename T = void>
+class SubTask
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(Handle h) noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+        std::exception_ptr exception;
+        // Storage for the co_returned value; unused specialization-free
+        // trick: a union-free optional-like slot.
+        alignas(T) unsigned char slot[sizeof(T)];
+        bool hasValue = false;
+
+        SubTask get_return_object() { return SubTask(Handle::from_promise(*this)); }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void
+        return_value(T value)
+        {
+            new (slot) T(std::move(value));
+            hasValue = true;
+        }
+
+        void unhandled_exception() { exception = std::current_exception(); }
+
+        ~promise_type()
+        {
+            if (hasValue)
+                reinterpret_cast<T *>(slot)->~T();
+        }
+    };
+
+    SubTask() = default;
+    explicit SubTask(Handle h) : handle(h) {}
+    SubTask(SubTask &&o) noexcept : handle(std::exchange(o.handle, nullptr)) {}
+    SubTask &
+    operator=(SubTask &&o) noexcept
+    {
+        if (this != &o) {
+            if (handle)
+                handle.destroy();
+            handle = std::exchange(o.handle, nullptr);
+        }
+        return *this;
+    }
+    SubTask(const SubTask &) = delete;
+    SubTask &operator=(const SubTask &) = delete;
+    ~SubTask()
+    {
+        if (handle)
+            handle.destroy();
+    }
+
+    bool await_ready() const { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> caller)
+    {
+        handle.promise().continuation = caller;
+        return handle;  // start the child
+    }
+
+    T
+    await_resume()
+    {
+        auto &p = handle.promise();
+        if (p.exception)
+            std::rethrow_exception(p.exception);
+        return std::move(*reinterpret_cast<T *>(p.slot));
+    }
+
+  private:
+    Handle handle;
+};
+
+/** void specialization: routines with no result. */
+template <>
+class SubTask<void>
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(Handle h) noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+        std::exception_ptr exception;
+
+        SubTask get_return_object() { return SubTask(Handle::from_promise(*this)); }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { exception = std::current_exception(); }
+    };
+
+    SubTask() = default;
+    explicit SubTask(Handle h) : handle(h) {}
+    SubTask(SubTask &&o) noexcept : handle(std::exchange(o.handle, nullptr)) {}
+    SubTask &
+    operator=(SubTask &&o) noexcept
+    {
+        if (this != &o) {
+            if (handle)
+                handle.destroy();
+            handle = std::exchange(o.handle, nullptr);
+        }
+        return *this;
+    }
+    SubTask(const SubTask &) = delete;
+    SubTask &operator=(const SubTask &) = delete;
+    ~SubTask()
+    {
+        if (handle)
+            handle.destroy();
+    }
+
+    bool await_ready() const { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> caller)
+    {
+        handle.promise().continuation = caller;
+        return handle;
+    }
+
+    void
+    await_resume()
+    {
+        if (handle.promise().exception)
+            std::rethrow_exception(handle.promise().exception);
+    }
+
+  private:
+    Handle handle;
+};
+
+} // namespace mcsim
+
+#endif // MCSIM_SIM_TASK_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fundamental simulator-wide type definitions.
+ *
+ * Part of mcsim, a reproduction of Zucker & Baer, "A Performance Study of
+ * Memory Consistency Models" (UW TR 92-01-02 / ISCA 1992).
+ */
+
+#ifndef MCSIM_SIM_TYPES_HH
+#define MCSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mcsim
+{
+
+/** Simulated time, in processor cycles. */
+using Tick = std::uint64_t;
+
+/** A byte address in the simulated (shared or private) address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a processor (and of its network input port). */
+using ProcId = std::uint32_t;
+
+/** Identifier of a global memory module. */
+using ModuleId = std::uint32_t;
+
+/** The largest representable tick; used as "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** An invalid/unassigned address marker. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/**
+ * Round @p value down to a multiple of @p align (power of two).
+ */
+constexpr Addr
+alignDown(Addr value, Addr align)
+{
+    return value & ~(align - 1);
+}
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Ceiling of log base @p base of @p v, for small integers. */
+constexpr unsigned
+logCeil(std::uint64_t v, std::uint64_t base)
+{
+    unsigned stages = 0;
+    std::uint64_t reach = 1;
+    while (reach < v) {
+        reach *= base;
+        ++stages;
+    }
+    return stages;
+}
+
+} // namespace mcsim
+
+#endif // MCSIM_SIM_TYPES_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Abstract instruction costs charged by the workloads for the private
+ * computation between shared references (register-register arithmetic,
+ * addressing, loop control). Calibrated so the SC1 inter-reference
+ * distances land near the paper's Table 9 (reads every ~13-20 cycles,
+ * writes every ~60-90).
+ */
+
+#ifndef MCSIM_WORKLOADS_COSTS_HH
+#define MCSIM_WORKLOADS_COSTS_HH
+
+namespace mcsim::workloads
+{
+
+/** Cycle costs of non-memory work. */
+struct OpCosts
+{
+    unsigned intOp = 1;     ///< integer ALU operation
+    unsigned addrCalc = 2;  ///< effective-address computation
+    unsigned fpAdd = 2;     ///< floating add/subtract
+    unsigned fpMul = 4;     ///< floating multiply
+    unsigned fpDiv = 10;    ///< floating divide
+    unsigned loopOverhead = 3;  ///< induction update + compare
+};
+
+} // namespace mcsim::workloads
+
+#endif // MCSIM_WORKLOADS_COSTS_HH

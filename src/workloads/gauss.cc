@@ -1,0 +1,146 @@
+#include "workloads/gauss.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "workloads/layout.hh"
+
+namespace mcsim::workloads
+{
+
+GaussWorkload::GaussWorkload(GaussParams params) : cfg(params)
+{
+    // Pacing calibration against paper Table 9 (reads every ~19.6
+    // cycles, writes every ~70 under SC1 with 16-byte lines).
+    costs.addrCalc = 3;
+    costs.loopOverhead = 5;
+    if (cfg.n < 2)
+        fatal("Gauss needs n >= 2 (got %u)", cfg.n);
+}
+
+void
+GaussWorkload::setup(core::Machine &machine)
+{
+    const unsigned n = cfg.n;
+    SharedLayout layout(machine.config().lineBytes);
+    matrixBase = layout.allocWords(static_cast<std::size_t>(n) * n);
+    barrier = layout.allocBarrierObj(cfg.barrierKind, machine.numProcs());
+    machine.memory().ensure(layout.top());
+
+    // Diagonally dominant matrix: elimination without pivoting is stable.
+    Rng rng(cfg.seed);
+    std::vector<double> a(static_cast<std::size_t>(n) * n);
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < n; ++j) {
+            const double v = i == j ? n + 1.0 + rng.uniform()
+                                    : rng.uniform();
+            a[static_cast<std::size_t>(i) * n + j] = v;
+            machine.memory().writeF64(elemAddr(i, j), v);
+        }
+    }
+
+    // Reference elimination with the same operation order as the
+    // simulated program (results should agree to double precision).
+    expected = a;
+    for (unsigned k = 0; k + 1 < n; ++k) {
+        for (unsigned i = k + 1; i < n; ++i) {
+            const double factor =
+                expected[static_cast<std::size_t>(i) * n + k] /
+                expected[static_cast<std::size_t>(k) * n + k];
+            expected[static_cast<std::size_t>(i) * n + k] = 0.0;
+            for (unsigned j = k + 1; j < n; ++j) {
+                expected[static_cast<std::size_t>(i) * n + j] -=
+                    factor * expected[static_cast<std::size_t>(k) * n + j];
+            }
+        }
+    }
+
+    barrierCtx.assign(machine.numProcs(), {});
+    for (unsigned p = 0; p < machine.numProcs(); ++p) {
+        machine.startWorkload(
+            p, body(machine.proc(p), *this, p, machine.numProcs()));
+    }
+}
+
+SimTask
+GaussWorkload::body(cpu::Processor &proc, GaussWorkload &w, unsigned pid,
+                    unsigned n_procs)
+{
+    using cpu::asBits;
+    using cpu::asF64;
+    const unsigned n = w.cfg.n;
+    const OpCosts &c = w.costs;
+
+    for (unsigned k = 0; k + 1 < n; ++k) {
+        for (unsigned i = k + 1; i < n; ++i) {
+            if (i % n_procs != pid)
+                continue;
+            // factor = A[i][k] / A[k][k]; A[i][k] = 0
+            co_await proc.exec(c.addrCalc);
+            const auto t_ik = co_await proc.load(w.elemAddr(i, k));
+            const auto t_kk = co_await proc.load(w.elemAddr(k, k));
+            const double aik = asF64(co_await proc.use(t_ik));
+            const double akk = asF64(co_await proc.use(t_kk));
+            co_await proc.exec(c.fpDiv);
+            const double factor = aik / akk;
+            co_await proc.store(w.elemAddr(i, k), asBits(0.0));
+
+            // Software-pipelined inner loop, as the paper's compiler
+            // schedules it: the loads for iteration j+1 are issued before
+            // the store of iteration j, so under the relaxed models the
+            // write-miss latency overlaps the next iteration instead of
+            // blocking its (same-line) load behind the GetExclusive.
+            std::uint64_t t_kj = co_await proc.load(w.elemAddr(k, k + 1));
+            std::uint64_t t_ij = co_await proc.load(w.elemAddr(i, k + 1));
+            for (unsigned j = k + 1; j < n; ++j) {
+                std::uint64_t t_kj_next = 0;
+                std::uint64_t t_ij_next = 0;
+                if (j + 1 < n) {
+                    co_await proc.exec(c.addrCalc);
+                    t_kj_next = co_await proc.load(w.elemAddr(k, j + 1));
+                    co_await proc.exec(c.addrCalc);
+                    // Own-row elements are read then written; with
+                    // readOwn the line is fetched exclusive up front.
+                    t_ij_next =
+                        w.cfg.readOwn
+                            ? co_await proc.loadOwn(w.elemAddr(i, j + 1))
+                            : co_await proc.load(w.elemAddr(i, j + 1));
+                }
+                co_await proc.exec(c.addrCalc);
+                const double akj = asF64(co_await proc.use(t_kj));
+                const double aij = asF64(co_await proc.use(t_ij));
+                co_await proc.exec(c.fpMul + c.fpAdd);
+                co_await proc.store(w.elemAddr(i, j),
+                                    asBits(aij - factor * akj));
+                co_await proc.exec(c.loopOverhead);
+                co_await proc.branch();
+                t_kj = t_kj_next;
+                t_ij = t_ij_next;
+            }
+        }
+        co_await cpu::barrierWait(proc, w.barrier, n_procs, pid,
+                                  w.barrierCtx[pid]);
+    }
+}
+
+void
+GaussWorkload::verify(core::Machine &machine) const
+{
+    const unsigned n = cfg.n;
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < n; ++j) {
+            const double got = machine.memory().readF64(elemAddr(i, j));
+            const double want = expected[static_cast<std::size_t>(i) * n + j];
+            const double tol =
+                1e-9 * std::max(1.0, std::max(std::fabs(got),
+                                              std::fabs(want)));
+            if (std::fabs(got - want) > tol) {
+                fatal("Gauss result mismatch at (%u,%u): got %g want %g",
+                      i, j, got, want);
+            }
+        }
+    }
+}
+
+} // namespace mcsim::workloads

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Gauss: parallel gaussian elimination of an n x n matrix (paper section
+ * 3.3; original is Darmohray's shared-memory gaussian elimination of a
+ * 250 x 250 matrix).
+ *
+ * Rows are assigned to processors cyclically; elimination step k updates
+ * every row below the pivot row using the pivot row, with a barrier
+ * between steps. The pivot row is read by everyone (read sharing); each
+ * processor's own rows are read-modify-written, which under the
+ * write-invalidate protocol makes the first store to each line a write
+ * miss -- the source of the strongly line-size-dependent write hit rates
+ * in the paper's Table 8.
+ */
+
+#ifndef MCSIM_WORKLOADS_GAUSS_HH
+#define MCSIM_WORKLOADS_GAUSS_HH
+
+#include <vector>
+
+#include "cpu/sync.hh"
+#include "workloads/costs.hh"
+#include "workloads/workload.hh"
+
+namespace mcsim::workloads
+{
+
+/** Gauss configuration. */
+struct GaussParams
+{
+    /** Matrix dimension (paper: 250; scaled default: 150, see DESIGN.md). */
+    unsigned n = 150;
+    /** Deterministic data seed. */
+    std::uint64_t seed = 12345;
+    /** Barrier implementation between elimination steps. */
+    cpu::BarrierKind barrierKind = cpu::BarrierKind::Dissemination;
+    /** Fetch own-row elements with ownership so the following store hits
+     *  (paper section 3.3 calls this out as the case where a compiler
+     *  could profitably emit read-with-ownership). Off by default: the
+     *  paper's compiler could not exploit it. */
+    bool readOwn = false;
+};
+
+/** Gaussian-elimination benchmark. */
+class GaussWorkload : public Workload
+{
+  public:
+    explicit GaussWorkload(GaussParams params = {});
+
+    std::string name() const override { return "Gauss"; }
+    void setup(core::Machine &machine) override;
+    void verify(core::Machine &machine) const override;
+
+  private:
+    static SimTask body(cpu::Processor &proc, GaussWorkload &w,
+                        unsigned pid, unsigned n_procs);
+
+    Addr elemAddr(unsigned i, unsigned j) const
+    {
+        return matrixBase + (static_cast<Addr>(i) * cfg.n + j) * 8;
+    }
+
+    GaussParams cfg;
+    OpCosts costs;
+    Addr matrixBase = 0;
+    cpu::BarrierObj barrier{};
+    std::vector<cpu::BarrierCtx> barrierCtx;
+    std::vector<double> expected;  ///< reference elimination result
+};
+
+} // namespace mcsim::workloads
+
+#endif // MCSIM_WORKLOADS_GAUSS_HH

@@ -1,0 +1,68 @@
+#include "workloads/layout.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mcsim::workloads
+{
+
+SharedLayout::SharedLayout(unsigned line_bytes, Addr base)
+    : line(line_bytes), next(base)
+{
+    if (!isPowerOf2(line_bytes) || line_bytes < 8)
+        fatal("layout line size must be a power of two >= 8 (got %u)",
+              line_bytes);
+    // Keep the base itself line-aligned so array rows start on lines.
+    next = (next + line - 1) & ~static_cast<Addr>(line - 1);
+}
+
+Addr
+SharedLayout::alloc(std::size_t bytes, std::size_t align)
+{
+    MCSIM_ASSERT(isPowerOf2(align), "alignment must be a power of two");
+    next = (next + align - 1) & ~static_cast<Addr>(align - 1);
+    const Addr at = next;
+    next += bytes;
+    return at;
+}
+
+Addr
+SharedLayout::allocWords(std::size_t n)
+{
+    return alloc(n * 8, line);
+}
+
+cpu::LockVar
+SharedLayout::allocLock()
+{
+    return cpu::LockVar{alloc(line, line)};
+}
+
+cpu::BarrierVar
+SharedLayout::allocBarrier()
+{
+    cpu::BarrierVar b;
+    b.lock = alloc(line, line);
+    b.count = alloc(line, line);
+    b.sense = alloc(line, line);
+    return b;
+}
+
+cpu::BarrierObj
+SharedLayout::allocBarrierObj(cpu::BarrierKind kind, unsigned n_procs)
+{
+    cpu::BarrierObj obj;
+    obj.kind = kind;
+    if (kind == cpu::BarrierKind::Central) {
+        obj.central = allocBarrier();
+    } else {
+        obj.diss.nProcs = n_procs;
+        obj.diss.rounds = std::max(1u, logCeil(n_procs, 2));
+        obj.diss.flagsBase =
+            allocWords(static_cast<std::size_t>(obj.diss.rounds) * n_procs);
+    }
+    return obj;
+}
+
+} // namespace mcsim::workloads

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Bump allocator for laying benchmark data out in the shared segment.
+ *
+ * Lines interleave across memory modules by address, so layout decisions
+ * directly shape module utilization (Psim's hot spots) and false sharing.
+ * Synchronization variables are always allocated in lines of their own.
+ */
+
+#ifndef MCSIM_WORKLOADS_LAYOUT_HH
+#define MCSIM_WORKLOADS_LAYOUT_HH
+
+#include <cstddef>
+
+#include "cpu/sync.hh"
+#include "sim/types.hh"
+
+namespace mcsim::workloads
+{
+
+/** Sequential allocator over the simulated shared address space. */
+class SharedLayout
+{
+  public:
+    /**
+     * @param line_bytes machine line size (alignment unit for sync vars)
+     * @param base first usable address
+     */
+    explicit SharedLayout(unsigned line_bytes, Addr base = 64);
+
+    /** Allocate @p bytes aligned to @p align (power of two). */
+    Addr alloc(std::size_t bytes, std::size_t align = 8);
+
+    /** Allocate an array of @p n 64-bit words, line-aligned. */
+    Addr allocWords(std::size_t n);
+
+    /** Allocate a lock in a private line (no false sharing). */
+    cpu::LockVar allocLock();
+
+    /** Allocate a barrier; lock, count and sense in separate lines. */
+    cpu::BarrierVar allocBarrier();
+
+    /** Allocate a barrier of the given kind for @p n_procs processors. */
+    cpu::BarrierObj allocBarrierObj(cpu::BarrierKind kind,
+                                    unsigned n_procs);
+
+    /** First unused address. */
+    Addr top() const { return next; }
+
+    unsigned lineBytes() const { return line; }
+
+  private:
+    unsigned line;
+    Addr next;
+};
+
+} // namespace mcsim::workloads
+
+#endif // MCSIM_WORKLOADS_LAYOUT_HH

@@ -1,0 +1,314 @@
+#include "workloads/psim.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "workloads/layout.hh"
+
+namespace mcsim::workloads
+{
+
+PsimWorkload::PsimWorkload(PsimParams params)
+    : cfg(params), topo(params.simProcs, 2)
+{
+    if (!isPowerOf2(cfg.simProcs) || cfg.simProcs < 4 || cfg.simProcs > 64)
+        fatal("Psim simProcs must be a power of two in [4,64] (got %u)",
+              cfg.simProcs);
+    if (cfg.ringCap < 1 || cfg.ringCap > 16)
+        fatal("Psim ringCap must be in [1,16] (got %u)", cfg.ringCap);
+    if (cfg.payloadWords < 1 || cfg.payloadWords > 32)
+        fatal("Psim payloadWords must be in [1,32]");
+    if (cfg.hotDests >= cfg.simProcs)
+        fatal("Psim hotDests must be < simProcs");
+}
+
+void
+PsimWorkload::setup(core::Machine &machine)
+{
+    SharedLayout layout(machine.config().lineBytes);
+    queuesBase = layout.allocWords(
+        static_cast<std::size_t>(numSwitches()) * 2 *
+        (1 + static_cast<std::size_t>(cfg.ringCap) * slotWords()));
+    statsBase = layout.allocWords(
+        static_cast<std::size_t>(numSwitches()) * statWords);
+    statesBase = layout.allocWords(
+        static_cast<std::size_t>(cfg.simProcs) * stateWords);
+    localBase = layout.allocWords(
+        static_cast<std::size_t>(machine.numProcs()) * cfg.localWords);
+    deliveredAddr = layout.allocWords(1);
+    deliveredLock = layout.allocLock();
+    switchLocks.clear();
+    for (unsigned g = 0; g < numSwitches(); ++g)
+        switchLocks.push_back(layout.allocLock());
+    barrier = layout.allocBarrierObj(cfg.barrierKind, machine.numProcs());
+    machine.memory().ensure(layout.top());
+
+    // Deterministic, hot-spot-skewed packet destinations.
+    Rng rng(cfg.seed);
+    packetDests.assign(cfg.simProcs, {});
+    for (unsigned sp = 0; sp < cfg.simProcs; ++sp) {
+        packetDests[sp].reserve(cfg.packetsPerProc);
+        for (unsigned k = 0; k < cfg.packetsPerProc; ++k) {
+            unsigned dest;
+            if (rng.chance(cfg.hotFraction)) {
+                dest = static_cast<unsigned>(rng.below(cfg.hotDests));
+            } else {
+                dest = static_cast<unsigned>(rng.below(cfg.simProcs));
+            }
+            packetDests[sp].push_back(dest);
+        }
+    }
+
+    barrierCtx.assign(machine.numProcs(), {});
+    for (unsigned p = 0; p < machine.numProcs(); ++p) {
+        machine.startWorkload(
+            p, body(machine.proc(p), *this, p, machine.numProcs()));
+    }
+}
+
+SimTask
+PsimWorkload::body(cpu::Processor &proc, PsimWorkload &w, unsigned pid,
+                   unsigned n_procs)
+{
+    const OpCosts &c = w.costs;
+    const unsigned n_stages = w.stages();
+    const unsigned per_stage = w.switchesPerStage();
+    const unsigned slot_words = w.slotWords();
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(w.cfg.simProcs) * w.cfg.packetsPerProc;
+
+    // Private injection cursors for the sim inputs this processor owns.
+    std::vector<unsigned> next_packet(w.cfg.simProcs, 0);
+
+    for (;;) {
+        std::uint64_t my_delivered = 0;
+        std::uint64_t my_moved = 0;
+
+        // ---- Deliver from the last stage (owned switches) ----
+        for (unsigned idx = 0; idx < per_stage; ++idx) {
+            const unsigned g = w.swId(n_stages - 1, idx);
+            if (g % n_procs != pid)
+                continue;
+            co_await cpu::lockAcquire(proc, w.switchLocks[g]);
+            for (unsigned port = 0; port < 2; ++port) {
+                co_await proc.exec(c.addrCalc);
+                const std::uint64_t cnt =
+                    co_await proc.loadUse(w.countAddr(g, port));
+                for (std::uint64_t k = 0; k < cnt; ++k) {
+                    const Addr slot =
+                        w.slotAddr(g, port, static_cast<unsigned>(k));
+                    // Consume header + payload: all loads issued before
+                    // the adds (compiler-scheduled), then summed.
+                    std::uint64_t toks[33];
+                    toks[0] = co_await proc.load(slot);  // header
+                    for (unsigned pw = 0; pw < w.cfg.payloadWords; ++pw)
+                        toks[1 + pw] =
+                            co_await proc.load(slot + 8 + pw * 8);
+                    std::uint64_t sum = 0;
+                    for (unsigned pw = 0; pw <= w.cfg.payloadWords; ++pw) {
+                        sum += co_await proc.use(toks[pw]);
+                        co_await proc.exec(c.intOp);
+                    }
+                    const std::uint64_t acc = co_await proc.loadUse(
+                        w.statAddr(g, statWords - 1));
+                    co_await proc.store(w.statAddr(g, statWords - 1),
+                                        acc + sum);
+                    ++my_delivered;
+                    co_await proc.branch();
+                }
+                if (cnt > 0)
+                    co_await proc.store(w.countAddr(g, port), 0);
+            }
+            co_await cpu::lockRelease(proc, w.switchLocks[g]);
+        }
+
+        // ---- Advance packets one stage (owned source switches) ----
+        for (unsigned s = n_stages - 1; s-- > 0;) {
+            for (unsigned idx = 0; idx < per_stage; ++idx) {
+                const unsigned g = w.swId(s, idx);
+                if (g % n_procs != pid)
+                    continue;
+                for (unsigned port = 0; port < 2; ++port) {
+                    co_await proc.exec(c.addrCalc);
+                    // Peek the count without the lock (test-and-test&set
+                    // style); re-checked under the lock below.
+                    const std::uint64_t peek =
+                        co_await proc.syncLoad(w.countAddr(g, port));
+                    if (peek == 0)
+                        continue;
+                    const unsigned out_link = idx * 2 + port;
+
+                    // Move up to movesPerPort head packets; the
+                    // destination switch is a function of each packet's
+                    // own destination field.
+                    for (unsigned mv = 0; mv < w.cfg.movesPerPort; ++mv) {
+                    co_await cpu::lockAcquire(proc, w.switchLocks[g]);
+                    const std::uint64_t cnt =
+                        co_await proc.loadUse(w.countAddr(g, port));
+                    if (cnt == 0) {
+                        co_await cpu::lockRelease(proc, w.switchLocks[g]);
+                        break;
+                    }
+                    const Addr head = w.slotAddr(g, port, 0);
+                    // Issue the header and payload loads back to back
+                    // (split load/use), then read the registers.
+                    std::uint64_t ptoks[32];
+                    const std::uint64_t htok = co_await proc.load(head);
+                    for (unsigned pw = 0; pw < w.cfg.payloadWords; ++pw)
+                        ptoks[pw] =
+                            co_await proc.load(head + 8 + pw * 8);
+                    const std::uint64_t dest_field =
+                        co_await proc.use(htok);
+                    std::uint64_t payload[32];
+                    for (unsigned pw = 0; pw < w.cfg.payloadWords; ++pw)
+                        payload[pw] = co_await proc.use(ptoks[pw]);
+
+                    const auto hop = w.topo.hop(
+                        s + 1, out_link,
+                        static_cast<unsigned>(dest_field));
+                    const unsigned dg = w.swId(s + 1, hop.switchIdx);
+
+                    // Ordered two-lock protocol: we hold g; dg is in a
+                    // later stage so dg > g and ordering is consistent.
+                    co_await cpu::lockAcquire(proc, w.switchLocks[dg]);
+                    const std::uint64_t dcnt = co_await proc.loadUse(
+                        w.countAddr(dg, hop.outPort));
+                    bool pushed = false;
+                    if (dcnt < w.cfg.ringCap) {
+                        const Addr dst = w.slotAddr(
+                            dg, hop.outPort,
+                            static_cast<unsigned>(dcnt));
+                        co_await proc.store(dst, dest_field);
+                        for (unsigned pw = 0; pw < w.cfg.payloadWords;
+                             ++pw)
+                            co_await proc.store(dst + 8 + pw * 8,
+                                                payload[pw]);
+                        co_await proc.store(w.countAddr(dg, hop.outPort),
+                                            dcnt + 1);
+                        pushed = true;
+                        ++my_moved;
+                    }
+                    co_await cpu::lockRelease(proc, w.switchLocks[dg]);
+
+                    if (pushed) {
+                        // Compact the source ring by one slot.
+                        for (std::uint64_t k = 1; k < cnt; ++k) {
+                            const Addr from = w.slotAddr(
+                                g, port, static_cast<unsigned>(k));
+                            const Addr to = w.slotAddr(
+                                g, port, static_cast<unsigned>(k - 1));
+                            for (unsigned pw = 0; pw < slot_words; ++pw) {
+                                const std::uint64_t v =
+                                    co_await proc.loadUse(from + pw * 8);
+                                co_await proc.store(to + pw * 8, v);
+                            }
+                        }
+                        co_await proc.store(w.countAddr(g, port),
+                                            cnt - 1);
+                    }
+                    co_await cpu::lockRelease(proc, w.switchLocks[g]);
+                    if (!pushed)
+                        break;
+                    }
+                }
+            }
+        }
+
+        // ---- Inject one packet per owned sim input ----
+        for (unsigned sp = 0; sp < w.cfg.simProcs; ++sp) {
+            if (sp % n_procs != pid)
+                continue;
+            if (next_packet[sp] >= w.cfg.packetsPerProc)
+                continue;
+            const unsigned dest = w.packetDests[sp][next_packet[sp]];
+            const auto hop = w.topo.hop(0, sp, dest);
+            const unsigned g = w.swId(0, hop.switchIdx);
+            co_await cpu::lockAcquire(proc, w.switchLocks[g]);
+            const std::uint64_t cnt =
+                co_await proc.loadUse(w.countAddr(g, hop.outPort));
+            if (cnt < w.cfg.ringCap) {
+                const Addr dst = w.slotAddr(g, hop.outPort,
+                                            static_cast<unsigned>(cnt));
+                co_await proc.store(dst, dest);
+                for (unsigned pw = 0; pw < w.cfg.payloadWords; ++pw)
+                    co_await proc.store(dst + 8 + pw * 8,
+                                        (sp + 1) * 1000ull + pw);
+                co_await proc.store(w.countAddr(g, hop.outPort), cnt + 1);
+                next_packet[sp] += 1;
+            }
+            co_await cpu::lockRelease(proc, w.switchLocks[g]);
+
+            // Per-input bookkeeping: high-locality private-line updates.
+            for (unsigned sw_word = 0; sw_word < stateWords; ++sw_word) {
+                const std::uint64_t v = co_await proc.loadUse(
+                    w.stateAddr(sp, sw_word));
+                co_await proc.store(w.stateAddr(sp, sw_word), v + 1);
+            }
+        }
+
+        // ---- Per-switch statistics (owner-only, high locality) ----
+        for (unsigned g = 0; g < w.numSwitches(); ++g) {
+            if (g % n_procs != pid)
+                continue;
+            for (unsigned word = 0; word < statWords; ++word) {
+                const std::uint64_t v =
+                    co_await proc.loadUse(w.statAddr(g, word));
+                co_await proc.store(w.statAddr(g, word),
+                                    v + (word == 0 ? my_moved : 1));
+                co_await proc.exec(c.intOp);
+            }
+        }
+
+        // ---- Private event-list maintenance (high-locality refs) ----
+        for (unsigned word = 0; word < w.cfg.localWords; ++word) {
+            const Addr a = w.localBase +
+                           (static_cast<Addr>(pid) * w.cfg.localWords +
+                            word) *
+                               8;
+            const std::uint64_t v = co_await proc.loadUse(a);
+            co_await proc.store(a, v + 1);
+            co_await proc.exec(c.intOp);
+        }
+
+        // ---- Publish delivered count, synchronize, test termination ----
+        if (my_delivered > 0) {
+            co_await cpu::lockAcquire(proc, w.deliveredLock);
+            const std::uint64_t d =
+                co_await proc.loadUse(w.deliveredAddr);
+            co_await proc.store(w.deliveredAddr, d + my_delivered);
+            co_await cpu::lockRelease(proc, w.deliveredLock);
+        }
+        co_await cpu::barrierWait(proc, w.barrier, n_procs, pid,
+                                  w.barrierCtx[pid]);
+        const std::uint64_t done = co_await proc.loadUse(w.deliveredAddr);
+        co_await proc.exec(c.intOp);
+        const bool finished = done >= target;
+        co_await cpu::barrierWait(proc, w.barrier, n_procs, pid,
+                                  w.barrierCtx[pid]);
+        if (finished)
+            co_return;
+    }
+}
+
+void
+PsimWorkload::verify(core::Machine &machine) const
+{
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(cfg.simProcs) * cfg.packetsPerProc;
+    const std::uint64_t delivered =
+        machine.memory().readU64(deliveredAddr);
+    if (delivered != target) {
+        fatal("Psim delivered %llu packets, expected %llu",
+              static_cast<unsigned long long>(delivered),
+              static_cast<unsigned long long>(target));
+    }
+    for (unsigned g = 0; g < numSwitches(); ++g) {
+        for (unsigned port = 0; port < 2; ++port) {
+            if (machine.memory().readU64(countAddr(g, port)) != 0)
+                fatal("Psim queue (%u,%u) not drained", g, port);
+        }
+    }
+}
+
+} // namespace mcsim::workloads

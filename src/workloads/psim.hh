@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Psim: a parallel discrete simulation of a multistage interconnection
+ * network -- the simulator simulating (a small version of) itself (paper
+ * section 3.3).
+ *
+ * The workload advances packets with small payloads through an Omega
+ * network of 2x2 switches whose port queues live in shared memory (the
+ * paper's Psim simulates a 64-input network of 4x4 switches; the scaled
+ * version simulates a 16-input network of 2x2 switches so the queue state
+ * stays in the same fits-in-the-cache regime -- see DESIGN.md). Queue
+ * cells are written by one processor and read by another every simulated
+ * cycle, so most misses are invalidation misses (the paper reports 70%);
+ * destinations are skewed toward a few hot ports, which concentrates
+ * accesses on a few lines and hence a few memory modules (the paper
+ * reports a factor-of-six module utilization spread); and every simulated
+ * cycle takes barriers plus per-switch locks, giving Psim the highest
+ * synchronization rate of the four benchmarks. Per-switch statistics and
+ * per-input state records are updated each cycle by their owners,
+ * providing the high-locality references that put the overall hit rate
+ * near the paper's ~90%.
+ */
+
+#ifndef MCSIM_WORKLOADS_PSIM_HH
+#define MCSIM_WORKLOADS_PSIM_HH
+
+#include <vector>
+
+#include "cpu/sync.hh"
+#include "net/topology.hh"
+#include "workloads/costs.hh"
+#include "workloads/workload.hh"
+
+namespace mcsim::workloads
+{
+
+/** Psim configuration. */
+struct PsimParams
+{
+    /** Simulated network inputs (power of two; default 16). */
+    unsigned simProcs = 16;
+    /** Packets each simulated input injects (paper: 513; scaled: 96). */
+    unsigned packetsPerProc = 96;
+    /** Port queue capacity in packets. */
+    unsigned ringCap = 2;
+    /** Payload words carried (and copied) per packet. */
+    unsigned payloadWords = 4;
+    /** Fraction of packets aimed at the hot destinations. */
+    double hotFraction = 0.3;
+    /** Number of hot destination ports. */
+    unsigned hotDests = 2;
+    /** Packets moved per port per simulated cycle. */
+    unsigned movesPerPort = 2;
+    /** Per-processor event-list words scanned each simulated cycle
+     *  (the simulator's own private bookkeeping; mostly cache hits). */
+    unsigned localWords = 96;
+    std::uint64_t seed = 31337;
+    /** Barrier implementation between simulated cycles. */
+    cpu::BarrierKind barrierKind = cpu::BarrierKind::Dissemination;
+};
+
+/** Network-simulator benchmark. */
+class PsimWorkload : public Workload
+{
+  public:
+    explicit PsimWorkload(PsimParams params = {});
+
+    std::string name() const override { return "Psim"; }
+    void setup(core::Machine &machine) override;
+    void verify(core::Machine &machine) const override;
+
+  private:
+    static SimTask body(cpu::Processor &proc, PsimWorkload &w,
+                        unsigned pid, unsigned n_procs);
+
+    unsigned stages() const { return topo.stages(); }
+    unsigned switchesPerStage() const { return cfg.simProcs / 2; }
+    unsigned numSwitches() const { return stages() * switchesPerStage(); }
+    unsigned slotWords() const { return 1 + cfg.payloadWords; }
+
+    /** Global switch id for (stage, switch-within-stage). */
+    unsigned swId(unsigned stage, unsigned idx) const
+    {
+        return stage * switchesPerStage() + idx;
+    }
+
+    /** Queue layout per switch port: count word + ringCap packet slots,
+     *  each slot = header word + payload words. @{ */
+    Addr
+    queueBase(unsigned sw, unsigned port) const
+    {
+        return queuesBase + (static_cast<Addr>(sw) * 2 + port) *
+                                (1 + static_cast<Addr>(cfg.ringCap) *
+                                         slotWords()) *
+                                8;
+    }
+    Addr countAddr(unsigned sw, unsigned port) const
+    {
+        return queueBase(sw, port);
+    }
+    Addr
+    slotAddr(unsigned sw, unsigned port, unsigned slot) const
+    {
+        return queueBase(sw, port) +
+               8 + static_cast<Addr>(slot) * slotWords() * 8;
+    }
+    /** @} */
+
+    /** Per-switch statistics record (statWords 64-bit words). @{ */
+    static constexpr unsigned statWords = 4;
+    Addr
+    statAddr(unsigned sw, unsigned word) const
+    {
+        return statsBase + (static_cast<Addr>(sw) * statWords + word) * 8;
+    }
+    /** @} */
+
+    /** Per-sim-input state record (stateWords words). @{ */
+    static constexpr unsigned stateWords = 4;
+    Addr
+    stateAddr(unsigned sp, unsigned word) const
+    {
+        return statesBase + (static_cast<Addr>(sp) * stateWords + word) * 8;
+    }
+    /** @} */
+
+    PsimParams cfg;
+    OpCosts costs;
+    net::OmegaTopology topo;
+    Addr queuesBase = 0;
+    Addr statsBase = 0;
+    Addr statesBase = 0;
+    Addr localBase = 0;      ///< per-processor event-list regions
+    Addr deliveredAddr = 0;  ///< global delivered-packet counter
+    cpu::LockVar deliveredLock{};
+    std::vector<cpu::LockVar> switchLocks;  ///< one per global switch
+    cpu::BarrierObj barrier{};
+    std::vector<cpu::BarrierCtx> barrierCtx;
+    /** Pre-generated packet destinations per sim input (deterministic). */
+    std::vector<std::vector<unsigned>> packetDests;
+};
+
+} // namespace mcsim::workloads
+
+#endif // MCSIM_WORKLOADS_PSIM_HH

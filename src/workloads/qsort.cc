@@ -1,0 +1,373 @@
+#include "workloads/qsort.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "workloads/layout.hh"
+
+namespace mcsim::workloads
+{
+
+namespace
+{
+/** Shared work-stack capacity (segments); generous for the default size. */
+constexpr std::uint64_t stackCap = 16384;
+} // namespace
+
+QsortWorkload::QsortWorkload(QsortParams params) : cfg(params)
+{
+    if (cfg.n < 4)
+        fatal("Qsort needs n >= 4 (got %u)", cfg.n);
+    if (cfg.threshold < 2)
+        fatal("Qsort threshold must be >= 2");
+    if (cfg.parallelCutoff > 0 && cfg.parallelCutoff <= cfg.threshold)
+        fatal("Qsort parallelCutoff must exceed threshold");
+}
+
+void
+QsortWorkload::setup(core::Machine &machine)
+{
+    SharedLayout layout(machine.config().lineBytes);
+    dataBase = layout.alloc(static_cast<std::size_t>(cfg.n) * 4,
+                            machine.config().lineBytes);
+    auxBase = layout.alloc(static_cast<std::size_t>(cfg.n) * 4,
+                           machine.config().lineBytes);
+    countsBase = layout.allocWords(machine.numProcs());
+    stackTop = layout.allocWords(1);
+    workCount = layout.allocWords(1);
+    stackBase = layout.allocWords(stackCap);
+    stackLock = layout.allocLock();
+    barrier = layout.allocBarrierObj(cfg.barrierKind, machine.numProcs());
+    machine.memory().ensure(layout.top());
+
+    Rng rng(cfg.seed);
+    checksum = 0;
+    for (unsigned i = 0; i < cfg.n; ++i) {
+        const std::uint32_t v = static_cast<std::uint32_t>(rng.next() >> 33);
+        machine.memory().writeU32(elemAddr(i), v);
+        checksum += static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ull;
+    }
+
+    if (cfg.parallelCutoff == 0 || cfg.n < cfg.parallelCutoff) {
+        // No cooperative phase: seed the stack with the whole array.
+        machine.memory().writeU64(stackTop, 1);
+        machine.memory().writeU64(workCount, 1);
+        machine.memory().writeU64(stackBase,
+                                  static_cast<std::uint64_t>(cfg.n));
+    } else {
+        machine.memory().writeU64(stackTop, 0);
+        machine.memory().writeU64(workCount, 0);
+    }
+
+    barrierCtx.assign(machine.numProcs(), {});
+    for (unsigned p = 0; p < machine.numProcs(); ++p) {
+        machine.startWorkload(
+            p, body(machine.proc(p), *this, p, machine.numProcs()));
+    }
+}
+
+SimTask
+QsortWorkload::body(cpu::Processor &proc, QsortWorkload &w, unsigned pid,
+                    unsigned n_procs)
+{
+    const OpCosts &c = w.costs;
+    const std::uint64_t threshold = w.cfg.threshold;
+
+    // ------------------------------------------------------------------
+    // Phase A: cooperative partitioning of large segments. Every
+    // processor scans every n_procs-th element ("the locations are not
+    // strip-mined", paper section 3.3), so with large lines every
+    // processor touches every line of the segment -- the source of the
+    // paper's Qsort invalidation traffic at 64-byte lines. All
+    // processors compute identical segment splits from the shared count
+    // array, so control flow stays lock-step without extra communication.
+    // ------------------------------------------------------------------
+    if (w.cfg.parallelCutoff > 0 && w.cfg.n >= w.cfg.parallelCutoff) {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> coop;
+        coop.emplace_back(0, w.cfg.n);
+        while (!coop.empty()) {
+            const auto [lo, hi] = coop.back();
+            coop.pop_back();
+            const std::uint64_t len = hi - lo;
+            bool hand_off = len < w.cfg.parallelCutoff;
+
+            std::uint64_t total = 0;
+            if (!hand_off) {
+                // Median-of-three pivot; every processor reads the same
+                // three cells and computes the same value.
+                const std::uint64_t a =
+                    co_await proc.loadUse32(w.elemAddr(lo));
+                const std::uint64_t b =
+                    co_await proc.loadUse32(w.elemAddr(lo + len / 2));
+                const std::uint64_t d =
+                    co_await proc.loadUse32(w.elemAddr(hi - 1));
+                co_await proc.exec(3 * c.intOp);
+                const std::uint64_t pivot =
+                    std::max(std::min(a, b), std::min(std::max(a, b), d));
+
+                // Scan 1: strided count of elements below the pivot.
+                std::uint64_t below = 0;
+                for (std::uint64_t k = lo + pid; k < hi; k += n_procs) {
+                    const std::uint64_t v =
+                        co_await proc.loadUse32(w.elemAddr(k));
+                    co_await proc.exec(c.intOp);
+                    if (v < pivot)
+                        ++below;
+                    co_await proc.branch();
+                }
+                co_await proc.store(w.countsBase + pid * 8, below);
+                co_await cpu::barrierWait(proc, w.barrier, n_procs, pid,
+                                          w.barrierCtx[pid]);
+
+                // Per-processor output offsets from the shared counts.
+                std::uint64_t off = lo;
+                std::uint64_t ge_before = 0;
+                for (unsigned q = 0; q < n_procs; ++q) {
+                    const std::uint64_t cq =
+                        co_await proc.loadUse(w.countsBase + q * 8);
+                    co_await proc.exec(c.intOp);
+                    total += cq;
+                    if (q < pid) {
+                        off += cq;
+                        const std::uint64_t slice =
+                            len / n_procs + (q < len % n_procs ? 1 : 0);
+                        ge_before += slice - cq;
+                    }
+                }
+
+                if (total == 0 || total == len) {
+                    // Degenerate pivot (duplicates): hand the segment to
+                    // the sequential phase, whose Hoare partition copes.
+                    hand_off = true;
+                } else {
+                    std::uint64_t ge = lo + total + ge_before;
+                    // Scan 2: strided reads, classified writes to aux.
+                    for (std::uint64_t k = lo + pid; k < hi;
+                         k += n_procs) {
+                        const std::uint64_t v =
+                            co_await proc.loadUse32(w.elemAddr(k));
+                        co_await proc.exec(c.intOp);
+                        const Addr dst =
+                            w.auxBase + (v < pivot ? off++ : ge++) * 4;
+                        co_await proc.store32(
+                            dst, static_cast<std::uint32_t>(v));
+                        co_await proc.branch();
+                    }
+                    co_await cpu::barrierWait(proc, w.barrier, n_procs,
+                                              pid, w.barrierCtx[pid]);
+
+                    // Copy back, strided: every processor writes every
+                    // line of the segment. A pure data move, so the
+                    // loads are software-pipelined one iteration ahead.
+                    if (lo + pid < hi) {
+                        std::uint64_t tok =
+                            co_await proc.load32(w.auxBase +
+                                                 (lo + pid) * 4);
+                        for (std::uint64_t k = lo + pid; k < hi;
+                             k += n_procs) {
+                            std::uint64_t tok_next = 0;
+                            if (k + n_procs < hi) {
+                                tok_next = co_await proc.load32(
+                                    w.auxBase + (k + n_procs) * 4);
+                            }
+                            const std::uint64_t v = co_await proc.use(tok);
+                            co_await proc.store32(
+                                w.elemAddr(k),
+                                static_cast<std::uint32_t>(v));
+                            co_await proc.branch();
+                            tok = tok_next;
+                        }
+                    }
+                    co_await cpu::barrierWait(proc, w.barrier, n_procs,
+                                              pid, w.barrierCtx[pid]);
+                }
+            }
+
+            if (hand_off) {
+                if (pid == 0) {
+                    co_await cpu::lockAcquire(proc, w.stackLock);
+                    const std::uint64_t top =
+                        co_await proc.loadUse(w.stackTop);
+                    MCSIM_ASSERT(top < stackCap, "qsort stack overflow");
+                    co_await proc.store(w.stackBase + top * 8,
+                                        (lo << 32) | hi);
+                    co_await proc.store(w.stackTop, top + 1);
+                    const std::uint64_t wc =
+                        co_await proc.loadUse(w.workCount);
+                    co_await proc.store(w.workCount, wc + 1);
+                    co_await cpu::lockRelease(proc, w.stackLock);
+                }
+                continue;
+            }
+
+            const std::uint64_t split = lo + total;
+            coop.emplace_back(split, hi);
+            coop.emplace_back(lo, split);
+        }
+        co_await cpu::barrierWait(proc, w.barrier, n_procs, pid,
+                                  w.barrierCtx[pid]);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase B: dynamically scheduled quicksort over the shared work
+    // stack (FCFS), as in the paper.
+    // ------------------------------------------------------------------
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> local;
+
+    for (;;) {
+        // Grab a segment: spin on cached copies until work appears or the
+        // count hits zero, then take the stack lock. Idle processors back
+        // off exponentially so a single push does not trigger a
+        // fifteen-way lock storm.
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+        bool have_segment = false;
+        std::uint32_t idle_backoff = 8;
+        for (;;) {
+            const std::uint64_t top = co_await proc.syncLoad(w.stackTop);
+            if (top == 0) {
+                const std::uint64_t wc =
+                    co_await proc.syncLoad(w.workCount);
+                if (wc == 0)
+                    co_return;
+                co_await proc.exec(idle_backoff);
+                if (idle_backoff < 1024)
+                    idle_backoff *= 2;
+                co_await proc.branch();
+                continue;
+            }
+            co_await cpu::lockAcquire(proc, w.stackLock);
+            const std::uint64_t t2 = co_await proc.loadUse(w.stackTop);
+            if (t2 > 0) {
+                const std::uint64_t nt = t2 - 1;
+                co_await proc.exec(c.addrCalc);
+                const std::uint64_t seg =
+                    co_await proc.loadUse(w.stackBase + nt * 8);
+                lo = seg >> 32;
+                hi = seg & 0xffffffffu;
+                co_await proc.store(w.stackTop, nt);
+                have_segment = true;
+            }
+            co_await cpu::lockRelease(proc, w.stackLock);
+            if (have_segment)
+                break;
+            co_await proc.exec(idle_backoff);
+            if (idle_backoff < 1024)
+                idle_backoff *= 2;
+            co_await proc.branch();
+        }
+
+        local.clear();
+        local.emplace_back(lo, hi);
+
+        while (!local.empty()) {
+            auto [seg_lo, seg_hi] = local.back();
+            local.pop_back();
+            co_await proc.exec(c.intOp);
+
+            if (seg_hi - seg_lo <= threshold) {
+                // Local insertion sort, then retire one unit of work.
+                for (std::uint64_t k = seg_lo + 1; k < seg_hi; ++k) {
+                    co_await proc.exec(c.addrCalc);
+                    const std::uint64_t v =
+                        co_await proc.loadUse32(w.elemAddr(k));
+                    std::uint64_t m = k;
+                    while (m > seg_lo) {
+                        const std::uint64_t u =
+                            co_await proc.loadUse32(w.elemAddr(m - 1));
+                        co_await proc.exec(c.intOp);
+                        if (u <= v)
+                            break;
+                        co_await proc.store32(
+                            w.elemAddr(m), static_cast<std::uint32_t>(u));
+                        --m;
+                        co_await proc.branch();
+                    }
+                    co_await proc.store32(w.elemAddr(m),
+                                          static_cast<std::uint32_t>(v));
+                    co_await proc.branch();
+                }
+                co_await cpu::lockAcquire(proc, w.stackLock);
+                const std::uint64_t wc =
+                    co_await proc.loadUse(w.workCount);
+                co_await proc.store(w.workCount, wc - 1);
+                co_await cpu::lockRelease(proc, w.stackLock);
+                continue;
+            }
+
+            // Hoare partition around the middle element's value.
+            co_await proc.exec(c.addrCalc);
+            const std::uint64_t pivot = co_await proc.loadUse32(
+                w.elemAddr(seg_lo + (seg_hi - seg_lo) / 2));
+            std::int64_t i = static_cast<std::int64_t>(seg_lo) - 1;
+            std::int64_t j = static_cast<std::int64_t>(seg_hi);
+            for (;;) {
+                std::uint64_t vi;
+                std::uint64_t vj;
+                do {
+                    ++i;
+                    vi = co_await proc.loadUse32(
+                        w.elemAddr(static_cast<std::uint64_t>(i)));
+                    co_await proc.exec(c.intOp);
+                } while (vi < pivot);
+                do {
+                    --j;
+                    vj = co_await proc.loadUse32(
+                        w.elemAddr(static_cast<std::uint64_t>(j)));
+                    co_await proc.exec(c.intOp);
+                } while (vj > pivot);
+                if (i >= j)
+                    break;
+                co_await proc.store32(
+                    w.elemAddr(static_cast<std::uint64_t>(i)),
+                    static_cast<std::uint32_t>(vj));
+                co_await proc.store32(
+                    w.elemAddr(static_cast<std::uint64_t>(j)),
+                    static_cast<std::uint32_t>(vi));
+                co_await proc.branch();
+            }
+            const std::uint64_t split = static_cast<std::uint64_t>(j) + 1;
+            MCSIM_ASSERT(split > seg_lo && split < seg_hi,
+                         "degenerate partition");
+
+            // Keep the smaller half, publish the larger one.
+            std::uint64_t keep_lo = seg_lo, keep_hi = split;
+            std::uint64_t pub_lo = split, pub_hi = seg_hi;
+            if (keep_hi - keep_lo > pub_hi - pub_lo) {
+                std::swap(keep_lo, pub_lo);
+                std::swap(keep_hi, pub_hi);
+            }
+            local.emplace_back(keep_lo, keep_hi);
+
+            co_await cpu::lockAcquire(proc, w.stackLock);
+            const std::uint64_t top = co_await proc.loadUse(w.stackTop);
+            MCSIM_ASSERT(top < stackCap, "qsort work stack overflow");
+            co_await proc.store(w.stackBase + top * 8,
+                                (pub_lo << 32) | pub_hi);
+            co_await proc.store(w.stackTop, top + 1);
+            const std::uint64_t wc = co_await proc.loadUse(w.workCount);
+            co_await proc.store(w.workCount, wc + 1);
+            co_await cpu::lockRelease(proc, w.stackLock);
+        }
+    }
+}
+
+void
+QsortWorkload::verify(core::Machine &machine) const
+{
+    std::uint64_t prev = 0;
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < cfg.n; ++i) {
+        const std::uint32_t v = machine.memory().readU32(elemAddr(i));
+        if (v < prev)
+            fatal("Qsort output not sorted at index %u", i);
+        prev = v;
+        sum += static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ull;
+    }
+    if (sum != checksum)
+        fatal("Qsort output is not a permutation of the input");
+}
+
+} // namespace mcsim::workloads

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Qsort: dynamically scheduled parallel quicksort (paper section 3.3;
+ * original is Kahan & Ruzzo's "parallel quicksand" sorting 500,000
+ * integers).
+ *
+ * Work units (segments of the array) are pushed onto and popped off a
+ * lock-protected shared stack on a FCFS basis. Because any timing change
+ * alters which processor pops which segment, the partitioning of work --
+ * and hence the reference counts -- varies between consistency models,
+ * exactly the run-to-run variability the paper discusses. Sequential
+ * partition scans over a data set much larger than the cache give the low
+ * hit rates of Table 2.
+ *
+ * Substitution note (DESIGN.md): the original cooperates on a single
+ * parallel partition; we use the standard shared-stack formulation, which
+ * preserves dynamic scheduling, sequential scanning, and the cache-capacity
+ * regime.
+ */
+
+#ifndef MCSIM_WORKLOADS_QSORT_HH
+#define MCSIM_WORKLOADS_QSORT_HH
+
+#include <vector>
+
+#include "cpu/sync.hh"
+#include "workloads/costs.hh"
+#include "workloads/workload.hh"
+
+namespace mcsim::workloads
+{
+
+/** Qsort configuration. */
+struct QsortParams
+{
+    /** Elements to sort (paper: 500,000; scaled default: 65,536). */
+    unsigned n = 65536;
+    /** Below this size a processor sorts the segment locally. */
+    unsigned threshold = 64;
+    /** Segments at least this large are partitioned cooperatively by all
+     *  processors with strided scans (the paper's "every nth element"
+     *  phase). 0 disables the cooperative phase. */
+    unsigned parallelCutoff = 8192;
+    std::uint64_t seed = 424242;
+    /** Barrier used by the cooperative partition phase. */
+    cpu::BarrierKind barrierKind = cpu::BarrierKind::Dissemination;
+};
+
+/** Parallel quicksort benchmark. */
+class QsortWorkload : public Workload
+{
+  public:
+    explicit QsortWorkload(QsortParams params = {});
+
+    std::string name() const override { return "Qsort"; }
+    void setup(core::Machine &machine) override;
+    void verify(core::Machine &machine) const override;
+
+  private:
+    static SimTask body(cpu::Processor &proc, QsortWorkload &w,
+                        unsigned pid, unsigned n_procs);
+
+    /** Elements are 4-byte integers, as in the paper's Qsort. */
+    Addr elemAddr(std::uint64_t idx) const { return dataBase + idx * 4; }
+
+    QsortParams cfg;
+    OpCosts costs;
+    Addr dataBase = 0;
+    /** Shared work stack: top index then packed (lo, hi) words. */
+    Addr stackTop = 0;
+    Addr stackBase = 0;
+    /** Count of segments not yet fully sorted (termination detection). */
+    Addr workCount = 0;
+    /** Cooperative-partition scratch: aux copy and per-proc counts. */
+    Addr auxBase = 0;
+    Addr countsBase = 0;
+    cpu::LockVar stackLock{};
+    cpu::BarrierObj barrier{};
+    std::vector<cpu::BarrierCtx> barrierCtx;
+    std::uint64_t checksum = 0;  ///< input multiset checksum
+};
+
+} // namespace mcsim::workloads
+
+#endif // MCSIM_WORKLOADS_QSORT_HH

@@ -1,0 +1,258 @@
+#include "workloads/relax.hh"
+
+#include <array>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "workloads/layout.hh"
+
+namespace mcsim::workloads
+{
+
+namespace
+{
+
+struct Offset
+{
+    int di;
+    int dj;
+};
+
+/** Stencil neighbours with the south-east (missing) point identified. */
+constexpr Offset missOffset{+1, +1};
+
+constexpr std::array<Offset, 8> otherOffsets = {{
+    {0, -1}, {0, 0}, {0, +1},
+    {+1, -1}, {+1, 0},
+    {-1, -1}, {-1, 0}, {-1, +1},
+}};
+
+/** Issue order: position of the missing load among the nine. */
+unsigned
+missIssuePosition(RelaxSchedule s)
+{
+    switch (s) {
+      case RelaxSchedule::Default:
+      case RelaxSchedule::OptimalSC:
+      case RelaxSchedule::BadWO:
+        // Row-major stencil order: the south-east point is issued last,
+        // which is where a compiler walking the stencil lands it.
+        return 8;
+      case RelaxSchedule::OptimalWO:
+      case RelaxSchedule::BadSC:
+        return 0;  // first
+    }
+    return 8;
+}
+
+/**
+ * Use order for the nine summands. The default compiler sums the values
+ * in the order it loaded them; the hand-optimized schedules consume the
+ * missing value last, the deliberately bad ones consume it first.
+ */
+enum class UseOrder { IssueOrder, MissLast, MissFirst };
+
+UseOrder
+useOrderOf(RelaxSchedule s)
+{
+    switch (s) {
+      case RelaxSchedule::Default:
+        return UseOrder::IssueOrder;
+      case RelaxSchedule::OptimalSC:
+      case RelaxSchedule::OptimalWO:
+        return UseOrder::MissLast;
+      case RelaxSchedule::BadSC:
+      case RelaxSchedule::BadWO:
+        return UseOrder::MissFirst;
+    }
+    return UseOrder::IssueOrder;
+}
+
+} // namespace
+
+const char *
+relaxScheduleName(RelaxSchedule s)
+{
+    switch (s) {
+      case RelaxSchedule::Default: return "default";
+      case RelaxSchedule::OptimalSC: return "optimal-SC";
+      case RelaxSchedule::OptimalWO: return "optimal-WO";
+      case RelaxSchedule::BadSC: return "bad-SC";
+      case RelaxSchedule::BadWO: return "bad-WO";
+    }
+    return "?";
+}
+
+RelaxWorkload::RelaxWorkload(RelaxParams params) : cfg(params)
+{
+    // Pacing calibration against paper Table 9 (reads every ~12.8
+    // cycles under SC1): the compiled stencil carries heavy addressing
+    // and induction overhead per load.
+    costs.fpAdd = 3;
+    costs.addrCalc = 4;
+    costs.loopOverhead = 8;
+    if (cfg.interior < 2)
+        fatal("Relax needs interior >= 2 (got %u)", cfg.interior);
+    if (cfg.iterations < 1)
+        fatal("Relax needs at least one iteration");
+}
+
+void
+RelaxWorkload::setup(core::Machine &machine)
+{
+    const unsigned d = dim();
+    SharedLayout layout(machine.config().lineBytes);
+    mainBase = layout.allocWords(static_cast<std::size_t>(d) * d);
+    tempBase = layout.allocWords(static_cast<std::size_t>(d) * d);
+    barrier = layout.allocBarrierObj(cfg.barrierKind, machine.numProcs());
+    machine.memory().ensure(layout.top());
+
+    Rng rng(cfg.seed);
+    std::vector<double> grid(static_cast<std::size_t>(d) * d, 0.0);
+    for (unsigned i = 0; i < d; ++i) {
+        for (unsigned j = 0; j < d; ++j) {
+            const double v = rng.uniform() * 100.0;
+            grid[static_cast<std::size_t>(i) * d + j] = v;
+            machine.memory().writeF64(mainAddr(i, j), v);
+        }
+    }
+
+    // Reference computation: same operation order as the simulated code.
+    expected = grid;
+    std::vector<double> temp = grid;
+    for (unsigned iter = 0; iter < cfg.iterations; ++iter) {
+        for (unsigned i = 1; i <= cfg.interior; ++i) {
+            for (unsigned j = 1; j <= cfg.interior; ++j) {
+                double sum = 0.0;
+                for (const auto &o : otherOffsets)
+                    sum += expected[static_cast<std::size_t>(i + o.di) * d +
+                                    (j + o.dj)];
+                sum += expected[static_cast<std::size_t>(i + missOffset.di) *
+                                    d +
+                                (j + missOffset.dj)];
+                temp[static_cast<std::size_t>(i) * d + j] = sum / 9.0;
+            }
+        }
+        for (unsigned i = 1; i <= cfg.interior; ++i)
+            for (unsigned j = 1; j <= cfg.interior; ++j)
+                expected[static_cast<std::size_t>(i) * d + j] =
+                    temp[static_cast<std::size_t>(i) * d + j];
+    }
+
+    barrierCtx.assign(machine.numProcs(), {});
+    for (unsigned p = 0; p < machine.numProcs(); ++p) {
+        machine.startWorkload(
+            p, body(machine.proc(p), *this, p, machine.numProcs()));
+    }
+}
+
+SimTask
+RelaxWorkload::body(cpu::Processor &proc, RelaxWorkload &w, unsigned pid,
+                    unsigned n_procs)
+{
+    using cpu::asBits;
+    using cpu::asF64;
+    const unsigned n = w.cfg.interior;
+    const OpCosts &c = w.costs;
+    const unsigned miss_pos = missIssuePosition(w.cfg.schedule);
+    const UseOrder use_order = useOrderOf(w.cfg.schedule);
+
+    // Precompute the consumption order of the nine tokens.
+    unsigned order[9];
+    {
+        unsigned n_out = 0;
+        if (use_order == UseOrder::MissFirst)
+            order[n_out++] = miss_pos;
+        for (unsigned pos = 0; pos < 9; ++pos) {
+            if (pos == miss_pos && use_order != UseOrder::IssueOrder)
+                continue;
+            if (pos == miss_pos && use_order == UseOrder::IssueOrder) {
+                order[n_out++] = pos;
+                continue;
+            }
+            order[n_out++] = pos;
+        }
+        if (use_order == UseOrder::MissLast)
+            order[n_out++] = miss_pos;
+    }
+
+    // Row-block partition of interior rows [1, n].
+    const unsigned rows_per = (n + n_procs - 1) / n_procs;
+    const unsigned lo = 1 + pid * rows_per;
+    const unsigned hi = std::min(n + 1, lo + rows_per);
+
+    for (unsigned iter = 0; iter < w.cfg.iterations; ++iter) {
+        for (unsigned i = lo; i < hi; ++i) {
+            for (unsigned j = 1; j <= n; ++j) {
+                // Build the issue order with the (potentially) missing
+                // south-east load at the schedule's position.
+                std::uint64_t tokens[9];
+                bool is_miss[9];
+                unsigned other_idx = 0;
+                for (unsigned pos = 0; pos < 9; ++pos) {
+                    Offset o;
+                    if (pos == miss_pos) {
+                        o = missOffset;
+                        is_miss[pos] = true;
+                    } else {
+                        o = otherOffsets[other_idx++];
+                        is_miss[pos] = false;
+                    }
+                    co_await proc.exec(c.addrCalc);
+                    tokens[pos] = co_await proc.load(
+                        w.mainAddr(i + o.di, j + o.dj));
+                }
+
+                // Sum phase in the schedule's consumption order.
+                double sum = 0.0;
+                for (unsigned u = 0; u < 9; ++u) {
+                    sum += asF64(co_await proc.use(tokens[order[u]]));
+                    co_await proc.exec(c.fpAdd);
+                }
+                (void)is_miss;
+                co_await proc.exec(c.fpMul);
+                co_await proc.store(w.tempAddr(i, j), asBits(sum / 9.0));
+                co_await proc.exec(c.loopOverhead);
+                co_await proc.branch();
+            }
+        }
+        co_await cpu::barrierWait(proc, w.barrier, n_procs, pid,
+                                  w.barrierCtx[pid]);
+
+        // Copy phase: one read miss and one write miss per line.
+        for (unsigned i = lo; i < hi; ++i) {
+            for (unsigned j = 1; j <= n; ++j) {
+                co_await proc.exec(c.addrCalc);
+                const std::uint64_t v =
+                    co_await proc.loadUse(w.tempAddr(i, j));
+                co_await proc.store(w.mainAddr(i, j), v);
+                co_await proc.exec(c.loopOverhead);
+                co_await proc.branch();
+            }
+        }
+        co_await cpu::barrierWait(proc, w.barrier, n_procs, pid,
+                                  w.barrierCtx[pid]);
+    }
+}
+
+void
+RelaxWorkload::verify(core::Machine &machine) const
+{
+    const unsigned d = dim();
+    for (unsigned i = 0; i < d; ++i) {
+        for (unsigned j = 0; j < d; ++j) {
+            const double got = machine.memory().readF64(mainAddr(i, j));
+            const double want = expected[static_cast<std::size_t>(i) * d + j];
+            const double tol =
+                1e-9 * std::max(1.0, std::max(std::fabs(got),
+                                              std::fabs(want)));
+            if (std::fabs(got - want) > tol) {
+                fatal("Relax result mismatch at (%u,%u): got %g want %g",
+                      i, j, got, want);
+            }
+        }
+    }
+}
+
+} // namespace mcsim::workloads

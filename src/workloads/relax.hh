@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Relax: iterative nine-point stencil relaxation over a square grid
+ * (paper section 3.3; original is a 514 x 514 matrix of doubles).
+ *
+ * Each iteration has two phases separated by barriers: relax every
+ * interior point of the main grid into a temporary grid, then copy the
+ * temporary back. With row-block partitioning the only reference that
+ * misses in steady state is the south-east neighbour (i+1, j+1), once per
+ * line; this is what makes Relax nearly insensitive to relaxed
+ * consistency (the missing value is needed almost immediately) and what
+ * the paper's hand-scheduling experiment (Figure 9) manipulates.
+ */
+
+#ifndef MCSIM_WORKLOADS_RELAX_HH
+#define MCSIM_WORKLOADS_RELAX_HH
+
+#include <vector>
+
+#include "cpu/sync.hh"
+#include "workloads/costs.hh"
+#include "workloads/workload.hh"
+
+namespace mcsim::workloads
+{
+
+/** Load-scheduling variants for the stencil inner loop (paper fig. 9). */
+enum class RelaxSchedule
+{
+    Default,    ///< compiler order: loads at the top, miss mid-sequence
+    OptimalSC,  ///< missing load issued last; others summed during miss
+    OptimalWO,  ///< missing load issued first; its use last
+    BadSC,      ///< missing load first and used first (blocks the rest)
+    BadWO,      ///< missing load last and used first (no overlap at all)
+};
+
+const char *relaxScheduleName(RelaxSchedule s);
+
+/** Relax configuration. */
+struct RelaxParams
+{
+    /** Interior grid dimension (paper: 512; scaled default: 192). */
+    unsigned interior = 192;
+    /** Relaxation iterations (each = relax phase + copy phase). */
+    unsigned iterations = 3;
+    RelaxSchedule schedule = RelaxSchedule::Default;
+    std::uint64_t seed = 777;
+    /** Barrier implementation between phases. */
+    cpu::BarrierKind barrierKind = cpu::BarrierKind::Dissemination;
+};
+
+/** Nine-point stencil benchmark. */
+class RelaxWorkload : public Workload
+{
+  public:
+    explicit RelaxWorkload(RelaxParams params = {});
+
+    std::string name() const override { return "Relax"; }
+    void setup(core::Machine &machine) override;
+    void verify(core::Machine &machine) const override;
+
+  private:
+    static SimTask body(cpu::Processor &proc, RelaxWorkload &w,
+                        unsigned pid, unsigned n_procs);
+
+    unsigned dim() const { return cfg.interior + 2; }
+
+    Addr
+    mainAddr(unsigned i, unsigned j) const
+    {
+        return mainBase + (static_cast<Addr>(i) * dim() + j) * 8;
+    }
+
+    Addr
+    tempAddr(unsigned i, unsigned j) const
+    {
+        return tempBase + (static_cast<Addr>(i) * dim() + j) * 8;
+    }
+
+    RelaxParams cfg;
+    OpCosts costs;
+    Addr mainBase = 0;
+    Addr tempBase = 0;
+    cpu::BarrierObj barrier{};
+    std::vector<cpu::BarrierCtx> barrierCtx;
+    std::vector<double> expected;
+};
+
+} // namespace mcsim::workloads
+
+#endif // MCSIM_WORKLOADS_RELAX_HH

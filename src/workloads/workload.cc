@@ -1,0 +1,20 @@
+#include "workloads/workload.hh"
+
+namespace mcsim::workloads
+{
+
+RunResult
+runWorkload(Workload &workload, const core::MachineConfig &config)
+{
+    core::Machine machine(config);
+    workload.setup(machine);
+    const Tick last = machine.run();
+    workload.verify(machine);
+
+    RunResult result;
+    result.metrics = core::RunMetrics::fromMachine(machine, last);
+    result.stats = machine.collectStats();
+    return result;
+}
+
+} // namespace mcsim::workloads

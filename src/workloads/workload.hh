@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Workload interface and the single-run experiment driver.
+ *
+ * A Workload owns the shared-data layout and per-processor program of one
+ * benchmark. Workload code is written once and runs unchanged on every
+ * consistency model -- the Processor applies the model-specific stall
+ * rules -- mirroring how the paper compiled one PCP program per benchmark
+ * and ran it on all five simulated systems.
+ */
+
+#ifndef MCSIM_WORKLOADS_WORKLOAD_HH
+#define MCSIM_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+
+#include "core/machine.hh"
+#include "core/machine_config.hh"
+#include "core/metrics.hh"
+
+namespace mcsim::workloads
+{
+
+/** One benchmark program. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name ("Gauss", "Qsort", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Lay out and initialize shared data in @p machine's functional
+     * memory, then start one coroutine per processor.
+     */
+    virtual void setup(core::Machine &machine) = 0;
+
+    /**
+     * Check functional correctness after the run; throws (fatal) on a
+     * wrong answer. Every model must produce a correct result -- the
+     * relaxed models only change timing for these data-race-free
+     * programs.
+     */
+    virtual void verify(core::Machine &machine) const = 0;
+};
+
+/** Result of one run: derived metrics plus the raw statistic set. */
+struct RunResult
+{
+    core::RunMetrics metrics;
+    StatSet stats;
+};
+
+/**
+ * Build a machine from @p config, run @p workload on it to completion,
+ * verify the answer, and collect metrics.
+ */
+RunResult runWorkload(Workload &workload, const core::MachineConfig &config);
+
+} // namespace mcsim::workloads
+
+#endif // MCSIM_WORKLOADS_WORKLOAD_HH

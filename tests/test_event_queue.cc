@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, priorities,
+ * determinism, and time-window execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace mcsim;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoWithinPriority)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&, i]() { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PriorityOrdersWithinTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&]() { order.push_back(2); }, EventQueue::prioCpu);
+    q.schedule(5, [&]() { order.push_back(1); }, EventQueue::prioDeliver);
+    q.schedule(5, [&]() { order.push_back(3); }, EventQueue::prioCpu + 5);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ReentrantSchedulingFromCallback)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&]() {
+        ++fired;
+        q.schedule(2, [&]() { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 2u);
+}
+
+TEST(EventQueue, SameTickReentrantRunsThisTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(7, [&]() {
+        order.push_back(1);
+        q.schedule(7, [&]() { order.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 7u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitInclusive)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&]() { ++fired; });
+    q.schedule(20, [&]() { ++fired; });
+    q.schedule(21, [&]() { ++fired; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(100);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, RunMaxEventsGuard)
+{
+    EventQueue q;
+    // A self-perpetuating event chain.
+    std::function<void()> again = [&]() { q.scheduleIn(1, again); };
+    q.scheduleIn(1, again);
+    EXPECT_EQ(q.run(1000), 1000u);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, ExecutedCounter)
+{
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(static_cast<Tick>(i), []() {});
+    q.run();
+    EXPECT_EQ(q.executed(), 5u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, []() {});
+    q.run();
+    EXPECT_DEATH(q.schedule(5, []() {}), "past");
+}
+
+TEST(EventQueue, DeterministicInterleaving)
+{
+    // Two identical runs execute identical event sequences.
+    auto run_once = []() {
+        EventQueue q;
+        std::vector<int> order;
+        for (int i = 0; i < 50; ++i) {
+            q.schedule(static_cast<Tick>(i % 7), [&order, i]() {
+                order.push_back(i);
+            });
+        }
+        q.run();
+        return order;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the functional backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/functional_memory.hh"
+
+using namespace mcsim;
+using mem::FunctionalMemory;
+
+TEST(FunctionalMemory, U64RoundTrip)
+{
+    FunctionalMemory m(64);
+    m.writeU64(8, 0x1122334455667788ull);
+    EXPECT_EQ(m.readU64(8), 0x1122334455667788ull);
+}
+
+TEST(FunctionalMemory, U32RoundTripAndOverlap)
+{
+    FunctionalMemory m(64);
+    m.writeU64(0, ~0ull);
+    m.writeU32(0, 5);
+    EXPECT_EQ(m.readU32(0), 5u);
+    EXPECT_EQ(m.readU32(4), 0xffffffffu);  // upper half untouched
+}
+
+TEST(FunctionalMemory, F64RoundTrip)
+{
+    FunctionalMemory m(64);
+    m.writeF64(16, 3.25);
+    EXPECT_DOUBLE_EQ(m.readF64(16), 3.25);
+    m.writeF64(16, -0.0);
+    EXPECT_EQ(m.readF64(16), 0.0);
+}
+
+TEST(FunctionalMemory, GrowsOnWrite)
+{
+    FunctionalMemory m(16);
+    m.writeU64(1 << 20, 7);
+    EXPECT_GE(m.size(), (1u << 20) + 8);
+    EXPECT_EQ(m.readU64(1 << 20), 7u);
+}
+
+TEST(FunctionalMemory, UnbackedReadsAreZero)
+{
+    FunctionalMemory m(16);
+    EXPECT_EQ(m.readU64(1 << 24), 0u);
+    EXPECT_EQ(m.size(), 16u);  // const read does not grow
+}
+
+TEST(FunctionalMemory, EnsurePreallocates)
+{
+    FunctionalMemory m(16);
+    m.ensure(1000);
+    EXPECT_GE(m.size(), 1000u);
+}
+
+TEST(FunctionalMemory, TestAndSetSemantics)
+{
+    FunctionalMemory m(64);
+    EXPECT_EQ(m.testAndSet(24), 0u);   // was free
+    EXPECT_EQ(m.readU64(24), 1u);      // now held
+    EXPECT_EQ(m.testAndSet(24), 1u);   // second attempt fails
+    m.writeU64(24, 0);
+    EXPECT_EQ(m.testAndSet(24), 0u);   // released, acquirable again
+}
+
+TEST(FunctionalMemory, ByteRangeAccess)
+{
+    FunctionalMemory m(64);
+    const char data[] = "abcdef";
+    m.write(3, data, 6);
+    char out[6] = {};
+    m.read(3, out, 6);
+    EXPECT_EQ(std::string(out, 6), "abcdef");
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests of the sequential next-line prefetch extension (off by default).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "sim/task.hh"
+
+using namespace mcsim;
+
+namespace
+{
+
+SimTask
+sequentialWalk(cpu::Processor &p, unsigned lines, unsigned line_bytes,
+               Tick &end)
+{
+    for (unsigned i = 0; i < lines; ++i)
+        (void)co_await p.loadUse(0x1000 + static_cast<Addr>(i) * line_bytes);
+    end = p.now();
+}
+
+core::MachineConfig
+config(bool nlpf)
+{
+    core::MachineConfig cfg;
+    cfg.numProcs = 4;
+    cfg.numModules = 4;
+    cfg.model = core::Model::WO1;
+    cfg.cacheBytes = 4096;
+    cfg.lineBytes = 16;
+    cfg.nextLinePrefetch = nlpf;
+    return cfg;
+}
+
+} // namespace
+
+TEST(NextLinePrefetch, SpeedsUpSequentialWalks)
+{
+    Tick with = 0, without = 0;
+    {
+        core::Machine m(config(false));
+        m.startWorkload(0, sequentialWalk(m.proc(0), 64, 16, without));
+        m.run();
+        EXPECT_EQ(m.cache(0).stats().prefetchesIssued, 0u);
+    }
+    {
+        core::Machine m(config(true));
+        m.startWorkload(0, sequentialWalk(m.proc(0), 64, 16, with));
+        m.run();
+        EXPECT_GT(m.cache(0).stats().prefetchesIssued, 0u);
+        EXPECT_GT(m.cache(0).stats().prefetchesUseful +
+                      m.cache(0).stats().loadHits,
+                  0u);
+    }
+    EXPECT_LT(with, without);
+}
+
+TEST(NextLinePrefetch, DefaultOff)
+{
+    core::MachineConfig cfg;
+    EXPECT_FALSE(cfg.nextLinePrefetch);
+}

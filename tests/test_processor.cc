@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests of the consistency-model stall rules in the processor (paper
+ * Table 1): SC's single-outstanding gate, WO's multiple outstanding
+ * references and sync drains, blocking-load variants, SC2's stall
+ * prefetch, and RC's deferred releases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.hh"
+#include "cpu/processor.hh"
+#include "sim/task.hh"
+
+using namespace mcsim;
+using core::Model;
+
+namespace
+{
+
+core::MachineConfig
+config(Model m, unsigned line = 16)
+{
+    core::MachineConfig cfg;
+    cfg.numProcs = 4;
+    cfg.numModules = 4;
+    cfg.model = m;
+    cfg.cacheBytes = 2048;
+    cfg.lineBytes = line;
+    return cfg;
+}
+
+/** N independent load misses issued back to back, then all used.
+ *  The 0x110 stride spreads the lines across memory modules so module
+ *  occupancy does not serialize what the model would overlap. */
+SimTask
+parallelLoads(cpu::Processor &p, unsigned n, Tick &start, Tick &end)
+{
+    start = p.now();
+    std::vector<std::uint64_t> tokens;
+    for (unsigned i = 0; i < n; ++i)
+        tokens.push_back(co_await p.load(0x1000 + i * 0x110));
+    for (auto t : tokens)
+        (void)co_await p.use(t);
+    end = p.now();
+}
+
+SimTask
+storeThenLoadElsewhere(cpu::Processor &p, Tick &start, Tick &end)
+{
+    start = p.now();
+    co_await p.store(0x1000, 1);
+    (void)co_await p.loadUse(0x2000);
+    end = p.now();
+}
+
+SimTask
+fenceAfterStore(cpu::Processor &p, Tick &start, Tick &end)
+{
+    co_await p.store(0x1000, 1);
+    start = p.now();
+    co_await p.fence();
+    end = p.now();
+}
+
+SimTask
+releaseTimeline(cpu::Processor &p, Tick &store_done, Tick &release_done,
+                Tick &after)
+{
+    co_await p.store(0x1000, 1);  // outstanding miss
+    store_done = p.now();
+    co_await p.syncStore(0x2000, 1);  // release
+    release_done = p.now();
+    co_await p.exec(1);
+    after = p.now();
+}
+
+SimTask
+doubleRelease(cpu::Processor &p, Tick &first, Tick &second)
+{
+    co_await p.store(0x1000, 1);
+    co_await p.syncStore(0x2000, 1);
+    first = p.now();
+    co_await p.syncStore(0x3000, 1);  // must wait for release #1
+    second = p.now();
+}
+
+} // namespace
+
+TEST(ProcessorModels, WO1OverlapsIndependentMisses)
+{
+    Tick s_sc = 0, e_sc = 0, s_wo = 0, e_wo = 0;
+    {
+        core::Machine m(config(Model::SC1));
+        m.startWorkload(0, parallelLoads(m.proc(0), 4, s_sc, e_sc));
+        m.run();
+    }
+    {
+        core::Machine m(config(Model::WO1));
+        m.startWorkload(0, parallelLoads(m.proc(0), 4, s_wo, e_wo));
+        m.run();
+    }
+    // On this 4-port machine the network has one stage, so an
+    // uncontended miss costs 16 cycles. SC1 serializes four misses;
+    // WO1 overlaps them in its five MSHRs.
+    EXPECT_GE(e_sc - s_sc, 4 * 16u);
+    EXPECT_LT(e_wo - s_wo, 2 * 16u + 8);
+}
+
+TEST(ProcessorModels, WO1LimitedByMshrCount)
+{
+    // Six misses with 5 MSHRs: the sixth waits for a free slot.
+    Tick s = 0, e5 = 0, e6 = 0;
+    {
+        core::Machine m(config(Model::WO1));
+        m.startWorkload(0, parallelLoads(m.proc(0), 5, s, e5));
+        m.run();
+    }
+    {
+        core::Machine m(config(Model::WO1));
+        Tick s6 = 0;
+        m.startWorkload(0, parallelLoads(m.proc(0), 6, s6, e6));
+        m.run();
+    }
+    EXPECT_GT(e6, e5);
+}
+
+TEST(ProcessorModels, SC1SerializesStoreThenLoad)
+{
+    // Strict SC1 (the paper configuration): a subsequent load stalls at
+    // issue until the outstanding store miss is globally performed.
+    Tick s = 0, e = 0;
+    core::Machine m(config(Model::SC1));
+    m.startWorkload(0, storeThenLoadElsewhere(m.proc(0), s, e));
+    m.run();
+    EXPECT_GE(e - s, 2 * 16u);  // two serialized misses
+    EXPECT_GT(m.proc(0).stats().issueStallCycles, 0u);
+}
+
+TEST(ProcessorModels, ScStoreBufferReleaseAblationHidesWriteLatency)
+{
+    // With the ablatable store-buffer-release feature enabled, the
+    // store's outstanding slot frees at the network hand-off and the
+    // next load overlaps the store's fill.
+    Tick s = 0, e = 0;
+    auto cfg = config(Model::SC1);
+    auto mp = core::modelParams(Model::SC1);
+    mp.scStoreBufferRelease = true;
+    mp.numMshrs = 2;  // one background fill + one demand reference
+    cfg.modelOverride = mp;
+    core::Machine m(cfg);
+    m.startWorkload(0, storeThenLoadElsewhere(m.proc(0), s, e));
+    m.run();
+    EXPECT_LE(e - s, 28u);
+}
+
+TEST(ProcessorModels, WO1FenceDrainsOutstandingStores)
+{
+    Tick s = 0, e = 0;
+    core::Machine m(config(Model::WO1));
+    m.startWorkload(0, fenceAfterStore(m.proc(0), s, e));
+    m.run();
+    // The fence waits for the store's global completion (~18 cycles).
+    EXPECT_GE(e - s, 12u);
+    EXPECT_GT(m.proc(0).stats().drainStallCycles, 0u);
+}
+
+TEST(ProcessorModels, SC1FenceIsFree)
+{
+    Tick s = 0, e = 0;
+    core::Machine m(config(Model::SC1));
+    m.startWorkload(0, fenceAfterStore(m.proc(0), s, e));
+    m.run();
+    EXPECT_LE(e - s, 2u);
+}
+
+TEST(ProcessorModels, RCReleaseDoesNotStall)
+{
+    Tick store_done = 0, release_done = 0, after = 0;
+    core::Machine m(config(Model::RC));
+    m.startWorkload(0, releaseTimeline(m.proc(0), store_done,
+                                       release_done, after));
+    m.run();
+    // The release is deferred behind the outstanding store, but the
+    // processor continues immediately.
+    EXPECT_EQ(release_done - store_done, 1u);
+    EXPECT_EQ(after - release_done, 1u);
+    EXPECT_EQ(m.proc(0).stats().releasesDeferred, 1u);
+}
+
+TEST(ProcessorModels, WO1ReleaseStallsUntilPerformed)
+{
+    Tick store_done = 0, release_done = 0, after = 0;
+    core::Machine m(config(Model::WO1));
+    m.startWorkload(0, releaseTimeline(m.proc(0), store_done,
+                                       release_done, after));
+    m.run();
+    // Drain the store (~17 remaining) plus the sync store's own miss.
+    EXPECT_GE(release_done - store_done, 30u);
+    EXPECT_EQ(m.proc(0).stats().releasesDeferred, 0u);
+}
+
+TEST(ProcessorModels, RCSecondReleaseWaitsForFirst)
+{
+    Tick first = 0, second = 0;
+    core::Machine m(config(Model::RC));
+    m.startWorkload(0, doubleRelease(m.proc(0), first, second));
+    m.run();
+    // Release #2 is gated until release #1 completes globally.
+    EXPECT_GE(second - first, 18u);
+    EXPECT_GT(m.proc(0).stats().syncStallCycles, 0u);
+}
+
+TEST(ProcessorModels, BlockingLoadsStallAtIssue)
+{
+    Tick s_b = 0, e_b = 0, s_n = 0, e_n = 0;
+    {
+        core::Machine m(config(Model::BWO1));
+        m.startWorkload(0, parallelLoads(m.proc(0), 3, s_b, e_b));
+        m.run();
+    }
+    {
+        core::Machine m(config(Model::WO1));
+        m.startWorkload(0, parallelLoads(m.proc(0), 3, s_n, e_n));
+        m.run();
+    }
+    // Blocking loads serialize the three misses (16 cycles each on this
+    // single-stage machine).
+    EXPECT_GE(e_b - s_b, 3 * 16u);
+    EXPECT_LT(e_n - s_n, 40u);
+}
+
+TEST(ProcessorModels, SC2PrefetchesTheStalledAccess)
+{
+    // Two load misses: under SC2 the second is prefetched during the
+    // stall and merges when it finally issues.
+    Tick s2 = 0, e2 = 0, s1 = 0, e1 = 0;
+    core::Machine m2(config(Model::SC2));
+    m2.startWorkload(0, parallelLoads(m2.proc(0), 2, s2, e2));
+    m2.run();
+    core::Machine m1(config(Model::SC1));
+    m1.startWorkload(0, parallelLoads(m1.proc(0), 2, s1, e1));
+    m1.run();
+
+    EXPECT_EQ(m2.cache(0).stats().prefetchesIssued, 1u);
+    EXPECT_EQ(m2.cache(0).stats().prefetchesUseful, 1u);
+    EXPECT_LT(e2 - s2, e1 - s1);  // pipelined misses beat serialized
+    EXPECT_EQ(m1.cache(0).stats().prefetchesIssued, 0u);
+}
+
+TEST(ProcessorModels, RegisterInterlockTiming)
+{
+    // A use immediately after a hit load stalls loadDelay-1 extra cycles;
+    // a use after enough computation does not stall at all.
+    core::Machine m(config(Model::WO1));
+    Tick t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+    m.startWorkload(0, [](cpu::Processor &p, Tick &a, Tick &b, Tick &c,
+                          Tick &d) -> SimTask {
+        co_await p.store(0x100, 7);  // line now Modified (after miss)
+        co_await p.exec(100);
+        a = p.now();
+        const auto tok = co_await p.load(0x100);  // hit
+        (void)co_await p.use(tok);                // stalls until +4
+        b = p.now();
+        c = p.now();
+        const auto tok2 = co_await p.load(0x100);
+        co_await p.exec(10);
+        (void)co_await p.use(tok2);  // ready long ago: free
+        d = p.now();
+    }(m.proc(0), t0, t1, t2, t3));
+    m.run();
+    EXPECT_EQ(t1 - t0, 4u);   // issue (1) + interlock to loadDelay
+    EXPECT_EQ(t3 - t2, 11u);  // issue (1) + exec(10), no stall
+}
+
+TEST(ProcessorModels, DoneHandlerAndStats)
+{
+    core::Machine m(config(Model::SC1));
+    Tick s = 0, e = 0;
+    m.startWorkload(0, parallelLoads(m.proc(0), 2, s, e));
+    m.run();
+    EXPECT_TRUE(m.proc(0).done());
+    EXPECT_EQ(m.proc(0).stats().loads, 2u);
+    EXPECT_GT(m.proc(0).stats().instructions, 2u);
+    EXPECT_EQ(m.proc(0).outstandingRefs(), 0u);
+    EXPECT_FALSE(m.proc(0).releaseInFlight());
+}

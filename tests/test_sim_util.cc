@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the small sim utilities: logging/formatting, the
+ * deterministic RNG, StatSet, and the type helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+using namespace mcsim;
+
+TEST(Logging, Strprintf)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 7, "ok"), "x=7 y=ok");
+    EXPECT_EQ(strprintf("%%"), "%");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config %d", 3), FatalError);
+    try {
+        fatal("value was %u", 42u);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value was 42");
+    }
+}
+
+TEST(LoggingDeathTest, AssertMacroPanics)
+{
+    EXPECT_DEATH(MCSIM_ASSERT(1 == 2, "math broke: %d", 5), "math broke");
+}
+
+TEST(TypeHelpers, AlignDown)
+{
+    EXPECT_EQ(alignDown(0, 16), 0u);
+    EXPECT_EQ(alignDown(15, 16), 0u);
+    EXPECT_EQ(alignDown(16, 16), 16u);
+    EXPECT_EQ(alignDown(255, 64), 192u);
+}
+
+TEST(TypeHelpers, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(1024), 10u);
+}
+
+TEST(TypeHelpers, LogCeil)
+{
+    EXPECT_EQ(logCeil(16, 4), 2u);   // 16 procs, 4x4 switches: 2 stages
+    EXPECT_EQ(logCeil(32, 4), 3u);   // 32 procs: 3 stages (paper 3.1)
+    EXPECT_EQ(logCeil(64, 4), 3u);
+    EXPECT_EQ(logCeil(16, 2), 4u);
+    EXPECT_EQ(logCeil(1, 4), 0u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123), c(124);
+    bool differs = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+    EXPECT_EQ(r.below(0), 0u);
+    EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(77);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(StatSet, SetAddGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("missing"), 0.0);
+    EXPECT_FALSE(s.has("missing"));
+    s.set("a", 2.0);
+    s.add("a", 3.0);
+    s.add("b", 1.0);
+    EXPECT_EQ(s.get("a"), 5.0);
+    EXPECT_EQ(s.get("b"), 1.0);
+    EXPECT_TRUE(s.has("a"));
+    EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(StatSet, MergeSums)
+{
+    StatSet a, b;
+    a.set("x", 1);
+    a.set("y", 2);
+    b.set("y", 3);
+    b.set("z", 4);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 1.0);
+    EXPECT_EQ(a.get("y"), 5.0);
+    EXPECT_EQ(a.get("z"), 4.0);
+}
+
+TEST(StatSet, DumpFormatsLines)
+{
+    StatSet s;
+    s.set("alpha", 1.5);
+    std::ostringstream os;
+    s.dump(os, "pfx.");
+    EXPECT_EQ(os.str(), "pfx.alpha = 1.5\n");
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * End-to-end smoke tests: every benchmark runs to completion and verifies
+ * on a small machine under a couple of representative models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine_config.hh"
+#include "workloads/gauss.hh"
+#include "workloads/psim.hh"
+#include "workloads/qsort.hh"
+#include "workloads/relax.hh"
+#include "workloads/synthetic.hh"
+#include "workloads/workload.hh"
+
+using namespace mcsim;
+
+namespace
+{
+
+core::MachineConfig
+smallConfig(core::Model model)
+{
+    core::MachineConfig cfg;
+    cfg.numProcs = 4;
+    cfg.numModules = 4;
+    cfg.model = model;
+    cfg.cacheBytes = 2 * 1024;
+    cfg.lineBytes = 16;
+    cfg.maxCycles = 200'000'000ull;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Smoke, SyntheticSC1)
+{
+    workloads::SyntheticParams p;
+    p.refsPerProc = 500;
+    p.lockEvery = 50;
+    p.barrierEvery = 125;
+    workloads::SyntheticWorkload w(p);
+    auto result = workloads::runWorkload(w, smallConfig(core::Model::SC1));
+    EXPECT_GT(result.metrics.cycles, 0u);
+    EXPECT_GT(result.metrics.totalReads, 0u);
+}
+
+TEST(Smoke, SyntheticAllModels)
+{
+    for (core::Model m : core::allModels) {
+        workloads::SyntheticParams p;
+        p.refsPerProc = 300;
+        p.lockEvery = 30;
+        workloads::SyntheticWorkload w(p);
+        auto result = workloads::runWorkload(w, smallConfig(m));
+        EXPECT_GT(result.metrics.cycles, 0u) << core::modelName(m);
+    }
+}
+
+TEST(Smoke, GaussSmall)
+{
+    workloads::GaussParams p;
+    p.n = 24;
+    workloads::GaussWorkload w(p);
+    auto result = workloads::runWorkload(w, smallConfig(core::Model::WO1));
+    EXPECT_GT(result.metrics.totalReads, 0u);
+}
+
+TEST(Smoke, QsortSmall)
+{
+    workloads::QsortParams p;
+    p.n = 2000;
+    workloads::QsortWorkload w(p);
+    auto result = workloads::runWorkload(w, smallConfig(core::Model::RC));
+    EXPECT_GT(result.metrics.totalReads, 0u);
+}
+
+TEST(Smoke, RelaxSmall)
+{
+    workloads::RelaxParams p;
+    p.interior = 24;
+    p.iterations = 2;
+    workloads::RelaxWorkload w(p);
+    auto result = workloads::runWorkload(w, smallConfig(core::Model::SC2));
+    EXPECT_GT(result.metrics.totalReads, 0u);
+}
+
+TEST(Smoke, PsimSmall)
+{
+    workloads::PsimParams p;
+    p.simProcs = 8;
+    p.packetsPerProc = 16;
+    workloads::PsimWorkload w(p);
+    auto result = workloads::runWorkload(w, smallConfig(core::Model::WO2));
+    EXPECT_GT(result.metrics.totalSyncOps, 0u);
+}

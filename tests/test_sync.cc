@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Correctness tests for the synchronization primitives across every
+ * consistency model: lock mutual exclusion, barrier phase separation
+ * (both central and dissemination kinds), and test&set serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/machine.hh"
+#include "cpu/sync.hh"
+#include "sim/task.hh"
+#include "workloads/layout.hh"
+
+using namespace mcsim;
+using core::Model;
+
+namespace
+{
+
+core::MachineConfig
+config(Model m)
+{
+    core::MachineConfig cfg;
+    cfg.numProcs = 8;
+    cfg.numModules = 8;
+    cfg.model = m;
+    cfg.cacheBytes = 1024;
+    cfg.lineBytes = 16;
+    return cfg;
+}
+
+SimTask
+lockedIncrements(cpu::Processor &p, cpu::LockVar lock, Addr counter,
+                 unsigned reps)
+{
+    for (unsigned i = 0; i < reps; ++i) {
+        co_await cpu::lockAcquire(p, lock);
+        const std::uint64_t v = co_await p.loadUse(counter);
+        co_await p.exec(3);  // widen the race window
+        co_await p.store(counter, v + 1);
+        co_await cpu::lockRelease(p, lock);
+        co_await p.exec(5);
+    }
+}
+
+SimTask
+barrierPhases(cpu::Processor &p, cpu::BarrierObj barrier, unsigned n_procs,
+              unsigned pid, cpu::BarrierCtx &ctx, Addr phase_flags,
+              unsigned phases, bool &ok)
+{
+    for (unsigned ph = 0; ph < phases; ++ph) {
+        // Write my per-processor phase marker, then check after the
+        // barrier that every processor reached this phase.
+        co_await p.store(phase_flags + pid * 8, ph + 1);
+        co_await cpu::barrierWait(p, barrier, n_procs, pid, ctx);
+        for (unsigned q = 0; q < n_procs; ++q) {
+            const std::uint64_t v =
+                co_await p.loadUse(phase_flags + q * 8);
+            if (v < ph + 1)
+                ok = false;
+        }
+        co_await cpu::barrierWait(p, barrier, n_procs, pid, ctx);
+    }
+}
+
+} // namespace
+
+class SyncAcrossModels : public ::testing::TestWithParam<Model>
+{};
+
+TEST_P(SyncAcrossModels, LockProvidesMutualExclusion)
+{
+    auto cfg = config(GetParam());
+    core::Machine m(cfg);
+    workloads::SharedLayout layout(cfg.lineBytes);
+    const cpu::LockVar lock = layout.allocLock();
+    const Addr counter = layout.allocWords(1);
+    m.memory().ensure(layout.top());
+
+    const unsigned reps = 20;
+    for (unsigned p = 0; p < cfg.numProcs; ++p) {
+        m.startWorkload(
+            p, lockedIncrements(m.proc(p), lock, counter, reps));
+    }
+    m.run();
+    EXPECT_EQ(m.memory().readU64(counter),
+              static_cast<std::uint64_t>(cfg.numProcs) * reps)
+        << core::modelName(GetParam());
+    EXPECT_EQ(m.memory().readU64(lock.addr), 0u);  // released
+}
+
+TEST_P(SyncAcrossModels, DisseminationBarrierSeparatesPhases)
+{
+    auto cfg = config(GetParam());
+    core::Machine m(cfg);
+    workloads::SharedLayout layout(cfg.lineBytes);
+    const auto barrier = layout.allocBarrierObj(
+        cpu::BarrierKind::Dissemination, cfg.numProcs);
+    const Addr flags = layout.allocWords(cfg.numProcs);
+    m.memory().ensure(layout.top());
+
+    bool ok = true;
+    std::vector<cpu::BarrierCtx> ctx(cfg.numProcs);
+    for (unsigned p = 0; p < cfg.numProcs; ++p) {
+        m.startWorkload(p, barrierPhases(m.proc(p), barrier, cfg.numProcs,
+                                         p, ctx[p], flags, 6, ok));
+    }
+    m.run();
+    EXPECT_TRUE(ok) << core::modelName(GetParam());
+}
+
+TEST_P(SyncAcrossModels, CentralBarrierSeparatesPhases)
+{
+    auto cfg = config(GetParam());
+    core::Machine m(cfg);
+    workloads::SharedLayout layout(cfg.lineBytes);
+    const auto barrier =
+        layout.allocBarrierObj(cpu::BarrierKind::Central, cfg.numProcs);
+    const Addr flags = layout.allocWords(cfg.numProcs);
+    m.memory().ensure(layout.top());
+
+    bool ok = true;
+    std::vector<cpu::BarrierCtx> ctx(cfg.numProcs);
+    for (unsigned p = 0; p < cfg.numProcs; ++p) {
+        m.startWorkload(p, barrierPhases(m.proc(p), barrier, cfg.numProcs,
+                                         p, ctx[p], flags, 4, ok));
+    }
+    m.run();
+    EXPECT_TRUE(ok) << core::modelName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SyncAcrossModels,
+                         ::testing::ValuesIn(core::allModels),
+                         [](const auto &info) {
+                             return std::string(
+                                 core::modelName(info.param));
+                         });
+
+TEST(Sync, TestAndSetSerializesWinners)
+{
+    // All processors race one test&set; exactly one must win.
+    auto cfg = config(Model::RC);
+    core::Machine m(cfg);
+    workloads::SharedLayout layout(cfg.lineBytes);
+    const Addr word = layout.allocLock().addr;
+    const Addr wins = layout.allocWords(cfg.numProcs);
+    m.memory().ensure(layout.top());
+
+    for (unsigned p = 0; p < cfg.numProcs; ++p) {
+        m.startWorkload(p, [](cpu::Processor &proc, Addr w, Addr out,
+                              unsigned pid) -> SimTask {
+            const std::uint64_t old = co_await proc.testAndSet(w);
+            co_await proc.store(out + pid * 8, old == 0 ? 1 : 0);
+        }(m.proc(p), word, wins, p));
+    }
+    m.run();
+    unsigned winners = 0;
+    for (unsigned p = 0; p < cfg.numProcs; ++p)
+        winners += m.memory().readU64(wins + p * 8) == 1 ? 1 : 0;
+    EXPECT_EQ(winners, 1u);
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the coroutine task types (SimTask, SubTask): lifecycle,
+ * nesting with symmetric transfer, value passing, and exception flow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/task.hh"
+
+using namespace mcsim;
+
+namespace
+{
+
+/** A minimal awaitable that records its continuation for manual resume. */
+struct ManualGate
+{
+    std::coroutine_handle<> waiting;
+
+    struct Awaiter
+    {
+        ManualGate &gate;
+        bool await_ready() const { return false; }
+        void await_suspend(std::coroutine_handle<> h) { gate.waiting = h; }
+        void await_resume() const {}
+    };
+
+    Awaiter wait() { return Awaiter{*this}; }
+
+    void
+    open()
+    {
+        auto h = waiting;
+        waiting = nullptr;
+        h.resume();
+    }
+};
+
+SimTask
+simpleTask(int &progress, ManualGate &gate)
+{
+    progress = 1;
+    co_await gate.wait();
+    progress = 2;
+}
+
+SimTask
+throwingTask(ManualGate &gate)
+{
+    co_await gate.wait();
+    throw std::runtime_error("boom");
+}
+
+SubTask<int>
+valueRoutine(ManualGate &gate)
+{
+    co_await gate.wait();
+    co_return 42;
+}
+
+SubTask<>
+voidRoutine(std::vector<int> &log, ManualGate &gate)
+{
+    log.push_back(1);
+    co_await gate.wait();
+    log.push_back(2);
+}
+
+SimTask
+nestedTask(std::vector<int> &log, ManualGate &gate)
+{
+    log.push_back(10);
+    co_await voidRoutine(log, gate);
+    log.push_back(11);
+    const int v = co_await valueRoutine(gate);
+    log.push_back(v);
+}
+
+SubTask<>
+innerThrow(ManualGate &gate)
+{
+    co_await gate.wait();
+    throw std::runtime_error("inner");
+}
+
+SimTask
+catchingTask(bool &caught, ManualGate &gate)
+{
+    try {
+        co_await innerThrow(gate);
+    } catch (const std::runtime_error &) {
+        caught = true;
+    }
+}
+
+} // namespace
+
+TEST(SimTask, DoesNotStartUntilResumed)
+{
+    int progress = 0;
+    ManualGate gate;
+    SimTask t = simpleTask(progress, gate);
+    EXPECT_TRUE(t.valid());
+    EXPECT_FALSE(t.done());
+    EXPECT_EQ(progress, 0);
+    t.resume();
+    EXPECT_EQ(progress, 1);
+    EXPECT_FALSE(t.done());
+    gate.open();
+    EXPECT_EQ(progress, 2);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(SimTask, MoveTransfersOwnership)
+{
+    int progress = 0;
+    ManualGate gate;
+    SimTask a = simpleTask(progress, gate);
+    SimTask b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.resume();
+    EXPECT_EQ(progress, 1);
+}
+
+TEST(SimTask, ExceptionCapturedAndRethrown)
+{
+    ManualGate gate;
+    SimTask t = throwingTask(gate);
+    t.resume();
+    gate.open();  // runs to the throw
+    EXPECT_TRUE(t.done());
+    EXPECT_THROW(t.rethrowIfFailed(), std::runtime_error);
+}
+
+TEST(SubTask, NestedRoutinesResumeTransitively)
+{
+    std::vector<int> log;
+    ManualGate gate;
+    SimTask t = nestedTask(log, gate);
+    t.resume();
+    EXPECT_EQ(log, (std::vector<int>{10, 1}));
+    gate.open();  // completes voidRoutine, continues into valueRoutine
+    EXPECT_EQ(log, (std::vector<int>{10, 1, 2, 11}));
+    gate.open();  // completes valueRoutine with 42
+    EXPECT_EQ(log, (std::vector<int>{10, 1, 2, 11, 42}));
+    EXPECT_TRUE(t.done());
+}
+
+TEST(SubTask, ExceptionPropagatesToParent)
+{
+    bool caught = false;
+    ManualGate gate;
+    SimTask t = catchingTask(caught, gate);
+    t.resume();
+    gate.open();
+    EXPECT_TRUE(caught);
+    EXPECT_TRUE(t.done());
+    EXPECT_NO_THROW(t.rethrowIfFailed());
+}
+
+TEST(SimTask, DestructionOfSuspendedTaskIsClean)
+{
+    int progress = 0;
+    ManualGate gate;
+    {
+        SimTask t = simpleTask(progress, gate);
+        t.resume();
+        // t destroyed while suspended at the gate.
+    }
+    EXPECT_EQ(progress, 1);
+}

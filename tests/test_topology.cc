@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Property tests for the Omega topology: every (source, destination) pair
+ * routes to the right output in exactly `stages` hops, the shuffle is a
+ * bijection, and stage counts match the paper's configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "net/topology.hh"
+#include "sim/logging.hh"
+
+using namespace mcsim;
+using net::OmegaTopology;
+
+TEST(Topology, PaperStageCounts)
+{
+    // 16 processors with 4x4 switches: 2 stages; 32 processors: 3 (the
+    // extra stage is why the paper's no-contention latency rises 18->20).
+    EXPECT_EQ(OmegaTopology(16, 4).stages(), 2u);
+    EXPECT_EQ(OmegaTopology(32, 4).stages(), 3u);
+    EXPECT_EQ(OmegaTopology(64, 4).stages(), 3u);
+    EXPECT_EQ(OmegaTopology(16, 2).stages(), 4u);
+}
+
+TEST(Topology, WidthCoversPorts)
+{
+    const OmegaTopology t(32, 4);
+    EXPECT_EQ(t.width(), 64u);
+    EXPECT_EQ(t.ports(), 32u);
+    EXPECT_EQ(t.switchesPerStage(), 16u);
+}
+
+TEST(Topology, ShuffleIsBijective)
+{
+    for (unsigned radix : {2u, 4u}) {
+        const OmegaTopology t(16, radix);
+        std::set<unsigned> image;
+        for (unsigned link = 0; link < t.width(); ++link) {
+            const unsigned s = t.shuffle(link);
+            EXPECT_LT(s, t.width());
+            image.insert(s);
+        }
+        EXPECT_EQ(image.size(), t.width());
+    }
+}
+
+class TopologyRouting
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{};
+
+TEST_P(TopologyRouting, EveryPairRoutesCorrectly)
+{
+    const auto [ports, radix] = GetParam();
+    const OmegaTopology t(ports, radix);
+    for (unsigned src = 0; src < t.width(); ++src) {
+        for (unsigned dst = 0; dst < t.width(); ++dst) {
+            ASSERT_EQ(t.route(src, dst), dst)
+                << "ports=" << ports << " radix=" << radix
+                << " src=" << src << " dst=" << dst;
+        }
+    }
+}
+
+TEST_P(TopologyRouting, HopsStayInRange)
+{
+    const auto [ports, radix] = GetParam();
+    const OmegaTopology t(ports, radix);
+    for (unsigned src = 0; src < t.width(); ++src) {
+        unsigned link = src;
+        for (unsigned s = 0; s < t.stages(); ++s) {
+            const auto h = t.hop(s, link, (src * 7 + 3) % t.width());
+            EXPECT_LT(h.switchIdx, t.switchesPerStage());
+            EXPECT_LT(h.inPort, radix);
+            EXPECT_LT(h.outPort, radix);
+            EXPECT_LT(h.outLink, t.width());
+            link = h.outLink;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopologyRouting,
+    ::testing::Values(std::make_tuple(4u, 2u), std::make_tuple(8u, 2u),
+                      std::make_tuple(16u, 2u), std::make_tuple(16u, 4u),
+                      std::make_tuple(32u, 4u), std::make_tuple(64u, 4u),
+                      std::make_tuple(9u, 3u)));
+
+TEST(Topology, UniquePathProperty)
+{
+    // The omega network has a unique path per (src, dst): two messages to
+    // the same destination from different sources must share the final
+    // stage's output port -- the root of hot-spot contention.
+    const OmegaTopology t(16, 4);
+    const unsigned dst = 5;
+    std::set<unsigned> final_links;
+    for (unsigned src = 0; src < 16; ++src) {
+        unsigned link = src;
+        for (unsigned s = 0; s < t.stages(); ++s)
+            link = t.hop(s, link, dst).outLink;
+        final_links.insert(link);
+    }
+    EXPECT_EQ(final_links.size(), 1u);
+}
+
+TEST(Topology, RejectsBadConfig)
+{
+    EXPECT_THROW(OmegaTopology(16, 1), FatalError);
+    EXPECT_THROW(OmegaTopology(0, 4), FatalError);
+}
