@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables3_6.dir/bench_tables3_6.cpp.o"
+  "CMakeFiles/bench_tables3_6.dir/bench_tables3_6.cpp.o.d"
+  "bench_tables3_6"
+  "bench_tables3_6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables3_6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus.dir/litmus.cpp.o"
+  "CMakeFiles/litmus.dir/litmus.cpp.o.d"
+  "litmus"
+  "litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

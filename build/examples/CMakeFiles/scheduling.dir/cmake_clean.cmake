@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduling.dir/scheduling.cpp.o"
+  "CMakeFiles/scheduling.dir/scheduling.cpp.o.d"
+  "scheduling"
+  "scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

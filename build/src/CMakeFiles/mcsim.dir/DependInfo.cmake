@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consistency.cc" "src/CMakeFiles/mcsim.dir/core/consistency.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/core/consistency.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/CMakeFiles/mcsim.dir/core/machine.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/core/machine.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/mcsim.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/core/metrics.cc.o.d"
+  "/root/repo/src/cpu/processor.cc" "src/CMakeFiles/mcsim.dir/cpu/processor.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/cpu/processor.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/mcsim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/functional_memory.cc" "src/CMakeFiles/mcsim.dir/mem/functional_memory.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/mem/functional_memory.cc.o.d"
+  "/root/repo/src/mem/memory_module.cc" "src/CMakeFiles/mcsim.dir/mem/memory_module.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/mem/memory_module.cc.o.d"
+  "/root/repo/src/mem/protocol.cc" "src/CMakeFiles/mcsim.dir/mem/protocol.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/mem/protocol.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/mcsim.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/net/topology.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/mcsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/mcsim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/workloads/gauss.cc" "src/CMakeFiles/mcsim.dir/workloads/gauss.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/workloads/gauss.cc.o.d"
+  "/root/repo/src/workloads/layout.cc" "src/CMakeFiles/mcsim.dir/workloads/layout.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/workloads/layout.cc.o.d"
+  "/root/repo/src/workloads/psim.cc" "src/CMakeFiles/mcsim.dir/workloads/psim.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/workloads/psim.cc.o.d"
+  "/root/repo/src/workloads/qsort.cc" "src/CMakeFiles/mcsim.dir/workloads/qsort.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/workloads/qsort.cc.o.d"
+  "/root/repo/src/workloads/relax.cc" "src/CMakeFiles/mcsim.dir/workloads/relax.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/workloads/relax.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/mcsim.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/workloads/synthetic.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/mcsim.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/mcsim.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loadown.dir/test_loadown.cc.o"
+  "CMakeFiles/test_loadown.dir/test_loadown.cc.o.d"
+  "test_loadown"
+  "test_loadown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loadown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outbox.dir/test_outbox.cc.o"
+  "CMakeFiles/test_outbox.dir/test_outbox.cc.o.d"
+  "test_outbox"
+  "test_outbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
