@@ -105,6 +105,9 @@ baseConfig(bool full, unsigned procs = 16)
     cfg.numModules = procs;
     cfg.cacheBytes = smallCache(full);
     cfg.lineBytes = 16;
+    // Figure benches report timings; invariant checking stays off here
+    // (tests and bench_micro run with it on).
+    cfg.check.mode = check::CheckMode::Off;
     return cfg;
 }
 

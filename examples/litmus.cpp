@@ -89,6 +89,9 @@ runVariant(core::Model model, bool visible_sync)
     cfg.model = model;
     cfg.cacheBytes = 1024;
     cfg.lineBytes = 16;
+    // Variant A signals through a plain store on purpose -- a textbook
+    // data race -- so the race detector must not abort the demo.
+    cfg.check.races = false;
     core::Machine m(cfg);
     Probe probe;
     if (visible_sync)

@@ -1,0 +1,210 @@
+#include "check/checker.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mcsim::check
+{
+
+void
+CheckStats::addTo(StatSet &out, const std::string &prefix) const
+{
+    out.add(prefix + "coherence_violations",
+            static_cast<double>(coherenceViolations));
+    out.add(prefix + "ordering_violations",
+            static_cast<double>(orderingViolations));
+    out.add(prefix + "race_violations",
+            static_cast<double>(raceViolations));
+    out.add(prefix + "protocol_violations",
+            static_cast<double>(protocolViolations));
+    out.add(prefix + "line_audits", static_cast<double>(lineAudits));
+    out.add(prefix + "accesses_checked",
+            static_cast<double>(accessesChecked));
+    out.add(prefix + "messages_checked",
+            static_cast<double>(messagesChecked));
+}
+
+Checker::Checker(const CheckConfig &config, const core::ModelParams &model,
+                 unsigned num_procs, unsigned num_modules,
+                 unsigned line_bytes)
+    : cfg(config), numProcs(num_procs), lineBytes(line_bytes)
+{
+    if (cfg.coherence) {
+        coherence = std::make_unique<CoherenceAuditor>(num_procs,
+                                                       num_modules,
+                                                       line_bytes);
+    }
+    if (cfg.ordering)
+        ordering = std::make_unique<OrderingLinter>(num_procs, model);
+    if (cfg.races)
+        races = std::make_unique<RaceDetector>(num_procs);
+}
+
+void
+Checker::attach(std::vector<const mem::Cache *> caches,
+                std::vector<const mem::MemoryModule *> modules)
+{
+    if (coherence)
+        coherence->attach(std::move(caches), std::move(modules));
+}
+
+void
+Checker::report(std::uint64_t CheckStats::*counter, const char *kind,
+                const std::string &what)
+{
+    checkStats.*counter += 1;
+    if (cfg.mode == CheckMode::Fatal)
+        fatal("%s violation: %s", kind, what.c_str());
+    // Count mode: make the first few visible without flooding stderr.
+    if (warningsEmitted < 8) {
+        warningsEmitted += 1;
+        warn("%s violation: %s", kind, what.c_str());
+    }
+}
+
+void
+Checker::onCacheLineEvent(ProcId p, Addr line_addr)
+{
+    (void)p;
+    if (!coherence)
+        return;
+    std::string r = coherence->auditLine(line_addr);
+    checkStats.lineAudits = coherence->auditsRun();
+    if (!r.empty())
+        report(&CheckStats::coherenceViolations, "coherence", r);
+}
+
+void
+Checker::onDirectoryEvent(unsigned module, Addr line_addr)
+{
+    (void)module;
+    if (!coherence)
+        return;
+    std::string r = coherence->auditLine(line_addr);
+    checkStats.lineAudits = coherence->auditsRun();
+    if (!r.empty())
+        report(&CheckStats::coherenceViolations, "coherence", r);
+}
+
+void
+Checker::onProtocolMessage(const mem::CoherenceMsg &msg, bool to_memory)
+{
+    if (!cfg.coherence)
+        return;
+    checkStats.messagesChecked += 1;
+    const char *err =
+        mem::validateMessage(msg, to_memory, numProcs, lineBytes);
+    if (err != nullptr) {
+        report(&CheckStats::protocolViolations, "protocol",
+               strprintf("%s message %s for line 0x%llx proc %u: %s",
+                         to_memory ? "proc->mem" : "mem->proc",
+                         mem::msgKindName(msg.kind),
+                         static_cast<unsigned long long>(msg.lineAddr),
+                         msg.proc, err));
+    }
+}
+
+void
+Checker::onDataRead(ProcId p, Addr addr, unsigned width)
+{
+    if (!races)
+        return;
+    std::string r = races->read(p, addr, width);
+    checkStats.accessesChecked = races->accessesChecked();
+    if (!r.empty())
+        report(&CheckStats::raceViolations, "data race", r);
+}
+
+void
+Checker::onDataWrite(ProcId p, Addr addr, unsigned width)
+{
+    if (!races)
+        return;
+    std::string r = races->write(p, addr, width);
+    checkStats.accessesChecked = races->accessesChecked();
+    if (!r.empty())
+        report(&CheckStats::raceViolations, "data race", r);
+}
+
+void
+Checker::onAcquire(ProcId p, Addr sync_addr)
+{
+    if (races)
+        races->acquire(p, sync_addr);
+}
+
+void
+Checker::onRelease(ProcId p, Addr sync_addr)
+{
+    if (races)
+        races->release(p, sync_addr);
+}
+
+void
+Checker::onIssueCheck(ProcId p, bool is_sync, bool is_release)
+{
+    if (!ordering)
+        return;
+    std::string r = ordering->issueCheck(p, is_sync, is_release);
+    if (!r.empty())
+        report(&CheckStats::orderingViolations, "ordering", r);
+}
+
+void
+Checker::onRefIssued(ProcId p, std::uint64_t cookie)
+{
+    if (ordering)
+        ordering->refIssued(p, cookie);
+}
+
+void
+Checker::onRefEarlyReleased(ProcId p, std::uint64_t cookie)
+{
+    if (ordering)
+        ordering->refEarlyReleased(p, cookie);
+}
+
+void
+Checker::onRefCompleted(ProcId p, std::uint64_t cookie)
+{
+    if (ordering)
+        ordering->refCompleted(p, cookie);
+}
+
+void
+Checker::onReleaseDeferred(ProcId p)
+{
+    if (ordering)
+        ordering->releaseDeferred(p);
+}
+
+void
+Checker::onReleaseDone(ProcId p)
+{
+    if (ordering)
+        ordering->releaseDone(p);
+}
+
+void
+Checker::onFenceComplete(ProcId p)
+{
+    if (!ordering)
+        return;
+    std::string r = ordering->fenceCheck(p);
+    if (!r.empty())
+        report(&CheckStats::orderingViolations, "ordering", r);
+}
+
+void
+Checker::finalAudit()
+{
+    if (!coherence)
+        return;
+    std::string r = coherence->auditAll();
+    checkStats.lineAudits = coherence->auditsRun();
+    if (!r.empty())
+        report(&CheckStats::coherenceViolations, "coherence", r);
+}
+
+} // namespace mcsim::check

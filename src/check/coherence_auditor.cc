@@ -1,0 +1,132 @@
+#include "check/coherence_auditor.hh"
+
+#include <unordered_set>
+#include <utility>
+
+#include "mem/cache.hh"
+#include "mem/memory_module.hh"
+#include "sim/logging.hh"
+
+namespace mcsim::check
+{
+
+CoherenceAuditor::CoherenceAuditor(unsigned num_procs, unsigned num_modules,
+                                   unsigned line_bytes)
+    : numProcs(num_procs), numModules(num_modules), lineBytes(line_bytes)
+{
+}
+
+void
+CoherenceAuditor::attach(std::vector<const mem::Cache *> caches,
+                         std::vector<const mem::MemoryModule *> modules)
+{
+    cachePtrs = std::move(caches);
+    modulePtrs = std::move(modules);
+    MCSIM_ASSERT(cachePtrs.size() == numProcs &&
+                     modulePtrs.size() == numModules,
+                 "coherence auditor attached to wrong component counts");
+}
+
+std::string
+CoherenceAuditor::auditLine(Addr line_addr)
+{
+    numAudits += 1;
+
+    const unsigned mod =
+        static_cast<unsigned>((line_addr / lineBytes) % numModules);
+    const auto dir_state = modulePtrs[mod]->dirState(line_addr);
+    const ProcId dir_owner = modulePtrs[mod]->ownerOf(line_addr);
+
+    unsigned modified_count = 0;
+    unsigned shared_count = 0;
+    ProcId modified_holder = 0;
+
+    for (unsigned p = 0; p < numProcs; ++p) {
+        const auto state = cachePtrs[p]->lineState(line_addr);
+        if (state == mem::Cache::LineState::Modified) {
+            modified_count += 1;
+            modified_holder = static_cast<ProcId>(p);
+        } else if (state == mem::Cache::LineState::Shared) {
+            shared_count += 1;
+        }
+
+        // D: an Exclusive directory entry excludes valid copies anywhere
+        // but the registered owner. (The owner itself may transiently
+        // hold S after a RecallShared downgrade, before the directory's
+        // transaction finishes.)
+        if (dir_state == mem::MemoryModule::DirState::Exclusive &&
+            static_cast<ProcId>(p) != dir_owner &&
+            (state == mem::Cache::LineState::Modified ||
+             state == mem::Cache::LineState::Shared)) {
+            return strprintf("line 0x%llx: directory Exclusive owner p%u "
+                             "but cache p%u holds a %s copy",
+                             static_cast<unsigned long long>(line_addr),
+                             dir_owner, p,
+                             state == mem::Cache::LineState::Modified
+                                 ? "Modified"
+                                 : "Shared");
+        }
+    }
+
+    // A: single writer.
+    if (modified_count > 1) {
+        return strprintf("line 0x%llx: %u caches hold it Modified",
+                         static_cast<unsigned long long>(line_addr),
+                         modified_count);
+    }
+    // B: no readers beside a writer.
+    if (modified_count == 1 && shared_count > 0) {
+        return strprintf("line 0x%llx: Modified in p%u while %u Shared "
+                         "copies exist",
+                         static_cast<unsigned long long>(line_addr),
+                         modified_holder, shared_count);
+    }
+    // C: a writer must be the registered exclusive owner.
+    if (modified_count == 1 &&
+        (dir_state != mem::MemoryModule::DirState::Exclusive ||
+         dir_owner != modified_holder)) {
+        return strprintf("line 0x%llx: Modified in p%u but directory "
+                         "state %d owner p%u (directory drift)",
+                         static_cast<unsigned long long>(line_addr),
+                         modified_holder, static_cast<int>(dir_state),
+                         dir_owner);
+    }
+    // E: valid copies imply a directory record.
+    if ((modified_count + shared_count) > 0 &&
+        dir_state == mem::MemoryModule::DirState::Uncached) {
+        return strprintf("line 0x%llx: cached in %u processors but the "
+                         "directory records it Uncached",
+                         static_cast<unsigned long long>(line_addr),
+                         modified_count + shared_count);
+    }
+    return {};
+}
+
+std::string
+CoherenceAuditor::auditAll()
+{
+    std::unordered_set<Addr> seen;
+    for (const auto *module : modulePtrs) {
+        for (const auto &[line, state] : module->knownLines()) {
+            (void)state;
+            if (!seen.insert(line).second)
+                continue;
+            std::string r = auditLine(line);
+            if (!r.empty())
+                return r;
+        }
+    }
+    for (const auto *cache : cachePtrs) {
+        for (const auto &[line, state] : cache->validLines()) {
+            (void)state;
+            if (!seen.insert(line).second)
+                continue;
+            std::string r = auditLine(line);
+            if (!r.empty())
+                return r;
+        }
+    }
+    return {};
+}
+
+} // namespace mcsim::check

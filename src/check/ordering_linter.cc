@@ -1,0 +1,105 @@
+#include "check/ordering_linter.hh"
+
+#include "sim/logging.hh"
+
+namespace mcsim::check
+{
+
+OrderingLinter::OrderingLinter(unsigned num_procs,
+                               const core::ModelParams &model_params)
+    : model(model_params), procs(num_procs)
+{
+}
+
+std::string
+OrderingLinter::issueCheck(ProcId p, bool is_sync, bool is_release)
+{
+    ProcState &st = procs[p];
+
+    if (is_release) {
+        // RC release issue: everything outstanding at the defer point
+        // must have completed (the deferred-release contract).
+        for (std::uint64_t cookie : st.releaseSnapshot) {
+            if (st.outstanding.count(cookie) || st.background.count(cookie)) {
+                return strprintf(
+                    "p%u issued a release while reference %llu from its "
+                    "defer point is still outstanding",
+                    p, static_cast<unsigned long long>(cookie));
+            }
+        }
+        return {};
+    }
+
+    if (model.syncDrains && is_sync && !st.outstanding.empty()) {
+        return strprintf("p%u issued a sync operation with %zu data "
+                         "references outstanding (drain-before-sync rule)",
+                         p, st.outstanding.size());
+    }
+
+    if (model.singleOutstanding && !st.outstanding.empty()) {
+        return strprintf("p%u issued an access with %zu references "
+                         "outstanding (single-outstanding SC rule)",
+                         p, st.outstanding.size());
+    }
+    return {};
+}
+
+void
+OrderingLinter::refIssued(ProcId p, std::uint64_t cookie)
+{
+    const bool inserted = procs[p].outstanding.insert(cookie).second;
+    MCSIM_ASSERT(inserted, "ordering linter saw cookie %llu issued twice",
+                 static_cast<unsigned long long>(cookie));
+}
+
+void
+OrderingLinter::refEarlyReleased(ProcId p, std::uint64_t cookie)
+{
+    ProcState &st = procs[p];
+    if (st.outstanding.erase(cookie) > 0)
+        st.background.insert(cookie);
+}
+
+void
+OrderingLinter::refCompleted(ProcId p, std::uint64_t cookie)
+{
+    ProcState &st = procs[p];
+    if (st.outstanding.erase(cookie) == 0)
+        st.background.erase(cookie);
+    st.releaseSnapshot.erase(cookie);
+}
+
+void
+OrderingLinter::releaseDeferred(ProcId p)
+{
+    ProcState &st = procs[p];
+    st.releasePending = true;
+    st.releaseSnapshot = st.outstanding;
+}
+
+void
+OrderingLinter::releaseDone(ProcId p)
+{
+    ProcState &st = procs[p];
+    st.releasePending = false;
+    st.releaseSnapshot.clear();
+}
+
+std::string
+OrderingLinter::fenceCheck(ProcId p)
+{
+    // Under SC the single-outstanding rule already orders everything; a
+    // fence is free and completes regardless of in-flight fills.
+    if (model.singleOutstanding)
+        return {};
+    ProcState &st = procs[p];
+    if (!st.outstanding.empty() || st.releasePending) {
+        return strprintf("p%u completed a fence with %zu references "
+                         "outstanding%s",
+                         p, st.outstanding.size(),
+                         st.releasePending ? " and a release pending" : "");
+    }
+    return {};
+}
+
+} // namespace mcsim::check

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ordering linter: re-derives each consistency model's issue rules from
+ * core/consistency.hh ModelParams and verifies the processor's actual
+ * issue/completion trace against them.
+ *
+ * The linter keeps its own per-processor record of outstanding
+ * references -- fed by issue/completion events, never by reading the
+ * processor's counters -- so a bookkeeping bug in the processor cannot
+ * hide from it. Rules enforced at each access issue:
+ *
+ *  - singleOutstanding (SC1/SC2/bSC1): no access may issue while a
+ *    reference is outstanding (store-buffer early release exempts the
+ *    handed-off store, mirroring scStoreBufferRelease).
+ *  - syncDrains (WO1/WO2/bWO1): a sync operation may issue only after
+ *    every outstanding reference completed.
+ *  - releaseConsistent (RC): a release may issue only after every
+ *    reference outstanding at its defer point has completed.
+ *  - Fence under a relaxed model completes only with zero outstanding
+ *    references and no release in flight.
+ */
+
+#ifndef MCSIM_CHECK_ORDERING_LINTER_HH
+#define MCSIM_CHECK_ORDERING_LINTER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/consistency.hh"
+#include "sim/types.hh"
+
+namespace mcsim::check
+{
+
+/** Per-processor consistency-model rule checker. */
+class OrderingLinter
+{
+  public:
+    OrderingLinter(unsigned num_procs, const core::ModelParams &model);
+
+    /**
+     * An access passed the processor's issue gates and is being sent to
+     * the cache. @return a violation description, or "".
+     */
+    std::string issueCheck(ProcId p, bool is_sync, bool is_release);
+
+    /** A miss/merge allocated outstanding slot @p cookie. */
+    void refIssued(ProcId p, std::uint64_t cookie);
+    /** SC store-buffer hand-off: @p cookie stops gating issue. */
+    void refEarlyReleased(ProcId p, std::uint64_t cookie);
+    /** The cache completed the reference @p cookie. */
+    void refCompleted(ProcId p, std::uint64_t cookie);
+
+    /** RC: a release entered the deferred-release machinery. */
+    void releaseDeferred(ProcId p);
+    /** RC: the pending release performed globally (or hit). */
+    void releaseDone(ProcId p);
+
+    /** A fence completed. @return a violation description, or "". */
+    std::string fenceCheck(ProcId p);
+
+  private:
+    struct ProcState
+    {
+        /** Outstanding references still gating issue. */
+        std::unordered_set<std::uint64_t> outstanding;
+        /** Hand-off-released stores still completing in the background. */
+        std::unordered_set<std::uint64_t> background;
+        bool releasePending = false;
+        /** References outstanding when the pending release was deferred. */
+        std::unordered_set<std::uint64_t> releaseSnapshot;
+    };
+
+    core::ModelParams model;
+    std::vector<ProcState> procs;
+};
+
+} // namespace mcsim::check
+
+#endif // MCSIM_CHECK_ORDERING_LINTER_HH

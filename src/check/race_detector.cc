@@ -1,0 +1,112 @@
+#include "check/race_detector.hh"
+
+#include "sim/logging.hh"
+
+namespace mcsim::check
+{
+
+RaceDetector::RaceDetector(unsigned num_procs) : numProcs(num_procs)
+{
+    procClock.reserve(num_procs);
+    for (unsigned p = 0; p < num_procs; ++p) {
+        VectorClock c(num_procs);
+        // Start each processor at epoch 1 so a recorded access is always
+        // distinguishable from the zero-initialized shadow state.
+        c.set(static_cast<ProcId>(p), 1);
+        procClock.push_back(c);
+    }
+}
+
+RaceDetector::Shadow &
+RaceDetector::shadowFor(Addr granule)
+{
+    return shadow[granule];
+}
+
+std::string
+RaceDetector::checkRead(ProcId p, Addr granule)
+{
+    Shadow &s = shadowFor(granule);
+    const VectorClock &c = procClock[p];
+
+    // The previous write must happen-before this read.
+    if (s.writer != Shadow::noWriter && s.writer != p &&
+        s.writeClock > c.get(s.writer)) {
+        return strprintf("write by p%u races read by p%u at addr 0x%llx",
+                         s.writer, p,
+                         static_cast<unsigned long long>(granule << 2));
+    }
+    if (s.readClocks.empty())
+        s.readClocks.assign(numProcs, 0);
+    s.readClocks[p] = c.get(p);
+    return {};
+}
+
+std::string
+RaceDetector::checkWrite(ProcId p, Addr granule)
+{
+    Shadow &s = shadowFor(granule);
+    const VectorClock &c = procClock[p];
+
+    if (s.writer != Shadow::noWriter && s.writer != p &&
+        s.writeClock > c.get(s.writer)) {
+        return strprintf("write by p%u races write by p%u at addr 0x%llx",
+                         s.writer, p,
+                         static_cast<unsigned long long>(granule << 2));
+    }
+    // Every previous read must happen-before this write.
+    if (!s.readClocks.empty()) {
+        for (unsigned q = 0; q < numProcs; ++q) {
+            if (q != p && s.readClocks[q] > c.get(static_cast<ProcId>(q))) {
+                return strprintf(
+                    "read by p%u races write by p%u at addr 0x%llx", q, p,
+                    static_cast<unsigned long long>(granule << 2));
+            }
+        }
+    }
+    s.writer = p;
+    s.writeClock = c.get(p);
+    return {};
+}
+
+std::string
+RaceDetector::read(ProcId p, Addr addr, unsigned width)
+{
+    numChecked += 1;
+    for (Addr a = addr; a < addr + width; a += 4) {
+        std::string r = checkRead(p, granuleOf(a));
+        if (!r.empty())
+            return r;
+    }
+    return {};
+}
+
+std::string
+RaceDetector::write(ProcId p, Addr addr, unsigned width)
+{
+    numChecked += 1;
+    for (Addr a = addr; a < addr + width; a += 4) {
+        std::string r = checkWrite(p, granuleOf(a));
+        if (!r.empty())
+            return r;
+    }
+    return {};
+}
+
+void
+RaceDetector::acquire(ProcId p, Addr sync_addr)
+{
+    auto it = syncClock.find(sync_addr);
+    if (it != syncClock.end())
+        procClock[p].join(it->second);
+}
+
+void
+RaceDetector::release(ProcId p, Addr sync_addr)
+{
+    auto it = syncClock.try_emplace(sync_addr, numProcs).first;
+    it->second.join(procClock[p]);
+    procClock[p].tick(p);
+}
+
+} // namespace mcsim::check

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fixed-width vector clocks for the happens-before race detector.
+ *
+ * One component per simulated processor. Component p advances when
+ * processor p performs a release; joins propagate ordering through
+ * lock/flag addresses (release joins the address clock, acquire joins
+ * the processor clock). Clocks never shrink, so the usual lattice
+ * reasoning applies: a <= b iff every component of a is <= b's.
+ */
+
+#ifndef MCSIM_CHECK_VECTOR_CLOCK_HH
+#define MCSIM_CHECK_VECTOR_CLOCK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mcsim::check
+{
+
+/** A vector clock with one slot per processor. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+    explicit VectorClock(unsigned num_procs) : slots(num_procs, 0) {}
+
+    std::uint64_t get(ProcId p) const { return slots[p]; }
+    void set(ProcId p, std::uint64_t v) { slots[p] = v; }
+    void tick(ProcId p) { slots[p] += 1; }
+
+    unsigned size() const { return static_cast<unsigned>(slots.size()); }
+
+    /** Component-wise maximum: this |= other. */
+    void
+    join(const VectorClock &other)
+    {
+        if (slots.size() < other.slots.size())
+            slots.resize(other.slots.size(), 0);
+        for (std::size_t i = 0; i < other.slots.size(); ++i)
+            slots[i] = std::max(slots[i], other.slots[i]);
+    }
+
+  private:
+    std::vector<std::uint64_t> slots;
+};
+
+} // namespace mcsim::check
+
+#endif // MCSIM_CHECK_VECTOR_CLOCK_HH

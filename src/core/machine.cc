@@ -82,6 +82,24 @@ Machine::Machine(const MachineConfig &config) : cfg(config)
             queue, proc_params, *caches.back(), fmem));
         procs.back()->setDoneHandler([this]() { onWorkloadDone(); });
     }
+
+    if (cfg.check.enabled()) {
+        checkerPtr = std::make_unique<check::Checker>(
+            cfg.check, model, cfg.numProcs, cfg.numModules, cfg.lineBytes);
+        std::vector<const mem::Cache *> cache_views;
+        for (const auto &c : caches)
+            cache_views.push_back(c.get());
+        std::vector<const mem::MemoryModule *> module_views;
+        for (const auto &m : modules)
+            module_views.push_back(m.get());
+        checkerPtr->attach(std::move(cache_views), std::move(module_views));
+        for (auto &c : caches)
+            c->setChecker(checkerPtr.get());
+        for (auto &m : modules)
+            m->setChecker(checkerPtr.get());
+        for (auto &p : procs)
+            p->setChecker(checkerPtr.get());
+    }
 }
 
 void
@@ -118,6 +136,8 @@ Machine::run()
                   started - doneCount);
         }
     }
+    if (checkerPtr)
+        checkerPtr->finalAudit();
     Tick last = 0;
     for (const auto &p : procs)
         if (p->done())
@@ -143,6 +163,8 @@ Machine::collectStats() const
     respNet->stats().addTo(out, "respnet.");
     for (unsigned p = 0; p < cfg.numProcs; ++p)
         reqBufs[p]->stats().addTo(out, "reqbuf.total.");
+    if (checkerPtr)
+        checkerPtr->stats().addTo(out, "check.");
 
     Tick last = 0;
     for (const auto &p : procs)

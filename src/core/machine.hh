@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/checker.hh"
 #include "core/machine_config.hh"
 #include "cpu/processor.hh"
 #include "mem/cache.hh"
@@ -69,6 +70,10 @@ class Machine
     {
         return reqBufs.at(i)->stats();
     }
+    /** The invariant checker; nullptr when checking is disabled. @{ */
+    check::Checker *checker() { return checkerPtr.get(); }
+    const check::Checker *checker() const { return checkerPtr.get(); }
+    /** @} */
     /** @} */
 
     /** Aggregate every component's statistics into one StatSet. */
@@ -92,6 +97,8 @@ class Machine
     std::vector<std::unique_ptr<Buffer>> respBufs;   ///< per module
     std::vector<std::unique_ptr<mem::Outbox>> memOut;
     std::vector<std::unique_ptr<mem::MemoryModule>> modules;
+
+    std::unique_ptr<check::Checker> checkerPtr;
 
     unsigned started = 0;
     unsigned doneCount = 0;

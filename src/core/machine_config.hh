@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "check/check_config.hh"
 #include "core/consistency.hh"
 #include "sim/types.hh"
 
@@ -55,6 +56,11 @@ struct MachineConfig
 
     /** Runaway guard: fatal() if simulated time exceeds this. */
     Tick maxCycles = 4'000'000'000ull;
+
+    /** Invariant checking (src/check/): on by default so every test and
+     *  microbenchmark runs fully audited; the figure benches switch it
+     *  off (bench/bench_common.hh) to keep reported timings clean. */
+    check::CheckConfig check;
 
     /** When set, use this exact feature set instead of the canonical one
      *  for `model` -- the hook the ablation benches use to toggle single

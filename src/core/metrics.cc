@@ -34,6 +34,13 @@ RunMetrics::fromMachine(const Machine &machine, Tick run_ticks)
         m.bufferBypasses += machine.procBufferStats(p).bypasses;
     }
 
+    if (const check::Checker *checker = machine.checker()) {
+        const auto &cs = checker->stats();
+        m.checkViolations = cs.totalViolations();
+        m.checkLineAudits = cs.lineAudits;
+        m.checkAccessesChecked = cs.accessesChecked;
+    }
+
     m.readsPerProc = static_cast<double>(m.totalReads) / procs;
     m.writesPerProc = static_cast<double>(m.totalWrites) / procs;
     m.syncOpsPerProc = static_cast<double>(m.totalSyncOps) / procs;

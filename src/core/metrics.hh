@@ -43,6 +43,12 @@ struct RunMetrics
     std::uint64_t prefetchesUseful = 0;
     std::uint64_t releasesDeferred = 0;
 
+    /** Invariant-checker results (zero when checking is disabled). @{ */
+    std::uint64_t checkViolations = 0;   ///< all kinds summed
+    std::uint64_t checkLineAudits = 0;
+    std::uint64_t checkAccessesChecked = 0;
+    /** @} */
+
     /** Memory-module busy-cycle skew: max/min utilization ratio. */
     double moduleSkew = 1.0;
     /** Mean response-network message latency (cycles). */

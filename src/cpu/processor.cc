@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/checker.hh"
 #include "sim/logging.hh"
 
 namespace mcsim::cpu
@@ -234,6 +235,8 @@ Processor::attemptMem()
             return;
         }
         clearGate();
+        if (checker)
+            checker->onFenceComplete(cfg.id);
         finishAt(now + 1, 0);
         return;
     }
@@ -258,8 +261,12 @@ Processor::attemptMem()
     // Weak ordering: every sync operation waits for all outstanding
     // references to be performed before it is issued.
     if (model.syncDrains && is_sync && outstanding > 0) {
-        gateOn(Gate::Drain);
-        return;
+        if (skipNextDrain) {
+            skipNextDrain = false;  // fault injection: skip the drain
+        } else {
+            gateOn(Gate::Drain);
+            return;
+        }
     }
 
     // Sequential consistency: any access stalls while another is
@@ -275,6 +282,8 @@ Processor::attemptMem()
     }
 
     // Issue to the cache.
+    if (checker)
+        checker->onIssueCheck(cfg.id, is_sync, /*is_release=*/false);
     const std::uint64_t cookie = nextCookie++;
     mem::AccessType acc_type = accessTypeFor(op.kind);
     if (op.own && acc_type == mem::AccessType::Load)
@@ -303,6 +312,8 @@ Processor::handleHit()
     const Tick now = queue.now();
     switch (op.kind) {
       case OpKind::Load: {
+        if (checker)
+            checker->onDataRead(cfg.id, op.addr, op.width);
         const std::uint64_t id = nextToken++;
         tokens[id] = TokenState{readMem(op.addr, op.width),
                                 now + cfg.loadDelay, true};
@@ -310,6 +321,8 @@ Processor::handleHit()
         return;
       }
       case OpKind::LoadUse: {
+        if (checker)
+            checker->onDataRead(cfg.id, op.addr, op.width);
         const std::uint64_t value = readMem(op.addr, op.width);
         procStats.useStallCycles += cfg.loadDelay > 1
                                         ? cfg.loadDelay - 1
@@ -318,12 +331,16 @@ Processor::handleHit()
         return;
       }
       case OpKind::Store:
+        if (checker)
+            checker->onDataWrite(cfg.id, op.addr, op.width);
         writeMem(op.addr, op.value, op.width);
         finishAt(now + 1, 0);
         return;
       case OpKind::SyncLoad: {
         const Addr a = op.addr;
         finishAtEval(now + cfg.loadDelay, [this, a]() {
+            if (checker)
+                checker->onAcquire(cfg.id, a);
             const std::uint64_t v = mem.readU64(a);
             trace("syncload.hit", a, v);
             return v;
@@ -333,6 +350,8 @@ Processor::handleHit()
       case OpKind::SyncRmw: {
         const Addr a = op.addr;
         finishAtEval(now + cfg.loadDelay, [this, a]() {
+            if (checker)
+                checker->onAcquire(cfg.id, a);
             const std::uint64_t v = mem.testAndSet(a);
             trace("rmw.hit", a, v);
             return v;
@@ -342,6 +361,8 @@ Processor::handleHit()
       case OpKind::SyncStore:
         // Hit in M state: the write is globally performed immediately
         // (every other copy is already invalid).
+        if (checker)
+            checker->onRelease(cfg.id, op.addr);
         mem.writeU64(op.addr, op.value);
         trace("syncst.hit", op.addr, op.value);
         finishAt(now + 1, 0);
@@ -357,6 +378,8 @@ Processor::handleIssued(std::uint64_t cookie)
     const Op &op = active->op;
     const Tick now = queue.now();
     outstanding += 1;
+    if (checker)
+        checker->onRefIssued(cfg.id, cookie);
 
     InFlight rec;
     rec.kind = op.kind;
@@ -365,6 +388,8 @@ Processor::handleIssued(std::uint64_t cookie)
 
     switch (op.kind) {
       case OpKind::Load: {
+        if (checker)
+            checker->onDataRead(cfg.id, op.addr, op.width);
         const std::uint64_t id = nextToken++;
         rec.token = id;
         tokens[id] = TokenState{readMem(op.addr, op.width), maxTick, false};
@@ -378,6 +403,8 @@ Processor::handleIssued(std::uint64_t cookie)
         return;
       }
       case OpKind::LoadUse: {
+        if (checker)
+            checker->onDataRead(cfg.id, op.addr, op.width);
         rec.value = readMem(op.addr, op.width);
         inFlight.emplace(cookie, rec);
         active->wait = WaitKind::Completion;
@@ -385,6 +412,8 @@ Processor::handleIssued(std::uint64_t cookie)
         return;
       }
       case OpKind::Store: {
+        if (checker)
+            checker->onDataWrite(cfg.id, op.addr, op.width);
         writeMem(op.addr, op.value, op.width);
         inFlight.emplace(cookie, rec);
         if (cfg.model.scStoreBufferRelease) {
@@ -403,6 +432,8 @@ Processor::handleIssued(std::uint64_t cookie)
                     MCSIM_ASSERT(outstanding > 0,
                                  "early release with zero outstanding");
                     outstanding -= 1;
+                    if (checker)
+                        checker->onRefEarlyReleased(cfg.id, cookie);
                     onRetry();
                 },
                 EventQueue::prioDeliver);
@@ -411,6 +442,12 @@ Processor::handleIssued(std::uint64_t cookie)
         return;
       }
       case OpKind::SyncStore:
+        // The release happens-before edge is established at the program-
+        // order point even though the functional write is deferred to the
+        // timed completion: later accesses of this processor must not leak
+        // into the edge.
+        if (checker)
+            checker->onRelease(cfg.id, op.addr);
         if (cfg.model.singleOutstanding) {
             // Under SC a sync write needs no extra stall: the
             // single-outstanding rule already orders everything after it.
@@ -441,6 +478,12 @@ Processor::deferRelease(const Op &op)
     MCSIM_ASSERT(!releasePending, "second release while one pending");
     releasePending = true;
     deferredRelease = op;
+    if (checker) {
+        // Program-order point of the release: the happens-before edge and
+        // the linter's snapshot of prior references both form here.
+        checker->onRelease(cfg.id, op.addr);
+        checker->onReleaseDeferred(cfg.id);
+    }
     if (outstanding > 0) {
         procStats.releasesDeferred += 1;
         releaseCounter = outstanding;
@@ -458,6 +501,8 @@ Processor::tryIssueRelease()
     MCSIM_ASSERT(releasePending && deferredRelease && releaseCounter == 0,
                  "tryIssueRelease in bad state");
     const Op op = *deferredRelease;
+    if (checker)
+        checker->onIssueCheck(cfg.id, /*is_sync=*/true, /*is_release=*/true);
     const std::uint64_t cookie = nextCookie++;
     const auto outcome =
         cache.access(op.addr, mem::AccessType::SyncStore, cookie);
@@ -466,11 +511,15 @@ Processor::tryIssueRelease()
         mem.writeU64(op.addr, op.value);
         releasePending = false;
         deferredRelease.reset();
+        if (checker)
+            checker->onReleaseDone(cfg.id);
         onRetry();  // a fence or second release may be waiting
         return;
       case mem::AccessOutcome::Miss:
       case mem::AccessOutcome::Merged: {
         outstanding += 1;
+        if (checker)
+            checker->onRefIssued(cfg.id, cookie);
         InFlight rec;
         rec.kind = OpKind::SyncStore;
         rec.addr = op.addr;
@@ -492,6 +541,8 @@ Processor::onCompletion(std::uint64_t cookie)
     auto node = inFlight.extract(cookie);
     MCSIM_ASSERT(!node.empty(), "completion for unknown cookie");
     const InFlight rec = node.mapped();
+    if (checker)
+        checker->onRefCompleted(cfg.id, cookie);
     if (!rec.earlyReleased) {
         MCSIM_ASSERT(outstanding > 0, "completion with zero outstanding");
         outstanding -= 1;
@@ -541,6 +592,8 @@ Processor::onCompletion(std::uint64_t cookie)
         if (active && active->wait == WaitKind::Completion &&
             active->waitCookie == cookie) {
             procStats.syncStallCycles += now - active->startTick;
+            if (checker)
+                checker->onAcquire(cfg.id, rec.addr);
             const std::uint64_t v = mem.readU64(rec.addr);
             trace("syncload.cpl", rec.addr, v);
             resumeNow(v);
@@ -551,6 +604,8 @@ Processor::onCompletion(std::uint64_t cookie)
         if (active && active->wait == WaitKind::Completion &&
             active->waitCookie == cookie) {
             procStats.syncStallCycles += now - active->startTick;
+            if (checker)
+                checker->onAcquire(cfg.id, rec.addr);
             const std::uint64_t v = mem.testAndSet(rec.addr);
             trace("rmw.cpl", rec.addr, v);
             resumeNow(v);
@@ -562,6 +617,8 @@ Processor::onCompletion(std::uint64_t cookie)
         trace("syncst.cpl", rec.addr, rec.value);
         if (rec.isRelease) {
             releasePending = false;
+            if (checker)
+                checker->onReleaseDone(cfg.id);
         } else if (active && active->wait == WaitKind::Completion &&
                    active->waitCookie == cookie) {
             procStats.syncStallCycles += now - active->startTick;

@@ -33,6 +33,11 @@
 #include "sim/task.hh"
 #include "sim/types.hh"
 
+namespace mcsim::check
+{
+class Checker;
+} // namespace mcsim::check
+
 namespace mcsim::cpu
 {
 
@@ -209,6 +214,16 @@ class Processor
     unsigned outstandingRefs() const { return outstanding; }
     bool releaseInFlight() const { return releasePending; }
 
+    /** Wire the invariant checker (Machine; nullptr = no checking). */
+    void setChecker(check::Checker *c) { checker = c; }
+
+    /**
+     * Fault injection (tests only): ignore the drain gate at the next sync
+     * operation that would stall on it, issuing the sync op with references
+     * still outstanding -- the ordering linter must catch this.
+     */
+    void injectSkipNextDrainForTest() { skipNextDrain = true; }
+
   private:
     friend class Awaiter;
 
@@ -327,6 +342,9 @@ class Processor
     bool releasePending = false;
     std::optional<Op> deferredRelease;  ///< release not yet issued to cache
     unsigned releaseCounter = 0;        ///< tagged refs still outstanding
+
+    check::Checker *checker = nullptr;
+    bool skipNextDrain = false;  ///< fault injection, tests only
 
     ProcStats procStats;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/checker.hh"
 #include "sim/logging.hh"
 
 namespace mcsim::mem
@@ -154,8 +155,11 @@ Cache::evict(Line &line)
     }
     // Clean (Shared) lines are dropped silently; the directory's stale
     // presence bit costs at worst one spurious Invalidate later.
+    const Addr line_addr = line.lineAddr;
     line.state = LineState::Invalid;
     line.lineAddr = invalidAddr;
+    if (checker)
+        checker->onCacheLineEvent(procId, line_addr);
 }
 
 void
@@ -168,6 +172,8 @@ Cache::sendRequest(MsgKind kind, Addr line_addr, bool bypass_eligible,
     msg.bytes = messageBytes(kind, cfg.lineBytes);
     msg.bypassEligible = bypass_eligible;
     msg.payload = CoherenceMsg{kind, line_addr, procId};
+    if (checker)
+        checker->onProtocolMessage(msg.payload, /*to_memory=*/true);
     if (delay == 0) {
         out.send(std::move(msg));
     } else {
@@ -256,11 +262,10 @@ Cache::access(Addr addr, AccessType type, std::uint64_t cookie)
         if (line->state == LineState::Shared && wants_excl) {
             // Write to a read-held line: invalidate the local copy and
             // refetch with write permission -- a write miss (paper 3.3).
-            if (Mshr *mshr = allocMshr()) {
+            if (allocMshr() != nullptr) {
                 count(false);
                 line->state = LineState::Invalid;
                 line->lineAddr = invalidAddr;
-                (void)mshr;
                 const std::uint32_t set = setOf(line_addr);
                 launchMiss(*line, set, line_addr, true, false, cookie,
                            false, !isSync(type));
@@ -420,6 +425,12 @@ Cache::handleResponse(NetMsg &&msg)
             }
             break;
         }
+        if (ignoreNextInvalidate && findLine(cm.lineAddr) != nullptr) {
+            // Fault injection: acknowledge but keep the stale copy.
+            ignoreNextInvalidate = false;
+            sendRequest(MsgKind::InvAck, cm.lineAddr, false, 0);
+            break;
+        }
         applyInvalidate(cm.lineAddr);
         sendRequest(MsgKind::InvAck, cm.lineAddr, false, 0);
         break;
@@ -467,6 +478,8 @@ Cache::applyInvalidate(Addr line_addr)
     line->state = LineState::Invalid;
     line->lineAddr = invalidAddr;
     invalidatedLines.insert(line_addr);
+    if (checker)
+        checker->onCacheLineEvent(procId, line_addr);
 }
 
 void
@@ -484,6 +497,8 @@ Cache::applyRecall(Addr line_addr, bool exclusive_recall)
     } else {
         line->state = LineState::Shared;
     }
+    if (checker)
+        checker->onCacheLineEvent(procId, line_addr);
 }
 
 void
@@ -512,6 +527,9 @@ Cache::settleFill(Addr line_addr)
         sendRequest(MsgKind::InvAck, line_addr, false, 0);
     } else if (deferred_recall_excl || deferred_recall_shared) {
         applyRecall(line_addr, deferred_recall_excl);
+    } else if (checker) {
+        // Deferred paths audit inside applyInvalidate/applyRecall.
+        checker->onCacheLineEvent(procId, line_addr);
     }
 
     notifyRetry();

@@ -28,6 +28,11 @@
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
+namespace mcsim::check
+{
+class Checker;
+} // namespace mcsim::check
+
 namespace mcsim::mem
 {
 
@@ -142,6 +147,17 @@ class Cache
     void setCompletionHandler(CompletionFn fn) { completionFn = std::move(fn); }
     void setRetryHandler(RetryFn fn) { retryFn = std::move(fn); }
 
+    /** Wire the invariant checker (Machine; nullptr = no checking). */
+    void setChecker(check::Checker *c) { checker = c; }
+
+    /**
+     * Fault injection (tests only): silently drop the next Invalidate that
+     * targets a resident line -- the InvAck is still sent, but the stale
+     * Shared copy survives, which the coherence auditor must catch when
+     * another processor gains ownership.
+     */
+    void injectIgnoreNextInvalidateForTest() { ignoreNextInvalidate = true; }
+
     /** Free MSHR count (CPU issue gating). */
     unsigned freeMshrs() const;
 
@@ -233,6 +249,9 @@ class Cache
     CompletionFn completionFn;
     RetryFn retryFn;
     CacheStats cacheStats;
+
+    check::Checker *checker = nullptr;
+    bool ignoreNextInvalidate = false;  ///< fault injection, tests only
 };
 
 } // namespace mcsim::mem

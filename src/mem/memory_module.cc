@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/checker.hh"
 #include "sim/logging.hh"
 
 namespace mcsim::mem
@@ -68,6 +69,16 @@ MemoryModule::ownerOf(Addr line_addr) const
     return it == dir.end() ? 0 : it->second.owner;
 }
 
+void
+MemoryModule::corruptDirEntryForTest(Addr line_addr, DirState state,
+                                     ProcId owner, std::uint64_t presence)
+{
+    DirEntry &entry = dir[line_addr];
+    entry.state = state;
+    entry.owner = owner;
+    entry.presence = presence;
+}
+
 Tick
 MemoryModule::reserveRead()
 {
@@ -95,6 +106,8 @@ MemoryModule::sendToProc(MsgKind kind, Addr line_addr, ProcId proc,
     msg.dst = proc;
     msg.bytes = messageBytes(kind, cfg.lineBytes);
     msg.payload = CoherenceMsg{kind, line_addr, proc};
+    if (checker)
+        checker->onProtocolMessage(msg.payload, /*to_memory=*/false);
     if (when <= queue.now()) {
         out.send(std::move(msg));
     } else {
@@ -137,6 +150,8 @@ MemoryModule::handleRequest(NetMsg &&msg)
         entry.state = DirState::Uncached;
         entry.presence = 0;
         reserveWrite();
+        if (checker)
+            checker->onDirectoryEvent(moduleId, cm.lineAddr);
         return;
       }
 
@@ -149,9 +164,9 @@ MemoryModule::handleRequest(NetMsg &&msg)
       }
 
       case MsgKind::RecallStale: {
-        auto it = txns.find(cm.lineAddr);
-        if (it != txns.end())
-            it->second.ownerStale = true;
+        // The recall target surrendered the line before our recall reached
+        // it; its Writeback (already in flight) completes the transaction
+        // when it arrives, so nothing to record here.
         return;
       }
 
@@ -291,6 +306,8 @@ MemoryModule::finish(Addr line_addr, Tick reply_tick, bool owner_shares)
                            queue.now());
             }
             modStats.requests += 1;
+            if (checker)
+                checker->onDirectoryEvent(moduleId, line_addr);
 
             std::deque<NetMsg> waiters = std::move(txn.waiters);
             txns.erase(line_addr);

@@ -31,6 +31,11 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
+namespace mcsim::check
+{
+class Checker;
+} // namespace mcsim::check
+
 namespace mcsim::mem
 {
 
@@ -107,6 +112,16 @@ class MemoryModule
     /** Registered exclusive owner of @p line_addr (valid when Exclusive). */
     ProcId ownerOf(Addr line_addr) const;
 
+    /** Wire the invariant checker (Machine; nullptr = no checking). */
+    void setChecker(check::Checker *c) { checker = c; }
+
+    /**
+     * Fault injection (tests only): overwrite a directory entry so it no
+     * longer reflects the caches, which the coherence auditor must catch.
+     */
+    void corruptDirEntryForTest(Addr line_addr, DirState state, ProcId owner,
+                                std::uint64_t presence);
+
   private:
     struct DirEntry
     {
@@ -125,7 +140,6 @@ class MemoryModule
         unsigned acksLeft = 0;
         bool memReadDone = false;
         Tick dataReadyTick = 0;
-        bool ownerStale = false;
         std::deque<NetMsg> waiters;  ///< blocked requests for this line
     };
 
@@ -149,6 +163,7 @@ class MemoryModule
     std::unordered_map<Addr, Txn> txns;
     Tick busyUntil = 0;
     ModuleStats modStats;
+    check::Checker *checker = nullptr;
 };
 
 } // namespace mcsim::mem

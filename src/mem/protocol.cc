@@ -22,4 +22,17 @@ msgKindName(MsgKind kind)
     return "<unknown>";
 }
 
+const char *
+validateMessage(const CoherenceMsg &msg, bool to_memory,
+                unsigned num_procs, unsigned line_bytes)
+{
+    if (to_memory != isRequestKind(msg.kind))
+        return "message kind does not match its network direction";
+    if (line_bytes == 0 || msg.lineAddr % line_bytes != 0)
+        return "message address is not line-aligned";
+    if (msg.proc >= num_procs)
+        return "message names a nonexistent processor";
+    return nullptr;
+}
+
 } // namespace mcsim::mem

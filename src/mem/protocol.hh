@@ -47,6 +47,15 @@ enum class MsgKind : std::uint8_t
 /** Human-readable kind name (diagnostics and tests). */
 const char *msgKindName(MsgKind kind);
 
+/** True for kinds that travel processor -> memory (request network). */
+constexpr bool
+isRequestKind(MsgKind kind)
+{
+    return kind == MsgKind::GetShared || kind == MsgKind::GetExclusive ||
+           kind == MsgKind::Writeback || kind == MsgKind::InvAck ||
+           kind == MsgKind::RecallStale || kind == MsgKind::FlushData;
+}
+
 /** True for kinds that carry a full cache line of data. */
 constexpr bool
 carriesLine(MsgKind kind)
@@ -68,6 +77,20 @@ struct CoherenceMsg
 
 /** Message envelope type used by both machine networks. */
 using NetMsg = net::Msg<CoherenceMsg>;
+
+/**
+ * Well-formedness lint for a protocol message about to be injected
+ * (src/check/ hooks): the kind must match the network direction, the
+ * address must be line-aligned, and the processor id must exist.
+ *
+ * @param msg the payload being sent
+ * @param to_memory true when injected into the request network
+ * @param num_procs processor count
+ * @param line_bytes cache line size
+ * @return nullptr when well-formed, else a static description
+ */
+const char *validateMessage(const CoherenceMsg &msg, bool to_memory,
+                            unsigned num_procs, unsigned line_bytes);
 
 /**
  * Network size in bytes of a protocol message: one flit of header/address,

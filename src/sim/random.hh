@@ -54,8 +54,9 @@ class Rng
     {
         if (bound == 0)
             return 0;
+        __extension__ typedef unsigned __int128 u128;
         return static_cast<std::uint64_t>(
-            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+            (static_cast<u128>(next()) * bound) >> 64);
     }
 
     /** Uniform integer in [lo, hi] inclusive. */

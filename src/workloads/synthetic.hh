@@ -50,6 +50,8 @@ class SyntheticWorkload : public Workload
     std::string name() const override { return "Synthetic"; }
     void setup(core::Machine &machine) override;
     void verify(core::Machine &machine) const override;
+    /** The random streams hit shared words without locking by design. */
+    bool dataRaceFree() const override { return false; }
 
   private:
     static SimTask body(cpu::Processor &proc, SyntheticWorkload &w,

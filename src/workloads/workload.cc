@@ -6,7 +6,10 @@ namespace mcsim::workloads
 RunResult
 runWorkload(Workload &workload, const core::MachineConfig &config)
 {
-    core::Machine machine(config);
+    core::MachineConfig cfg = config;
+    if (!workload.dataRaceFree())
+        cfg.check.races = false;
+    core::Machine machine(cfg);
     workload.setup(machine);
     const Tick last = machine.run();
     workload.verify(machine);

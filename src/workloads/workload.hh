@@ -44,6 +44,15 @@ class Workload
      * programs.
      */
     virtual void verify(core::Machine &machine) const = 0;
+
+    /**
+     * True when the program is data-race-free under the sync operations it
+     * uses. runWorkload() disables the happens-before race detector for
+     * workloads that return false (e.g. the synthetic reference generator,
+     * which writes shared addresses without locking by design); the
+     * coherence and ordering checks stay on.
+     */
+    virtual bool dataRaceFree() const { return true; }
 };
 
 /** Result of one run: derived metrics plus the raw statistic set. */

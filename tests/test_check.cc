@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests for the invariant-checking layer (src/check/): clean runs stay
+ * silent, each injected fault trips its auditor, Count mode counts
+ * instead of throwing, and the unit-level pieces (race detector,
+ * ordering linter, protocol lint) behave per their contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/ordering_linter.hh"
+#include "check/race_detector.hh"
+#include "core/consistency.hh"
+#include "core/machine.hh"
+#include "core/metrics.hh"
+#include "mem/protocol.hh"
+#include "sim/task.hh"
+#include "workloads/gauss.hh"
+#include "workloads/psim.hh"
+#include "workloads/qsort.hh"
+#include "workloads/relax.hh"
+#include "workloads/workload.hh"
+
+using namespace mcsim;
+using core::Model;
+
+namespace
+{
+
+constexpr Addr dataAddr = 0x1000;
+constexpr Addr flagAddr = 0x2000;
+
+core::MachineConfig
+smallConfig(Model model, unsigned procs = 2)
+{
+    core::MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.numModules = procs;
+    cfg.model = model;
+    cfg.cacheBytes = 1024;
+    cfg.lineBytes = 16;
+    return cfg;
+}
+
+SimTask
+handoffWriter(cpu::Processor &p)
+{
+    co_await p.store(dataAddr, 42);
+    co_await p.syncStore(flagAddr, 1);
+}
+
+SimTask
+handoffReader(cpu::Processor &p, std::uint64_t &seen)
+{
+    for (;;) {
+        const std::uint64_t f = co_await p.syncLoad(flagAddr);
+        if (f == 1)
+            break;
+        co_await p.branch();
+    }
+    seen = co_await p.loadUse(dataAddr);
+}
+
+} // namespace
+
+TEST(Checker, CleanHandoffRunsSilentlyOnEveryModel)
+{
+    for (Model model : core::allModels) {
+        core::MachineConfig cfg = smallConfig(model);
+        core::Machine m(cfg);
+        ASSERT_NE(m.checker(), nullptr);
+        std::uint64_t seen = 0;
+        m.startWorkload(0, handoffWriter(m.proc(0)));
+        m.startWorkload(1, handoffReader(m.proc(1), seen));
+        EXPECT_NO_THROW(m.run()) << core::modelName(model);
+        EXPECT_EQ(seen, 42u);
+
+        const auto &cs = m.checker()->stats();
+        EXPECT_EQ(cs.totalViolations(), 0u);
+        EXPECT_GT(cs.lineAudits, 0u);
+        EXPECT_GT(cs.accessesChecked, 0u);
+        EXPECT_GT(cs.messagesChecked, 0u);
+    }
+}
+
+TEST(Checker, StatsAndMetricsExportCheckCounters)
+{
+    core::Machine m(smallConfig(Model::WO1));
+    std::uint64_t seen = 0;
+    m.startWorkload(0, handoffWriter(m.proc(0)));
+    m.startWorkload(1, handoffReader(m.proc(1), seen));
+    const Tick last = m.run();
+
+    const StatSet stats = m.collectStats();
+    EXPECT_TRUE(stats.has("check.coherence_violations"));
+    EXPECT_EQ(stats.get("check.coherence_violations"), 0.0);
+    EXPECT_GT(stats.get("check.line_audits"), 0.0);
+    EXPECT_GT(stats.get("check.accesses_checked"), 0.0);
+
+    const auto metrics = core::RunMetrics::fromMachine(m, last);
+    EXPECT_EQ(metrics.checkViolations, 0u);
+    EXPECT_GT(metrics.checkLineAudits, 0u);
+    EXPECT_GT(metrics.checkAccessesChecked, 0u);
+}
+
+TEST(Checker, DisabledModeBuildsNoChecker)
+{
+    core::MachineConfig cfg = smallConfig(Model::SC1);
+    cfg.check.mode = check::CheckMode::Off;
+    core::Machine m(cfg);
+    EXPECT_EQ(m.checker(), nullptr);
+    std::uint64_t seen = 0;
+    m.startWorkload(0, handoffWriter(m.proc(0)));
+    m.startWorkload(1, handoffReader(m.proc(1), seen));
+    EXPECT_NO_THROW(m.run());
+    EXPECT_FALSE(m.collectStats().has("check.line_audits"));
+}
+
+TEST(Checker, CorruptedDirectoryEntryTripsCoherenceAuditor)
+{
+    core::MachineConfig cfg = smallConfig(Model::SC1);
+    core::Machine m(cfg);
+    // Leave proc 0 with a Modified copy of dataAddr's line.
+    m.startWorkload(0, [](cpu::Processor &p) -> SimTask {
+        co_await p.store(dataAddr, 7);
+    }(m.proc(0)));
+    EXPECT_NO_THROW(m.run());
+    ASSERT_EQ(m.cache(0).lineState(dataAddr), mem::Cache::LineState::Modified);
+
+    const Addr line = alignDown(dataAddr, cfg.lineBytes);
+    const unsigned mod =
+        static_cast<unsigned>((line / cfg.lineBytes) % cfg.numModules);
+    // The directory forgets the exclusive owner: invariant C (and E).
+    m.module(mod).corruptDirEntryForTest(
+        line, mem::MemoryModule::DirState::Uncached, 0, 0);
+    EXPECT_THROW(m.checker()->finalAudit(), FatalError);
+}
+
+TEST(Checker, IgnoredInvalidateTripsCoherenceAuditor)
+{
+    core::MachineConfig cfg = smallConfig(Model::SC1);
+    core::Machine m(cfg);
+    // Proc 0 keeps its stale Shared copy when proc 1 takes ownership.
+    m.cache(0).injectIgnoreNextInvalidateForTest();
+    m.startWorkload(0, [](cpu::Processor &p) -> SimTask {
+        co_await p.loadUse(dataAddr);   // Shared copy
+        co_await p.exec(2000);
+    }(m.proc(0)));
+    m.startWorkload(1, [](cpu::Processor &p) -> SimTask {
+        co_await p.exec(200);           // let proc 0's fill settle first
+        co_await p.store(dataAddr, 9);  // GetExclusive -> Invalidate p0
+        co_await p.exec(2000);
+    }(m.proc(1)));
+    EXPECT_THROW(m.run(), FatalError);
+}
+
+TEST(Checker, SkippedDrainTripsOrderingLinter)
+{
+    core::MachineConfig cfg = smallConfig(Model::WO1, 2);
+    core::Machine m(cfg);
+    // The sync store issues while the data store is still outstanding.
+    m.proc(0).injectSkipNextDrainForTest();
+    m.startWorkload(0, [](cpu::Processor &p) -> SimTask {
+        co_await p.store(dataAddr, 1);      // miss, outstanding under WO
+        co_await p.syncStore(flagAddr, 1);  // must drain first -- skipped
+    }(m.proc(0)));
+    m.startWorkload(1, [](cpu::Processor &p) -> SimTask {
+        co_await p.exec(1);
+    }(m.proc(1)));
+    EXPECT_THROW(m.run(), FatalError);
+}
+
+TEST(Checker, DeliberateRaceTripsRaceDetector)
+{
+    core::MachineConfig cfg = smallConfig(Model::SC1);
+    core::Machine m(cfg);
+    m.startWorkload(0, [](cpu::Processor &p) -> SimTask {
+        co_await p.store(dataAddr, 1);  // no release afterwards
+    }(m.proc(0)));
+    m.startWorkload(1, [](cpu::Processor &p) -> SimTask {
+        co_await p.exec(300);
+        co_await p.loadUse(dataAddr);   // unsynchronized read
+    }(m.proc(1)));
+    EXPECT_THROW(m.run(), FatalError);
+}
+
+TEST(Checker, CountModeCountsInsteadOfThrowing)
+{
+    core::MachineConfig cfg = smallConfig(Model::SC1);
+    cfg.check.mode = check::CheckMode::Count;
+    core::Machine m(cfg);
+    m.startWorkload(0, [](cpu::Processor &p) -> SimTask {
+        co_await p.store(dataAddr, 1);
+    }(m.proc(0)));
+    m.startWorkload(1, [](cpu::Processor &p) -> SimTask {
+        co_await p.exec(300);
+        co_await p.loadUse(dataAddr);
+    }(m.proc(1)));
+    EXPECT_NO_THROW(m.run());
+    EXPECT_GE(m.checker()->stats().raceViolations, 1u);
+    EXPECT_GE(m.collectStats().get("check.race_violations"), 1.0);
+}
+
+// Acceptance sweep: every model x every paper workload (small sizes)
+// runs to completion with full checking enabled and zero violations.
+TEST(Checker, AllModelsAllWorkloadsRunClean)
+{
+    for (Model model : core::allModels) {
+        core::MachineConfig cfg;
+        cfg.numProcs = 4;
+        cfg.numModules = 4;
+        cfg.model = model;
+        cfg.cacheBytes = 2048;
+        cfg.lineBytes = 16;
+        cfg.maxCycles = 400'000'000ull;
+
+        workloads::GaussParams gp;
+        gp.n = 24;
+        workloads::GaussWorkload gauss(gp);
+        workloads::QsortParams qp;
+        qp.n = 2048;
+        qp.parallelCutoff = 512;
+        workloads::QsortWorkload qsort(qp);
+        workloads::RelaxParams rp;
+        rp.interior = 24;
+        rp.iterations = 2;
+        workloads::RelaxWorkload relax(rp);
+        workloads::PsimParams pp;
+        pp.simProcs = 8;
+        pp.packetsPerProc = 16;
+        workloads::PsimWorkload psim(pp);
+
+        workloads::Workload *all[] = {&gauss, &qsort, &relax, &psim};
+        for (workloads::Workload *w : all) {
+            workloads::RunResult r;
+            ASSERT_NO_THROW(r = workloads::runWorkload(*w, cfg))
+                << core::modelName(model) << " / " << w->name();
+            EXPECT_EQ(r.metrics.checkViolations, 0u)
+                << core::modelName(model) << " / " << w->name();
+            EXPECT_GT(r.metrics.checkLineAudits, 0u);
+        }
+    }
+}
+
+TEST(RaceDetector, SyncEdgeSuppressesRace)
+{
+    check::RaceDetector det(2);
+    EXPECT_EQ(det.write(0, 0x100, 8), "");
+    det.release(0, 0x200);
+    det.acquire(1, 0x200);
+    EXPECT_EQ(det.read(1, 0x100, 8), "");   // ordered through the sync addr
+    EXPECT_EQ(det.write(1, 0x100, 8), "");  // write-after-write, ordered
+}
+
+TEST(RaceDetector, UnorderedAccessesRace)
+{
+    check::RaceDetector det(2);
+    EXPECT_EQ(det.write(0, 0x100, 8), "");
+    const std::string r = det.read(1, 0x100, 8);
+    EXPECT_NE(r, "");
+    EXPECT_NE(r.find("races"), std::string::npos);
+
+    // A sync edge through an *unrelated* address does not order them.
+    check::RaceDetector det2(2);
+    EXPECT_EQ(det2.write(0, 0x100, 8), "");
+    det2.release(0, 0x200);
+    det2.acquire(1, 0x300);
+    EXPECT_NE(det2.write(1, 0x100, 8), "");
+}
+
+TEST(RaceDetector, GranulesAreIndependent)
+{
+    check::RaceDetector det(2);
+    EXPECT_EQ(det.write(0, 0x100, 4), "");
+    EXPECT_EQ(det.write(1, 0x104, 4), "");  // adjacent word: no conflict
+    EXPECT_NE(det.write(1, 0x100, 4), "");  // same word: conflict
+}
+
+TEST(OrderingLinter, SingleOutstandingRule)
+{
+    check::OrderingLinter lint(1, core::modelParams(Model::SC1));
+    EXPECT_EQ(lint.issueCheck(0, false, false), "");
+    lint.refIssued(0, 1);
+    EXPECT_NE(lint.issueCheck(0, false, false), "");
+    lint.refCompleted(0, 1);
+    EXPECT_EQ(lint.issueCheck(0, false, false), "");
+}
+
+TEST(OrderingLinter, DrainBeforeSyncRule)
+{
+    check::OrderingLinter lint(1, core::modelParams(Model::WO1));
+    lint.refIssued(0, 1);
+    EXPECT_EQ(lint.issueCheck(0, false, false), "");  // data refs overlap
+    EXPECT_NE(lint.issueCheck(0, true, false), "");   // sync must drain
+    EXPECT_NE(lint.fenceCheck(0), "");
+    lint.refCompleted(0, 1);
+    EXPECT_EQ(lint.issueCheck(0, true, false), "");
+    EXPECT_EQ(lint.fenceCheck(0), "");
+}
+
+TEST(OrderingLinter, ReleaseAfterPriorAccessesRule)
+{
+    check::OrderingLinter lint(1, core::modelParams(Model::RC));
+    lint.refIssued(0, 1);
+    lint.releaseDeferred(0);
+    lint.refIssued(0, 2);  // issued after the defer point: does not gate
+    EXPECT_NE(lint.issueCheck(0, true, true), "");
+    lint.refCompleted(0, 1);
+    EXPECT_EQ(lint.issueCheck(0, true, true), "");
+    lint.releaseDone(0);
+}
+
+TEST(ProtocolLint, ValidatesDirectionAlignmentAndProc)
+{
+    mem::CoherenceMsg msg{mem::MsgKind::GetShared, 0x100, 0};
+    EXPECT_EQ(mem::validateMessage(msg, true, 4, 16), nullptr);
+    // A request kind injected into the response network.
+    EXPECT_NE(mem::validateMessage(msg, false, 4, 16), nullptr);
+    // A reply kind injected into the request network.
+    mem::CoherenceMsg reply{mem::MsgKind::DataReplyShared, 0x100, 0};
+    EXPECT_NE(mem::validateMessage(reply, true, 4, 16), nullptr);
+    EXPECT_EQ(mem::validateMessage(reply, false, 4, 16), nullptr);
+    // Misaligned line address.
+    mem::CoherenceMsg odd{mem::MsgKind::GetShared, 0x108, 0};
+    EXPECT_NE(mem::validateMessage(odd, true, 4, 16), nullptr);
+    // Nonexistent processor.
+    mem::CoherenceMsg ghost{mem::MsgKind::GetShared, 0x100, 9};
+    EXPECT_NE(mem::validateMessage(ghost, true, 4, 16), nullptr);
+}

@@ -108,6 +108,9 @@ TEST_P(StressSweep, FalseSharingHammerQuiesces)
     cfg.lineBytes = line;
     cfg.cacheBytes = cache_bytes;
     cfg.maxCycles = 400'000'000ull;
+    // The hammer mixes plain loads/stores on shared words by design;
+    // keep coherence/ordering auditing on but mute the race detector.
+    cfg.check.races = false;
     core::Machine machine(cfg);
 
     workloads::SharedLayout layout(cfg.lineBytes);
@@ -155,6 +158,7 @@ TEST(Stress, SetThrashingWithTinyCache)
     cfg.model = Model::WO1;
     cfg.lineBytes = 16;
     cfg.cacheBytes = 32;  // 1 set x 2 ways
+    cfg.check.races = false;  // deliberately unsynchronized churn
     core::Machine machine(cfg);
     machine.memory().ensure(1 << 16);
 
@@ -186,6 +190,7 @@ TEST(Stress, SingleLineTotalContention)
     cfg.model = Model::RC;
     cfg.lineBytes = 64;
     cfg.cacheBytes = 2048;
+    cfg.check.races = false;  // deliberately unsynchronized ping-pong
     core::Machine machine(cfg);
     machine.memory().ensure(4096);
 
@@ -220,6 +225,7 @@ TEST(Stress, BuffersAtDepthOne)
     cfg.bufferEntries = 1;
     cfg.lineBytes = 64;
     cfg.cacheBytes = 1024;
+    cfg.check.races = false;  // deliberately unsynchronized traffic
     core::Machine machine(cfg);
     machine.memory().ensure(1 << 16);
 
