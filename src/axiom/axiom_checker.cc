@@ -1,0 +1,455 @@
+#include "axiom/axiom_checker.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace mcsim::axiom
+{
+
+const char *
+edgeRelName(EdgeRel rel)
+{
+    switch (rel) {
+      case EdgeRel::Ppo:
+        return "ppo";
+      case EdgeRel::PoLoc:
+        return "po-loc";
+      case EdgeRel::Rf:
+        return "rf";
+      case EdgeRel::Co:
+        return "co";
+      case EdgeRel::Fr:
+        return "fr";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Per-granule write history: event ids sorted by version tag. */
+struct GranuleWrites
+{
+    std::vector<std::uint32_t> byVersion;  ///< [k-1] wrote version k
+};
+
+class CheckerRun
+{
+  public:
+    CheckerRun(const Trace &trace_ref, const core::ModelParams &model_ref)
+        : trace(trace_ref), model(model_ref)
+    {
+        result.hwValues.assign(trace.events.size(), 0);
+        result.hwReadsFrom.assign(trace.events.size(), kNoSource);
+    }
+
+    AxiomResult run();
+
+  private:
+    static constexpr std::uint32_t kNoSource = UINT32_MAX;
+
+    const Event &ev(std::uint32_t id) const { return trace.events[id]; }
+
+    void addEdge(std::uint32_t from, std::uint32_t to, EdgeRel rel)
+    {
+        if (from != to)
+            edges.push_back(HbEdge{from, to, rel});
+    }
+
+    /** A ppo generator edge with a timestamp obligation. */
+    void requirePpo(std::uint32_t from, std::uint32_t to, Tick lhs,
+                    Tick rhs, const char *rule);
+
+    void buildPpoForProc(const std::vector<std::uint32_t> &po);
+    void buildPoLoc(const std::vector<std::uint32_t> &po);
+    void buildWriteHistory();
+    void buildRfCoFr();
+
+    /** Hardware visibility time of write @p w to reader @p r. */
+    Tick visibleAt(const Event &w, const Event &r) const
+    {
+        return w.proc == r.proc ? w.bind : w.perform;
+    }
+
+    void findCycle();
+    std::string formatReport() const;
+
+    const Trace &trace;
+    const core::ModelParams &model;
+    std::vector<HbEdge> edges;
+    std::unordered_map<Addr, GranuleWrites> writes;
+    AxiomResult result;
+};
+
+void
+CheckerRun::requirePpo(std::uint32_t from, std::uint32_t to, Tick lhs,
+                       Tick rhs, const char *rule)
+{
+    addEdge(from, to, EdgeRel::Ppo);
+    if (lhs > rhs) {
+        result.ok = false;
+        if (result.temporal.size() < 32)
+            result.temporal.push_back(TemporalViolation{from, to, rule});
+    }
+}
+
+void
+CheckerRun::buildPpoForProc(const std::vector<std::uint32_t> &po)
+{
+    // SC family: total program order. Fences are transparent here: the
+    // machine's fence is a no-op under SC (the single-outstanding rule
+    // already orders everything) and completes with refs in flight, so
+    // the chain must run through the memory events around it. With the
+    // store-buffer hand-off a plain store stops gating later accesses at
+    // its hand-off tick, so its outgoing program order (beyond po-loc)
+    // is not enforced.
+    if (model.singleOutstanding) {
+        bool have_last = false;
+        std::uint32_t last = 0;
+        for (std::uint32_t id : po) {
+            if (ev(id).kind == EventKind::Fence)
+                continue;
+            if (have_last) {
+                requirePpo(last, id, ev(last).orderTick, ev(id).issue,
+                           "single-outstanding (SC): access issued before "
+                           "the previous ordered access performed");
+            }
+            if (!model.scStoreBufferRelease ||
+                ev(id).kind != EventKind::Write) {
+                last = id;
+                have_last = true;
+            } else {
+                // Store-buffered write: drops out of the chain entirely
+                // (its predecessor keeps gating the successor instead).
+                continue;
+            }
+        }
+    }
+
+    // Weak ordering: everything before a sync performs before the sync
+    // issues; everything after it issues after the sync performs.
+    if (model.syncDrains) {
+        std::vector<std::uint32_t> pending;
+        bool have_sync = false;
+        std::uint32_t prev_sync = 0;
+        for (std::uint32_t id : po) {
+            if (have_sync) {
+                requirePpo(prev_sync, id, ev(prev_sync).perform,
+                           ev(id).issue, "weak ordering: access issued "
+                           "before the previous sync performed");
+            }
+            if (isSyncKind(ev(id).kind)) {
+                for (std::uint32_t a : pending) {
+                    requirePpo(a, id, ev(a).orderTick, ev(id).issue,
+                               "weak ordering: sync issued before a prior "
+                               "access performed (drain skipped)");
+                }
+                pending.clear();
+                prev_sync = id;
+                have_sync = true;
+            }
+            pending.push_back(id);
+        }
+    }
+
+    // Release consistency: an acquire blocks everything after it; a
+    // release (or fence) performs only after everything before it.
+    if (model.releaseConsistent) {
+        std::vector<std::uint32_t> pending;
+        bool have_acq = false;
+        std::uint32_t prev_acq = 0;
+        for (std::uint32_t id : po) {
+            if (have_acq) {
+                requirePpo(prev_acq, id, ev(prev_acq).perform,
+                           ev(id).issue, "release consistency: access "
+                           "issued before the previous acquire performed");
+            }
+            if (isReleaseKind(ev(id).kind)) {
+                for (std::uint32_t a : pending) {
+                    requirePpo(a, id, ev(a).orderTick, ev(id).perform,
+                               "release consistency: release performed "
+                               "before a prior access performed");
+                }
+                pending.clear();
+            }
+            if (isAcquireKind(ev(id).kind)) {
+                prev_acq = id;
+                have_acq = true;
+            }
+            pending.push_back(id);
+        }
+    }
+}
+
+void
+CheckerRun::buildPoLoc(const std::vector<std::uint32_t> &po)
+{
+    std::unordered_map<Addr, std::uint32_t> last;
+    for (std::uint32_t id : po) {
+        const Event &e = ev(id);
+        if (e.kind == EventKind::Fence)
+            continue;
+        // Under RC a deferred release does not gate po-later accesses --
+        // even to its own address: an acquire issued while the release
+        // is still pending legitimately observes the pre-release version
+        // (there is no store-forwarding). Its incoming po-loc edge stays;
+        // its outgoing one is not hardware-enforced.
+        const bool gates_later = !(model.releaseConsistent &&
+                                   e.kind == EventKind::SyncWrite);
+        for (unsigned i = 0; i < e.granules(); ++i) {
+            auto it = last.find(e.granule(i));
+            if (it != last.end())
+                addEdge(it->second, id, EdgeRel::PoLoc);
+            if (gates_later)
+                last[e.granule(i)] = id;
+        }
+    }
+}
+
+void
+CheckerRun::buildWriteHistory()
+{
+    for (const Event &e : trace.events) {
+        if (!isWriteKind(e.kind))
+            continue;
+        for (unsigned i = 0; i < e.granules(); ++i) {
+            GranuleWrites &gw = writes[e.granule(i)];
+            if (gw.byVersion.size() < e.tag[i])
+                gw.byVersion.resize(e.tag[i], kNoSource);
+            gw.byVersion[e.tag[i] - 1] = e.id;
+        }
+    }
+    // Coherence order: consecutive versions of each granule.
+    for (auto &[granule, gw] : writes) {
+        for (std::size_t k = 1; k < gw.byVersion.size(); ++k) {
+            MCSIM_ASSERT(gw.byVersion[k] != kNoSource &&
+                             gw.byVersion[k - 1] != kNoSource,
+                         "granule 0x%llx has a version gap",
+                         static_cast<unsigned long long>(granule));
+            addEdge(gw.byVersion[k - 1], gw.byVersion[k], EdgeRel::Co);
+        }
+    }
+}
+
+void
+CheckerRun::buildRfCoFr()
+{
+    buildWriteHistory();
+
+    for (const Event &r : trace.events) {
+        if (!isReadKind(r.kind))
+            continue;
+
+        std::uint32_t first_source = kNoSource;
+        bool torn = false;
+        for (unsigned i = 0; i < r.granules(); ++i) {
+            auto it = writes.find(r.granule(i));
+            const GranuleWrites *gw =
+                it == writes.end() ? nullptr : &it->second;
+
+            // The version this read observed at the hardware level. Sync
+            // reads execute functionally at their perform tick, so their
+            // sampled tag is already exact; plain reads bind early and
+            // are reconstructed from the perform timestamps.
+            std::uint32_t version = 0;
+            if (r.kind != EventKind::Read) {
+                version = r.tag[i];
+                // An rmw's own write bumped the granule after its read
+                // sampled it; the version it *observed* is one lower.
+                if (r.kind == EventKind::SyncRmw && version > 0)
+                    version -= 1;
+            } else if (gw != nullptr) {
+                for (std::size_t k = gw->byVersion.size(); k > 0; --k) {
+                    const Event &w = ev(gw->byVersion[k - 1]);
+                    // A processor can never read its own po-later write,
+                    // however the timestamps tie.
+                    if (w.proc == r.proc && w.poSeq > r.poSeq)
+                        continue;
+                    if (visibleAt(w, r) <= r.perform) {
+                        version = static_cast<std::uint32_t>(k);
+                        break;
+                    }
+                }
+            }
+
+            std::uint32_t source = kNoSource;
+            if (version > 0) {
+                source = gw->byVersion[version - 1];
+                addEdge(source, r.id, EdgeRel::Rf);
+            }
+            if (gw != nullptr && version < gw->byVersion.size())
+                addEdge(r.id, gw->byVersion[version], EdgeRel::Fr);
+
+            if (i == 0)
+                first_source = source;
+            else if (source != first_source)
+                torn = true;
+        }
+
+        result.hwReadsFrom[r.id] = first_source;
+        if (r.kind != EventKind::Read) {
+            result.hwValues[r.id] = r.value;
+        } else if (torn) {
+            result.hwValues[r.id] = r.value;  // mixed-width fallback
+        } else if (first_source != kNoSource) {
+            result.hwValues[r.id] = ev(first_source).value;
+        }
+    }
+}
+
+void
+CheckerRun::findCycle()
+{
+    const std::size_t n = trace.events.size();
+    std::vector<std::vector<std::uint32_t>> out(n);
+    std::vector<std::vector<std::uint32_t>> in(n);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        out[edges[e].from].push_back(static_cast<std::uint32_t>(e));
+        in[edges[e].to].push_back(static_cast<std::uint32_t>(e));
+    }
+
+    // Peel acyclic fringe from both ends; what survives has in- and
+    // out-degree >= 1 inside the survivor set, so it contains every
+    // hb cycle (and nothing outside one matters for the witness).
+    std::vector<std::uint32_t> outdeg(n), indeg(n);
+    std::vector<bool> alive(n, true);
+    for (std::size_t v = 0; v < n; ++v) {
+        outdeg[v] = static_cast<std::uint32_t>(out[v].size());
+        indeg[v] = static_cast<std::uint32_t>(in[v].size());
+    }
+    std::deque<std::uint32_t> work;
+    for (std::size_t v = 0; v < n; ++v)
+        if (indeg[v] == 0 || outdeg[v] == 0)
+            work.push_back(static_cast<std::uint32_t>(v));
+    while (!work.empty()) {
+        const std::uint32_t v = work.front();
+        work.pop_front();
+        if (!alive[v] || (indeg[v] != 0 && outdeg[v] != 0))
+            continue;
+        alive[v] = false;
+        for (std::uint32_t e : out[v]) {
+            const std::uint32_t t = edges[e].to;
+            if (alive[t] && --indeg[t] == 0)
+                work.push_back(t);
+        }
+        for (std::uint32_t e : in[v]) {
+            const std::uint32_t f = edges[e].from;
+            if (alive[f] && --outdeg[f] == 0)
+                work.push_back(f);
+        }
+    }
+
+    bool any_alive = false;
+    for (std::size_t v = 0; v < n; ++v)
+        any_alive = any_alive || alive[v];
+    if (!any_alive)
+        return;
+    result.ok = false;
+
+    // Shortest cycle through each of (up to) 64 surviving nodes; keep
+    // the overall shortest as the witness.
+    std::vector<HbEdge> best;
+    unsigned tried = 0;
+    std::vector<std::uint32_t> par_edge(n);
+    std::vector<int> seen(n, -1);
+    int stamp = 0;
+    for (std::size_t s = 0; s < n && tried < 64; ++s) {
+        if (!alive[s])
+            continue;
+        tried += 1;
+        stamp += 1;
+        std::deque<std::uint32_t> q;
+        q.push_back(static_cast<std::uint32_t>(s));
+        seen[s] = stamp;
+        bool closed = false;
+        while (!q.empty() && !closed) {
+            const std::uint32_t v = q.front();
+            q.pop_front();
+            for (std::uint32_t e : out[v]) {
+                const std::uint32_t t = edges[e].to;
+                if (!alive[t])
+                    continue;
+                if (t == s) {
+                    // Close the cycle: walk parents back from v.
+                    std::vector<HbEdge> cyc{edges[e]};
+                    std::uint32_t cur = v;
+                    while (cur != s) {
+                        cyc.push_back(edges[par_edge[cur]]);
+                        cur = edges[par_edge[cur]].from;
+                    }
+                    std::reverse(cyc.begin(), cyc.end());
+                    if (best.empty() || cyc.size() < best.size())
+                        best = std::move(cyc);
+                    closed = true;
+                    break;
+                }
+                if (seen[t] != stamp) {
+                    seen[t] = stamp;
+                    par_edge[t] = e;
+                    q.push_back(t);
+                }
+            }
+        }
+        if (!best.empty() && best.size() <= 2)
+            break;  // cannot get shorter
+    }
+    result.cycle = std::move(best);
+}
+
+std::string
+CheckerRun::formatReport() const
+{
+    std::string msg;
+    std::size_t shown = 0;
+    for (const TemporalViolation &tv : result.temporal) {
+        if (shown++ >= 8) {
+            msg += strprintf("  ... %zu temporal violations total\n",
+                             result.temporal.size());
+            break;
+        }
+        msg += strprintf("  temporal: %s\n    %s\n    -> %s\n",
+                         tv.rule.c_str(), ev(tv.from).describe().c_str(),
+                         ev(tv.to).describe().c_str());
+    }
+    if (!result.cycle.empty()) {
+        msg += strprintf("  happens-before cycle (%zu edges):\n",
+                         result.cycle.size());
+        for (const HbEdge &e : result.cycle) {
+            msg += strprintf("    %s --%s--> %s\n",
+                             ev(e.from).describe().c_str(),
+                             edgeRelName(e.rel),
+                             ev(e.to).describe().c_str());
+        }
+    }
+    return msg;
+}
+
+AxiomResult
+CheckerRun::run()
+{
+    for (const auto &po : trace.byProc) {
+        buildPpoForProc(po);
+        buildPoLoc(po);
+    }
+    buildRfCoFr();
+    findCycle();
+    result.edgeCount = edges.size();
+    result.message = formatReport();
+    return std::move(result);
+}
+
+} // namespace
+
+AxiomResult
+checkTrace(const Trace &trace, const core::ModelParams &model)
+{
+    MCSIM_ASSERT(!trace.byProc.empty() || trace.events.empty(),
+                 "checkTrace needs a finished trace (call finish())");
+    return CheckerRun(trace, model).run();
+}
+
+} // namespace mcsim::axiom

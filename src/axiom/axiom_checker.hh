@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Axiomatic consistency checker (DESIGN.md section 8).
+ *
+ * Given a recorded Trace and the ModelParams of the machine that produced
+ * it, the checker builds the model's happens-before relation:
+ *
+ *   hb = ppo(model) ∪ rf ∪ co ∪ fr
+ *
+ * where ppo is program order restricted to what the model's hardware
+ * actually enforces (full order under SC; order around sync operations
+ * under WO; acquire/release order under RC; po-loc for every model), rf
+ * is reads-from, co is the per-granule coherence (version) order, and fr
+ * is from-reads (read of version k precedes the write of version k+1).
+ * The trace is legal iff hb is acyclic; on a cycle the checker prints a
+ * minimal-cycle witness.
+ *
+ * Because plain data accesses bind their values functionally at issue
+ * time (the simulator's functional/timing split), value-level outcomes
+ * alone cannot exhibit hardware reordering. The checker therefore
+ * *reconstructs* the hardware-visible reads-from relation from the
+ * perform timestamps: a plain read observes the newest granule version
+ * whose write was visible to it by its perform time (own writes at their
+ * bind, remote writes at their global perform). Sync reads execute
+ * functionally at completion, so their sampled version tags are already
+ * hardware-exact and are used directly.
+ *
+ * In addition to the graph check, every ppo generator edge carries a
+ * temporal obligation (e.g. under WO a sync may not issue before every
+ * prior access performed); violations are reported even when they do not
+ * close a cycle, which makes single-sided ordering bugs deterministic to
+ * catch.
+ */
+
+#ifndef MCSIM_AXIOM_AXIOM_CHECKER_HH
+#define MCSIM_AXIOM_AXIOM_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axiom/trace.hh"
+#include "core/consistency.hh"
+
+namespace mcsim::axiom
+{
+
+/** Relation an hb edge belongs to (witness labeling). */
+enum class EdgeRel : std::uint8_t
+{
+    Ppo,    ///< model-enforced program order
+    PoLoc,  ///< same-granule program order
+    Rf,     ///< reads-from
+    Co,     ///< coherence (version) order
+    Fr,     ///< from-read
+};
+
+const char *edgeRelName(EdgeRel rel);
+
+/** One hb edge, labeled. */
+struct HbEdge
+{
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    EdgeRel rel = EdgeRel::Ppo;
+};
+
+/** A ppo generator edge whose temporal obligation failed. */
+struct TemporalViolation
+{
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    /** Which hardware rule was broken (human-readable). */
+    std::string rule;
+};
+
+/** Verdict for one trace. */
+struct AxiomResult
+{
+    bool ok = true;
+
+    /** ppo edges whose timestamps contradict the model's stall rules. */
+    std::vector<TemporalViolation> temporal;
+
+    /** Minimal hb cycle (edge list, cyclically ordered); empty if none. */
+    std::vector<HbEdge> cycle;
+
+    /** Human-readable report: violations and the cycle witness. */
+    std::string message;
+
+    /** Per event: reconstructed hardware-visible value for reads (the
+     *  value of hwReadsFrom's write, or the initial value 0). Indexed by
+     *  event id; writes carry their own value. */
+    std::vector<std::uint64_t> hwValues;
+
+    /** Per event: source write event id of the read's first granule, or
+     *  UINT32_MAX when reading the initial state (or not a read). */
+    std::vector<std::uint32_t> hwReadsFrom;
+
+    std::size_t edgeCount = 0;
+};
+
+/** Check @p trace against the axioms of @p model. */
+AxiomResult checkTrace(const Trace &trace, const core::ModelParams &model);
+
+} // namespace mcsim::axiom
+
+#endif // MCSIM_AXIOM_AXIOM_CHECKER_HH

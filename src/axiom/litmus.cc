@@ -1,0 +1,314 @@
+#include "axiom/litmus.hh"
+
+#include <utility>
+
+#include "core/machine.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace mcsim::axiom
+{
+
+namespace
+{
+
+using Kind = LitmusOp::Kind;
+
+LitmusOp w(unsigned var, std::uint64_t value) { return {Kind::W, var, value}; }
+LitmusOp r(unsigned var) { return {Kind::R, var, 0}; }
+LitmusOp sw(unsigned var, std::uint64_t value) { return {Kind::SyncW, var, value}; }
+LitmusOp sr(unsigned var) { return {Kind::SyncR, var, 0}; }
+LitmusOp fence() { return {Kind::Fence, 0, 0}; }
+
+/** Loads can perform out of program order / stores can be delayed. */
+bool
+weakReorder(const core::ModelParams &p)
+{
+    return !p.singleOutstanding;
+}
+
+/** A plain store stops gating later accesses at its buffer hand-off. */
+bool
+storeBuffered(const core::ModelParams &p)
+{
+    return p.scStoreBufferRelease;
+}
+
+bool
+sbAllowed(const core::ModelParams &p, const std::vector<std::uint64_t> &r)
+{
+    if (r[0] == 0 && r[1] == 0)
+        return weakReorder(p) || storeBuffered(p);
+    return true;
+}
+
+bool
+sbFenceAllowed(const core::ModelParams &p,
+               const std::vector<std::uint64_t> &r)
+{
+    // The machine's fence is a no-op under the SC systems; only the
+    // store buffer can still reorder around it there.
+    if (r[0] == 0 && r[1] == 0)
+        return storeBuffered(p);
+    return true;
+}
+
+bool
+mpAllowed(const core::ModelParams &p, const std::vector<std::uint64_t> &r)
+{
+    if (r[0] == 1 && r[1] == 0)
+        return weakReorder(p) || storeBuffered(p);
+    return true;
+}
+
+bool
+mpSyncAllowed(const core::ModelParams &p,
+              const std::vector<std::uint64_t> &r)
+{
+    (void)p;
+    return !(r[0] == 1 && r[1] == 0);
+}
+
+bool
+lbAllowed(const core::ModelParams &p, const std::vector<std::uint64_t> &r)
+{
+    if (r[0] == 1 && r[1] == 1)
+        return weakReorder(p);
+    return true;
+}
+
+bool
+wrcAllowed(const core::ModelParams &p, const std::vector<std::uint64_t> &r)
+{
+    if (r[0] == 1 && r[1] == 1 && r[2] == 0)
+        return weakReorder(p);
+    return true;
+}
+
+bool
+wrcSyncAllowed(const core::ModelParams &p,
+               const std::vector<std::uint64_t> &r)
+{
+    (void)p;
+    return !(r[0] == 1 && r[1] == 1 && r[2] == 0);
+}
+
+bool
+iriwAllowed(const core::ModelParams &p,
+            const std::vector<std::uint64_t> &r)
+{
+    if (r[0] == 1 && r[1] == 0 && r[2] == 1 && r[3] == 0)
+        return weakReorder(p);
+    return true;
+}
+
+bool
+iriwSyncAllowed(const core::ModelParams &p,
+                const std::vector<std::uint64_t> &r)
+{
+    (void)p;
+    return !(r[0] == 1 && r[1] == 0 && r[2] == 1 && r[3] == 0);
+}
+
+bool
+corrAllowed(const core::ModelParams &p,
+            const std::vector<std::uint64_t> &r)
+{
+    (void)p;
+    return !(r[0] == 1 && r[1] == 0);
+}
+
+SimTask
+litmusThread(cpu::Processor &p, const std::vector<LitmusOp> &ops,
+             const std::vector<Addr> &addrs,
+             std::vector<std::uint64_t> &func_reads, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (const LitmusOp &op : ops) {
+        co_await p.exec(1 + static_cast<std::uint32_t>(rng.below(24)));
+        const Addr a = addrs[op.var];
+        switch (op.kind) {
+          case Kind::W:
+            co_await p.store(a, op.value);
+            break;
+          case Kind::R:
+            func_reads.push_back(co_await p.loadUse(a));
+            break;
+          case Kind::SyncW:
+            co_await p.syncStore(a, op.value);
+            break;
+          case Kind::SyncR:
+            func_reads.push_back(co_await p.syncLoad(a));
+            break;
+          case Kind::Rmw:
+            func_reads.push_back(co_await p.testAndSet(a));
+            break;
+          case Kind::Fence:
+            co_await p.fence();
+            break;
+        }
+    }
+}
+
+EventKind
+expectedEventKind(Kind k)
+{
+    switch (k) {
+      case Kind::W:
+        return EventKind::Write;
+      case Kind::R:
+        return EventKind::Read;
+      case Kind::SyncW:
+        return EventKind::SyncWrite;
+      case Kind::SyncR:
+        return EventKind::SyncRead;
+      case Kind::Rmw:
+        return EventKind::SyncRmw;
+      case Kind::Fence:
+        return EventKind::Fence;
+    }
+    return EventKind::Read;
+}
+
+} // namespace
+
+std::string
+outcomeString(const std::vector<std::uint64_t> &reads)
+{
+    std::string s;
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+        if (i > 0)
+            s += ",";
+        s += strprintf("%llu", static_cast<unsigned long long>(reads[i]));
+    }
+    return s;
+}
+
+const std::vector<LitmusTest> &
+litmusSuite()
+{
+    static const std::vector<LitmusTest> suite = [] {
+        std::vector<LitmusTest> t;
+        // Store buffering: can both stores be delayed past both loads?
+        t.push_back({"SB", 2,
+                     {{w(0, 1), r(1)}, {w(1, 1), r(0)}},
+                     sbAllowed});
+        t.push_back({"SB+F", 2,
+                     {{w(0, 1), fence(), r(1)}, {w(1, 1), fence(), r(0)}},
+                     sbFenceAllowed});
+        // Message passing: data write visible once the flag write is?
+        t.push_back({"MP", 2,
+                     {{w(0, 1), w(1, 1)}, {r(1), r(0)}},
+                     mpAllowed});
+        t.push_back({"MP+sync", 2,
+                     {{w(0, 1), sw(1, 1)}, {sr(1), r(0)}},
+                     mpSyncAllowed});
+        // Load buffering: can both loads see the other thread's store?
+        t.push_back({"LB", 2,
+                     {{r(0), w(1, 1)}, {r(1), w(0, 1)}},
+                     lbAllowed});
+        // Write-to-read causality through an intermediate thread.
+        t.push_back({"WRC", 2,
+                     {{w(0, 1)}, {r(0), w(1, 1)}, {r(1), r(0)}},
+                     wrcAllowed});
+        t.push_back({"WRC+sync", 2,
+                     {{w(0, 1)}, {r(0), sw(1, 1)}, {sr(1), r(0)}},
+                     wrcSyncAllowed});
+        // Independent reads of independent writes (write atomicity).
+        t.push_back({"IRIW", 2,
+                     {{w(0, 1)},
+                      {w(1, 1)},
+                      {r(0), r(1)},
+                      {r(1), r(0)}},
+                     iriwAllowed});
+        t.push_back({"IRIW+sync", 2,
+                     {{w(0, 1)},
+                      {w(1, 1)},
+                      {sr(0), sr(1)},
+                      {sr(1), sr(0)}},
+                     iriwSyncAllowed});
+        // Coherence: two reads of one location must not go backwards.
+        t.push_back({"CoRR", 1,
+                     {{w(0, 1)}, {r(0), r(0)}},
+                     corrAllowed});
+        return t;
+    }();
+    return suite;
+}
+
+core::MachineConfig
+litmusConfig(core::Model model)
+{
+    core::MachineConfig cfg;
+    cfg.model = model;
+    cfg.numProcs = 4;
+    cfg.numModules = 4;
+    cfg.maxCycles = 1'000'000;
+    cfg.trace.record = true;
+    // Litmus programs race by design; WO/RC results for them are
+    // undefined per the paper's DRF assumption -- which is exactly what
+    // the axiomatic layer is built to observe precisely.
+    cfg.check.races = false;
+    return cfg;
+}
+
+LitmusRun
+runLitmus(const LitmusTest &test, const core::MachineConfig &config,
+          std::uint64_t seed)
+{
+    MCSIM_ASSERT(test.threads.size() <= config.numProcs,
+                 "litmus test %s needs %zu procs, config has %u",
+                 test.name.c_str(), test.threads.size(), config.numProcs);
+    core::Machine machine(config);
+
+    // Spread the variables over distinct lines AND distinct memory
+    // modules (module = line index modulo numModules).
+    const Addr stride =
+        static_cast<Addr>(config.lineBytes) * (config.numModules + 1);
+    std::vector<Addr> addrs;
+    for (unsigned v = 0; v < test.numVars; ++v) {
+        addrs.push_back(0x1000 + v * stride);
+        machine.memory().writeU64(addrs.back(), 0);
+    }
+
+    std::vector<std::vector<std::uint64_t>> func_reads(test.threads.size());
+    for (std::size_t t = 0; t < test.threads.size(); ++t) {
+        machine.startWorkload(
+            static_cast<unsigned>(t),
+            litmusThread(machine.proc(static_cast<unsigned>(t)),
+                         test.threads[t], addrs, func_reads[t],
+                         seed * 6364136223846793005ull + t + 1));
+    }
+
+    LitmusRun run;
+    run.runTicks = machine.run();
+
+    const Trace &trace = machine.traceRecorder()->finish();
+    run.axiom = checkTrace(trace, config.modelParams());
+
+    // Map trace events back to litmus ops: every memory op of thread t
+    // is exactly one trace event, in program order.
+    for (std::size_t t = 0; t < test.threads.size(); ++t) {
+        const auto &po = trace.byProc[t];
+        MCSIM_ASSERT(po.size() == test.threads[t].size(),
+                     "litmus %s thread %zu recorded %zu events for %zu ops",
+                     test.name.c_str(), t, po.size(),
+                     test.threads[t].size());
+        for (std::size_t i = 0; i < po.size(); ++i) {
+            const Event &ev = trace.events[po[i]];
+            const LitmusOp &op = test.threads[t][i];
+            MCSIM_ASSERT(ev.kind == expectedEventKind(op.kind),
+                         "litmus %s thread %zu op %zu kind mismatch",
+                         test.name.c_str(), t, i);
+            if (isReadKind(ev.kind))
+                run.hwReads.push_back(run.axiom.hwValues[ev.id]);
+        }
+        for (std::uint64_t v : func_reads[t])
+            run.funcReads.push_back(v);
+    }
+    MCSIM_ASSERT(run.hwReads.size() == run.funcReads.size(),
+                 "litmus %s read-count mismatch", test.name.c_str());
+    return run;
+}
+
+} // namespace mcsim::axiom

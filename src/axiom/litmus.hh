@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Litmus-test engine: directed multi-threaded micro-programs with
+ * per-model allowed/forbidden outcome sets (DESIGN.md section 8).
+ *
+ * Each test is a handful of threads of abstract ops over a few shared
+ * variables. The driver builds a small traced machine, runs the threads
+ * with seed-controlled execution padding (to diversify interleavings),
+ * and returns three things per run:
+ *
+ *  - the functional read values (the simulator's value flow -- always a
+ *    sequentially consistent interleaving by construction);
+ *  - the hardware-visible read values reconstructed by the axiomatic
+ *    checker from the perform timestamps (these CAN exhibit the weak
+ *    behaviors the model permits);
+ *  - the axiomatic checker's verdict on the recorded trace.
+ *
+ * Tests assert that hardware outcomes stay inside the model's allowed
+ * set and that every trace from a clean machine is accepted.
+ */
+
+#ifndef MCSIM_AXIOM_LITMUS_HH
+#define MCSIM_AXIOM_LITMUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axiom/axiom_checker.hh"
+#include "core/machine_config.hh"
+
+namespace mcsim::axiom
+{
+
+/** One abstract litmus instruction. */
+struct LitmusOp
+{
+    enum class Kind : std::uint8_t
+    {
+        W,      ///< plain store
+        R,      ///< plain load (loadUse)
+        SyncW,  ///< sync store (release under RC)
+        SyncR,  ///< sync load (acquire under RC)
+        Rmw,    ///< test-and-set (acquire under RC)
+        Fence,  ///< SYNC instruction
+    };
+
+    Kind kind = Kind::R;
+    unsigned var = 0;           ///< shared-variable index
+    std::uint64_t value = 0;    ///< stores only
+};
+
+/**
+ * One litmus test: threads, and the predicate deciding whether a given
+ * tuple of hardware read values is allowed on a machine with the given
+ * feature set. Reads are numbered thread-major in program order.
+ */
+struct LitmusTest
+{
+    std::string name;
+    unsigned numVars = 2;
+    std::vector<std::vector<LitmusOp>> threads;
+    bool (*allowed)(const core::ModelParams &params,
+                    const std::vector<std::uint64_t> &reads) = nullptr;
+};
+
+/** Result of one litmus run. */
+struct LitmusRun
+{
+    /** Read values in the simulator's functional value flow. */
+    std::vector<std::uint64_t> funcReads;
+    /** Hardware-visible read values (axiomatic reconstruction). */
+    std::vector<std::uint64_t> hwReads;
+    /** Checker verdict on the recorded trace. */
+    AxiomResult axiom;
+    Tick runTicks = 0;
+};
+
+/** "1,0" -- outcome tuples for histograms and messages. */
+std::string outcomeString(const std::vector<std::uint64_t> &reads);
+
+/** The classic suite: SB, SB+fence, MP, MP+sync, LB, WRC, WRC+sync,
+ *  IRIW, IRIW+sync, CoRR. */
+const std::vector<LitmusTest> &litmusSuite();
+
+/** A small traced machine configuration for litmus runs of @p model
+ *  (4 procs, 4 modules, checking on, race detection off -- litmus
+ *  programs race by design). */
+core::MachineConfig litmusConfig(core::Model model);
+
+/** Run @p test once on a machine built from @p config with @p seed
+ *  driving the inter-op execution padding. */
+LitmusRun runLitmus(const LitmusTest &test,
+                    const core::MachineConfig &config, std::uint64_t seed);
+
+} // namespace mcsim::axiom
+
+#endif // MCSIM_AXIOM_LITMUS_HH

@@ -1,0 +1,217 @@
+#include "axiom/trace.hh"
+
+#include "sim/logging.hh"
+
+namespace mcsim::axiom
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Read:
+        return "R";
+      case EventKind::Write:
+        return "W";
+      case EventKind::SyncRead:
+        return "SyncR";
+      case EventKind::SyncRmw:
+        return "Rmw";
+      case EventKind::SyncWrite:
+        return "SyncW";
+      case EventKind::Fence:
+        return "Fence";
+    }
+    return "?";
+}
+
+std::string
+Event::describe() const
+{
+    if (kind == EventKind::Fence) {
+        return strprintf("p%u #%u Fence @%llu", proc, poSeq,
+                         static_cast<unsigned long long>(perform));
+    }
+    return strprintf(
+        "p%u #%u %s 0x%llx=%llu tag=%u issue=%llu bind=%llu perform=%llu",
+        proc, poSeq, eventKindName(kind),
+        static_cast<unsigned long long>(addr),
+        static_cast<unsigned long long>(value), tag[0],
+        static_cast<unsigned long long>(issue),
+        static_cast<unsigned long long>(bind),
+        static_cast<unsigned long long>(perform));
+}
+
+TraceRecorder::TraceRecorder(const TraceConfig &config, unsigned num_procs)
+    : cfg(config), poCounters(num_procs, 0)
+{
+    trace.byProc.resize(num_procs);
+}
+
+Event &
+TraceRecorder::makeEvent(ProcId p, EventKind kind, Addr addr,
+                         std::uint8_t width, std::uint64_t value,
+                         Tick issue_tick)
+{
+    MCSIM_ASSERT(!finished, "recording into a finished trace");
+    if (trace.events.size() >= cfg.maxEvents) {
+        fatal("trace recorder exceeded maxEvents=%zu; raise "
+              "TraceConfig::maxEvents or shorten the run",
+              cfg.maxEvents);
+    }
+    Event ev;
+    ev.id = static_cast<std::uint32_t>(trace.events.size());
+    ev.proc = p;
+    ev.poSeq = poCounters[p]++;
+    ev.kind = kind;
+    ev.width = width;
+    ev.addr = addr;
+    ev.value = value;
+    ev.issue = issue_tick;
+    trace.events.push_back(ev);
+    return trace.events.back();
+}
+
+void
+TraceRecorder::sampleReadTags(Event &ev)
+{
+    for (unsigned i = 0; i < ev.granules(); ++i) {
+        auto it = versions.find(ev.granule(i));
+        ev.tag[i] = it == versions.end() ? 0 : it->second;
+    }
+}
+
+void
+TraceRecorder::bumpWriteTags(Event &ev)
+{
+    for (unsigned i = 0; i < ev.granules(); ++i)
+        ev.tag[i] = ++versions[ev.granule(i)];
+}
+
+std::uint32_t
+TraceRecorder::recordRead(ProcId p, Addr addr, std::uint8_t width,
+                          std::uint64_t value, Tick issue_tick,
+                          Tick bind_tick, Tick perform_tick)
+{
+    Event &ev = makeEvent(p, EventKind::Read, addr, width, value,
+                          issue_tick);
+    ev.bind = bind_tick;
+    ev.perform = perform_tick;
+    ev.orderTick = perform_tick;
+    sampleReadTags(ev);
+    return ev.id;
+}
+
+std::uint32_t
+TraceRecorder::recordWrite(ProcId p, Addr addr, std::uint8_t width,
+                           std::uint64_t value, Tick issue_tick,
+                           Tick perform_tick)
+{
+    Event &ev = makeEvent(p, EventKind::Write, addr, width, value,
+                          issue_tick);
+    ev.bind = issue_tick;
+    ev.perform = perform_tick;
+    ev.orderTick = perform_tick;
+    bumpWriteTags(ev);
+    return ev.id;
+}
+
+std::uint32_t
+TraceRecorder::recordPendingRead(ProcId p, EventKind kind, Addr addr,
+                                 Tick issue_tick)
+{
+    MCSIM_ASSERT(kind == EventKind::SyncRead || kind == EventKind::SyncRmw,
+                 "pending read must be a sync read or rmw");
+    Event &ev = makeEvent(p, kind, addr, 8, 0, issue_tick);
+    ev.pending = true;
+    return ev.id;
+}
+
+std::uint32_t
+TraceRecorder::recordPendingWrite(ProcId p, Addr addr, std::uint64_t value,
+                                  Tick issue_tick)
+{
+    Event &ev = makeEvent(p, EventKind::SyncWrite, addr, 8, value,
+                          issue_tick);
+    ev.pending = true;
+    return ev.id;
+}
+
+std::uint32_t
+TraceRecorder::recordFence(ProcId p, Tick complete_tick)
+{
+    Event &ev = makeEvent(p, EventKind::Fence, 0, 8, 0, complete_tick);
+    ev.bind = complete_tick;
+    ev.perform = complete_tick;
+    ev.orderTick = complete_tick;
+    return ev.id;
+}
+
+void
+TraceRecorder::bindRead(std::uint32_t id, std::uint64_t value,
+                        Tick bind_tick)
+{
+    Event &ev = trace.events.at(id);
+    MCSIM_ASSERT(ev.pending && isReadKind(ev.kind),
+                 "bindRead on a non-pending event");
+    ev.value = value;
+    ev.bind = bind_tick;
+    ev.perform = bind_tick;
+    ev.orderTick = bind_tick;
+    // Sample what the read observed *before* the rmw's own write bumps
+    // the granule version; the write side then creates a new version.
+    sampleReadTags(ev);
+    if (ev.kind == EventKind::SyncRmw)
+        bumpWriteTags(ev);
+    ev.pending = false;
+}
+
+void
+TraceRecorder::commitWrite(std::uint32_t id, Tick commit_tick)
+{
+    Event &ev = trace.events.at(id);
+    MCSIM_ASSERT(ev.pending && ev.kind == EventKind::SyncWrite,
+                 "commitWrite on a non-pending sync write");
+    ev.bind = commit_tick;
+    ev.perform = commit_tick;
+    ev.orderTick = commit_tick;
+    bumpWriteTags(ev);
+    ev.pending = false;
+}
+
+void
+TraceRecorder::setPerformed(std::uint32_t id, Tick perform_tick)
+{
+    Event &ev = trace.events.at(id);
+    ev.perform = perform_tick;
+    if (!ev.orderPinned)
+        ev.orderTick = perform_tick;
+}
+
+void
+TraceRecorder::setOrdered(std::uint32_t id, Tick order_tick)
+{
+    Event &ev = trace.events.at(id);
+    ev.orderTick = order_tick;
+    ev.orderPinned = true;
+}
+
+const Trace &
+TraceRecorder::finish()
+{
+    if (finished)
+        return trace;
+    finished = true;
+    for (auto &po : trace.byProc)
+        po.clear();
+    for (const Event &ev : trace.events) {
+        MCSIM_ASSERT(!ev.pending,
+                     "event %u still pending at finish (p%u %s 0x%llx)",
+                     ev.id, ev.proc, eventKindName(ev.kind),
+                     static_cast<unsigned long long>(ev.addr));
+        trace.byProc.at(ev.proc).push_back(ev.id);
+    }
+    return trace;
+}
+
+} // namespace mcsim::axiom

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Memory-event trace schema and the low-overhead recorder the Processor
+ * feeds (DESIGN.md section 8).
+ *
+ * One Event is recorded per shared-memory operation, at its program-order
+ * point, carrying three timestamps:
+ *
+ *  - issue:   the tick the operation left the processor's issue stage;
+ *  - bind:    the tick its *functional* effect happened (data loads and
+ *             stores bind at issue; sync operations at their timed
+ *             completion -- the simulator's functional/timing split);
+ *  - perform: the tick the operation was globally performed by the
+ *             memory system (hit: immediately; miss: transaction
+ *             completion; SC store-buffer hand-off: the hand-off tick is
+ *             kept separately in orderTick).
+ *
+ * Values are tracked as per-granule *version tags*: the recorder keeps a
+ * version counter per 4-byte granule (the race detector's granularity),
+ * bumped exactly where FunctionalMemory is written. A read samples the
+ * tags at its bind point, which identifies the write it read from without
+ * comparing 64-bit data values (two stores of the same value stay
+ * distinguishable).
+ *
+ * Writes whose functional effect is deferred past their program-order
+ * point (sync stores, RC releases) are recorded *pending* at the
+ * program-order point and patched by commitWrite()/setPerformed() later;
+ * this keeps the po sequence numbers honest.
+ */
+
+#ifndef MCSIM_AXIOM_TRACE_HH
+#define MCSIM_AXIOM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "axiom/trace_config.hh"
+#include "sim/types.hh"
+
+namespace mcsim::axiom
+{
+
+/** Classification of one traced memory event. */
+enum class EventKind : std::uint8_t
+{
+    Read,       ///< data load (Load / LoadUse)
+    Write,      ///< data store
+    SyncRead,   ///< sync load (acquire under RC)
+    SyncRmw,    ///< test-and-set (read+write; acquire under RC)
+    SyncWrite,  ///< sync store (release under RC)
+    Fence,      ///< SYNC instruction (no address)
+};
+
+/** True for events with a store side. */
+constexpr bool
+isWriteKind(EventKind k)
+{
+    return k == EventKind::Write || k == EventKind::SyncRmw ||
+           k == EventKind::SyncWrite;
+}
+
+/** True for events with a load side. */
+constexpr bool
+isReadKind(EventKind k)
+{
+    return k == EventKind::Read || k == EventKind::SyncRead ||
+           k == EventKind::SyncRmw;
+}
+
+/** True for synchronization events (including fences). */
+constexpr bool
+isSyncKind(EventKind k)
+{
+    return k == EventKind::SyncRead || k == EventKind::SyncRmw ||
+           k == EventKind::SyncWrite || k == EventKind::Fence;
+}
+
+/** Acquire side under RC: sync reads and read-modify-writes. */
+constexpr bool
+isAcquireKind(EventKind k)
+{
+    return k == EventKind::SyncRead || k == EventKind::SyncRmw ||
+           k == EventKind::Fence;
+}
+
+/** Release side under RC: sync writes (and fences order both ways). */
+constexpr bool
+isReleaseKind(EventKind k)
+{
+    return k == EventKind::SyncWrite || k == EventKind::Fence;
+}
+
+/** Version-tag granularity: 4-byte granules, matching the race
+ *  detector. An 8-byte access covers two adjacent granules. */
+constexpr Addr
+granuleOf(Addr addr)
+{
+    return addr >> 2;
+}
+
+/** One recorded memory event. */
+struct Event
+{
+    std::uint32_t id = 0;       ///< index in Trace::events
+    ProcId proc = 0;
+    std::uint32_t poSeq = 0;    ///< per-processor program-order index
+    EventKind kind = EventKind::Read;
+    std::uint8_t width = 8;     ///< functional access bytes (4 or 8)
+    Addr addr = 0;
+    std::uint64_t value = 0;    ///< value written / value read
+
+    Tick issue = 0;
+    Tick bind = 0;              ///< functional-effect tick
+    Tick perform = 0;           ///< global-perform tick
+    /** The tick this event stops gating program order on the write side
+     *  (SC store-buffer hand-off); equals perform otherwise. */
+    Tick orderTick = 0;
+
+    /** Per-granule version tags: the versions this read observed, or the
+     *  versions this write created. tag[i] pairs with granule(i). */
+    std::uint32_t tag[2] = {0, 0};
+
+    /** Still waiting for commitWrite()/setPerformed(). */
+    bool pending = false;
+    /** orderTick was pinned by setOrdered(); setPerformed keeps it. */
+    bool orderPinned = false;
+
+    /** Granule count (1 for width 4, 2 for width 8). */
+    unsigned granules() const { return width > 4 ? 2u : 1u; }
+    Addr granule(unsigned i) const { return granuleOf(addr) + i; }
+
+    /** "p2 W 0x1000=42 @perform 133" -- witness printing. */
+    std::string describe() const;
+};
+
+const char *eventKindName(EventKind k);
+
+/** A whole recorded execution. */
+struct Trace
+{
+    std::vector<Event> events;
+
+    /** Events of one processor in program order (ids). */
+    std::vector<std::vector<std::uint32_t>> byProc;
+
+    bool empty() const { return events.empty(); }
+};
+
+/**
+ * The recorder the Processor feeds. All record* methods return the event
+ * id so the caller can stash it next to its in-flight state and patch
+ * timestamps as the transaction advances.
+ */
+class TraceRecorder
+{
+  public:
+    TraceRecorder(const TraceConfig &config, unsigned num_procs);
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** A data read whose value binds now. perform is patched later for
+     *  misses via setPerformed(); hits pass perform == bind_tick. */
+    std::uint32_t recordRead(ProcId p, Addr addr, std::uint8_t width,
+                             std::uint64_t value, Tick issue_tick,
+                             Tick bind_tick, Tick perform_tick);
+
+    /** A data write whose functional effect happens now. */
+    std::uint32_t recordWrite(ProcId p, Addr addr, std::uint8_t width,
+                              std::uint64_t value, Tick issue_tick,
+                              Tick perform_tick);
+
+    /** A sync read / rmw recorded at issue; value+tags bind later via
+     *  bindRead() (rmw additionally bumps write tags then). */
+    std::uint32_t recordPendingRead(ProcId p, EventKind kind, Addr addr,
+                                    Tick issue_tick);
+
+    /** A sync write (or RC release) recorded at its program-order point;
+     *  the functional write happens later via commitWrite(). */
+    std::uint32_t recordPendingWrite(ProcId p, Addr addr,
+                                     std::uint64_t value, Tick issue_tick);
+
+    /** A fence; atomic in time at its completion tick. */
+    std::uint32_t recordFence(ProcId p, Tick complete_tick);
+
+    /** Patch points. @{ */
+    /** Bind a pending sync read's value (and bump tags for rmw). */
+    void bindRead(std::uint32_t id, std::uint64_t value, Tick bind_tick);
+    /** Commit a pending sync write's functional effect. */
+    void commitWrite(std::uint32_t id, Tick commit_tick);
+    /** The memory system globally performed the event. */
+    void setPerformed(std::uint32_t id, Tick perform_tick);
+    /** SC store-buffer hand-off: stop gating program order now. */
+    void setOrdered(std::uint32_t id, Tick order_tick);
+    /** @} */
+
+    /** Number of events recorded so far. */
+    std::size_t size() const { return trace.events.size(); }
+
+    /** Finalize per-proc indices and expose the trace (call after run). */
+    const Trace &finish();
+
+  private:
+    Event &makeEvent(ProcId p, EventKind kind, Addr addr,
+                     std::uint8_t width, std::uint64_t value,
+                     Tick issue_tick);
+    void sampleReadTags(Event &ev);
+    void bumpWriteTags(Event &ev);
+
+    TraceConfig cfg;
+    Trace trace;
+    std::vector<std::uint32_t> poCounters;           ///< per proc
+    std::unordered_map<Addr, std::uint32_t> versions; ///< per granule
+    bool finished = false;
+};
+
+} // namespace mcsim::axiom
+
+#endif // MCSIM_AXIOM_TRACE_HH

@@ -21,6 +21,8 @@ CheckStats::addTo(StatSet &out, const std::string &prefix) const
     out.add(prefix + "line_audits", static_cast<double>(lineAudits));
     out.add(prefix + "accesses_checked",
             static_cast<double>(accessesChecked));
+    out.add(prefix + "ordering_checks",
+            static_cast<double>(orderingChecked));
     out.add(prefix + "messages_checked",
             static_cast<double>(messagesChecked));
 }
@@ -146,6 +148,7 @@ Checker::onIssueCheck(ProcId p, bool is_sync, bool is_release)
 {
     if (!ordering)
         return;
+    checkStats.orderingChecked += 1;
     std::string r = ordering->issueCheck(p, is_sync, is_release);
     if (!r.empty())
         report(&CheckStats::orderingViolations, "ordering", r);
@@ -191,6 +194,7 @@ Checker::onFenceComplete(ProcId p)
 {
     if (!ordering)
         return;
+    checkStats.orderingChecked += 1;
     std::string r = ordering->fenceCheck(p);
     if (!r.empty())
         report(&CheckStats::orderingViolations, "ordering", r);

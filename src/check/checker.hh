@@ -41,6 +41,7 @@ struct CheckStats
 
     std::uint64_t lineAudits = 0;
     std::uint64_t accessesChecked = 0;
+    std::uint64_t orderingChecked = 0;
     std::uint64_t messagesChecked = 0;
 
     std::uint64_t

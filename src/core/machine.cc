@@ -100,6 +100,13 @@ Machine::Machine(const MachineConfig &config) : cfg(config)
         for (auto &p : procs)
             p->setChecker(checkerPtr.get());
     }
+
+    if (cfg.trace.enabled()) {
+        recorderPtr = std::make_unique<axiom::TraceRecorder>(cfg.trace,
+                                                             cfg.numProcs);
+        for (auto &p : procs)
+            p->setRecorder(recorderPtr.get());
+    }
 }
 
 void
@@ -165,6 +172,8 @@ Machine::collectStats() const
         reqBufs[p]->stats().addTo(out, "reqbuf.total.");
     if (checkerPtr)
         checkerPtr->stats().addTo(out, "check.");
+    if (recorderPtr)
+        out.set("axiom.events", static_cast<double>(recorderPtr->size()));
 
     Tick last = 0;
     for (const auto &p : procs)

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "axiom/trace.hh"
 #include "check/checker.hh"
 #include "core/machine_config.hh"
 #include "cpu/processor.hh"
@@ -74,6 +75,13 @@ class Machine
     check::Checker *checker() { return checkerPtr.get(); }
     const check::Checker *checker() const { return checkerPtr.get(); }
     /** @} */
+    /** The axiomatic trace recorder; nullptr when recording is off. @{ */
+    axiom::TraceRecorder *traceRecorder() { return recorderPtr.get(); }
+    const axiom::TraceRecorder *traceRecorder() const
+    {
+        return recorderPtr.get();
+    }
+    /** @} */
     /** @} */
 
     /** Aggregate every component's statistics into one StatSet. */
@@ -99,6 +107,7 @@ class Machine
     std::vector<std::unique_ptr<mem::MemoryModule>> modules;
 
     std::unique_ptr<check::Checker> checkerPtr;
+    std::unique_ptr<axiom::TraceRecorder> recorderPtr;
 
     unsigned started = 0;
     unsigned doneCount = 0;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "axiom/trace_config.hh"
 #include "check/check_config.hh"
 #include "core/consistency.hh"
 #include "sim/types.hh"
@@ -61,6 +62,11 @@ struct MachineConfig
      *  microbenchmark runs fully audited; the figure benches switch it
      *  off (bench/bench_common.hh) to keep reported timings clean. */
     check::CheckConfig check;
+
+    /** Axiomatic trace recording (src/axiom/): off by default -- it
+     *  keeps every shared access of the run in memory. The litmus
+     *  engine and the axiom tests switch it on per-machine. */
+    axiom::TraceConfig trace;
 
     /** When set, use this exact feature set instead of the canonical one
      *  for `model` -- the hook the ablation benches use to toggle single

@@ -39,6 +39,7 @@ RunMetrics::fromMachine(const Machine &machine, Tick run_ticks)
         m.checkViolations = cs.totalViolations();
         m.checkLineAudits = cs.lineAudits;
         m.checkAccessesChecked = cs.accessesChecked;
+        m.checkOrderingChecked = cs.orderingChecked;
     }
 
     m.readsPerProc = static_cast<double>(m.totalReads) / procs;

@@ -47,6 +47,7 @@ struct RunMetrics
     std::uint64_t checkViolations = 0;   ///< all kinds summed
     std::uint64_t checkLineAudits = 0;
     std::uint64_t checkAccessesChecked = 0;
+    std::uint64_t checkOrderingChecked = 0;
     /** @} */
 
     /** Memory-module busy-cycle skew: max/min utilization ratio. */

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "axiom/trace.hh"
 #include "check/checker.hh"
 #include "sim/logging.hh"
 
@@ -230,13 +231,16 @@ Processor::attemptMem()
     // single-outstanding rule already provides the ordering.
     if (op.kind == OpKind::Fence) {
         const bool relaxed = !model.singleOutstanding;
-        if (relaxed && (outstanding > 0 || releasePending)) {
+        if (relaxed && (outstanding > 0 || releasePending) &&
+            !syncOrderingDisabled) {
             gateOn(Gate::Drain);
             return;
         }
         clearGate();
         if (checker)
             checker->onFenceComplete(cfg.id);
+        if (recorder)
+            recorder->recordFence(cfg.id, now);
         finishAt(now + 1, 0);
         return;
     }
@@ -261,7 +265,7 @@ Processor::attemptMem()
     // Weak ordering: every sync operation waits for all outstanding
     // references to be performed before it is issued.
     if (model.syncDrains && is_sync && outstanding > 0) {
-        if (skipNextDrain) {
+        if (skipNextDrain || syncOrderingDisabled) {
             skipNextDrain = false;  // fault injection: skip the drain
         } else {
             gateOn(Gate::Drain);
@@ -314,9 +318,12 @@ Processor::handleHit()
       case OpKind::Load: {
         if (checker)
             checker->onDataRead(cfg.id, op.addr, op.width);
+        const std::uint64_t value = readMem(op.addr, op.width);
+        if (recorder)
+            recorder->recordRead(cfg.id, op.addr, op.width, value, now,
+                                 now, now);
         const std::uint64_t id = nextToken++;
-        tokens[id] = TokenState{readMem(op.addr, op.width),
-                                now + cfg.loadDelay, true};
+        tokens[id] = TokenState{value, now + cfg.loadDelay, true};
         finishAt(now + 1, id);
         return;
       }
@@ -324,6 +331,9 @@ Processor::handleHit()
         if (checker)
             checker->onDataRead(cfg.id, op.addr, op.width);
         const std::uint64_t value = readMem(op.addr, op.width);
+        if (recorder)
+            recorder->recordRead(cfg.id, op.addr, op.width, value, now,
+                                 now, now);
         procStats.useStallCycles += cfg.loadDelay > 1
                                         ? cfg.loadDelay - 1
                                         : 0;
@@ -334,14 +344,23 @@ Processor::handleHit()
         if (checker)
             checker->onDataWrite(cfg.id, op.addr, op.width);
         writeMem(op.addr, op.value, op.width);
+        if (recorder)
+            recorder->recordWrite(cfg.id, op.addr, op.width, op.value,
+                                  now, now);
         finishAt(now + 1, 0);
         return;
       case OpKind::SyncLoad: {
         const Addr a = op.addr;
-        finishAtEval(now + cfg.loadDelay, [this, a]() {
+        const std::uint32_t tid =
+            recorder ? recorder->recordPendingRead(
+                           cfg.id, axiom::EventKind::SyncRead, a, now)
+                     : noTraceId;
+        finishAtEval(now + cfg.loadDelay, [this, a, tid]() {
             if (checker)
                 checker->onAcquire(cfg.id, a);
             const std::uint64_t v = mem.readU64(a);
+            if (recorder)
+                recorder->bindRead(tid, v, queue.now());
             trace("syncload.hit", a, v);
             return v;
         });
@@ -349,10 +368,16 @@ Processor::handleHit()
       }
       case OpKind::SyncRmw: {
         const Addr a = op.addr;
-        finishAtEval(now + cfg.loadDelay, [this, a]() {
+        const std::uint32_t tid =
+            recorder ? recorder->recordPendingRead(
+                           cfg.id, axiom::EventKind::SyncRmw, a, now)
+                     : noTraceId;
+        finishAtEval(now + cfg.loadDelay, [this, a, tid]() {
             if (checker)
                 checker->onAcquire(cfg.id, a);
             const std::uint64_t v = mem.testAndSet(a);
+            if (recorder)
+                recorder->bindRead(tid, v, queue.now());
             trace("rmw.hit", a, v);
             return v;
         });
@@ -364,6 +389,11 @@ Processor::handleHit()
         if (checker)
             checker->onRelease(cfg.id, op.addr);
         mem.writeU64(op.addr, op.value);
+        if (recorder) {
+            const std::uint32_t tid = recorder->recordPendingWrite(
+                cfg.id, op.addr, op.value, now);
+            recorder->commitWrite(tid, now);
+        }
         trace("syncst.hit", op.addr, op.value);
         finishAt(now + 1, 0);
         return;
@@ -390,9 +420,13 @@ Processor::handleIssued(std::uint64_t cookie)
       case OpKind::Load: {
         if (checker)
             checker->onDataRead(cfg.id, op.addr, op.width);
+        const std::uint64_t value = readMem(op.addr, op.width);
+        if (recorder)
+            rec.traceId = recorder->recordRead(cfg.id, op.addr, op.width,
+                                               value, now, now, now);
         const std::uint64_t id = nextToken++;
         rec.token = id;
-        tokens[id] = TokenState{readMem(op.addr, op.width), maxTick, false};
+        tokens[id] = TokenState{value, maxTick, false};
         inFlight.emplace(cookie, rec);
         if (cfg.model.blockingLoads) {
             active->wait = WaitKind::Completion;
@@ -406,6 +440,9 @@ Processor::handleIssued(std::uint64_t cookie)
         if (checker)
             checker->onDataRead(cfg.id, op.addr, op.width);
         rec.value = readMem(op.addr, op.width);
+        if (recorder)
+            rec.traceId = recorder->recordRead(cfg.id, op.addr, op.width,
+                                               rec.value, now, now, now);
         inFlight.emplace(cookie, rec);
         active->wait = WaitKind::Completion;
         active->waitCookie = cookie;
@@ -415,6 +452,9 @@ Processor::handleIssued(std::uint64_t cookie)
         if (checker)
             checker->onDataWrite(cfg.id, op.addr, op.width);
         writeMem(op.addr, op.value, op.width);
+        if (recorder)
+            rec.traceId = recorder->recordWrite(cfg.id, op.addr, op.width,
+                                                op.value, now, now);
         inFlight.emplace(cookie, rec);
         if (cfg.model.scStoreBufferRelease) {
             // The write stops being "the outstanding reference" once its
@@ -434,6 +474,9 @@ Processor::handleIssued(std::uint64_t cookie)
                     outstanding -= 1;
                     if (checker)
                         checker->onRefEarlyReleased(cfg.id, cookie);
+                    if (recorder && it->second.traceId != noTraceId)
+                        recorder->setOrdered(it->second.traceId,
+                                             queue.now());
                     onRetry();
                 },
                 EventQueue::prioDeliver);
@@ -448,6 +491,9 @@ Processor::handleIssued(std::uint64_t cookie)
         // into the edge.
         if (checker)
             checker->onRelease(cfg.id, op.addr);
+        if (recorder)
+            rec.traceId = recorder->recordPendingWrite(cfg.id, op.addr,
+                                                       op.value, now);
         if (cfg.model.singleOutstanding) {
             // Under SC a sync write needs no extra stall: the
             // single-outstanding rule already orders everything after it.
@@ -462,7 +508,16 @@ Processor::handleIssued(std::uint64_t cookie)
       case OpKind::SyncLoad:
       case OpKind::SyncRmw:
         // Blocking: the sync operation must be performed before the
-        // processor proceeds (weak ordering / SC / RC acquire).
+        // processor proceeds (weak ordering / SC / RC acquire). A
+        // falling-through relaxed sync store recorded its pending write
+        // above and must not also record a read.
+        if (recorder && op.kind != OpKind::SyncStore) {
+            rec.traceId = recorder->recordPendingRead(
+                cfg.id,
+                op.kind == OpKind::SyncLoad ? axiom::EventKind::SyncRead
+                                            : axiom::EventKind::SyncRmw,
+                op.addr, now);
+        }
         inFlight.emplace(cookie, rec);
         active->wait = WaitKind::Completion;
         active->waitCookie = cookie;
@@ -484,7 +539,11 @@ Processor::deferRelease(const Op &op)
         checker->onRelease(cfg.id, op.addr);
         checker->onReleaseDeferred(cfg.id);
     }
-    if (outstanding > 0) {
+    if (recorder)
+        releaseTraceId = recorder->recordPendingWrite(cfg.id, op.addr,
+                                                      op.value,
+                                                      queue.now());
+    if (outstanding > 0 && !syncOrderingDisabled) {
         procStats.releasesDeferred += 1;
         releaseCounter = outstanding;
         for (auto &[cookie, rec] : inFlight)
@@ -509,6 +568,10 @@ Processor::tryIssueRelease()
     switch (outcome) {
       case mem::AccessOutcome::Hit:
         mem.writeU64(op.addr, op.value);
+        if (recorder && releaseTraceId != noTraceId) {
+            recorder->commitWrite(releaseTraceId, queue.now());
+            releaseTraceId = noTraceId;
+        }
         releasePending = false;
         deferredRelease.reset();
         if (checker)
@@ -525,6 +588,8 @@ Processor::tryIssueRelease()
         rec.addr = op.addr;
         rec.value = op.value;
         rec.isRelease = true;
+        rec.traceId = releaseTraceId;
+        releaseTraceId = noTraceId;
         inFlight.emplace(cookie, rec);
         deferredRelease.reset();
         return;
@@ -556,6 +621,11 @@ Processor::onCompletion(std::uint64_t cookie)
     }
 
     const Tick now = queue.now();
+    if (recorder && rec.traceId != noTraceId &&
+        (rec.kind == OpKind::Load || rec.kind == OpKind::LoadUse ||
+         rec.kind == OpKind::Store)) {
+        recorder->setPerformed(rec.traceId, now);
+    }
     switch (rec.kind) {
       case OpKind::Load: {
         auto it = tokens.find(rec.token);
@@ -595,6 +665,8 @@ Processor::onCompletion(std::uint64_t cookie)
             if (checker)
                 checker->onAcquire(cfg.id, rec.addr);
             const std::uint64_t v = mem.readU64(rec.addr);
+            if (recorder && rec.traceId != noTraceId)
+                recorder->bindRead(rec.traceId, v, now);
             trace("syncload.cpl", rec.addr, v);
             resumeNow(v);
         }
@@ -607,6 +679,8 @@ Processor::onCompletion(std::uint64_t cookie)
             if (checker)
                 checker->onAcquire(cfg.id, rec.addr);
             const std::uint64_t v = mem.testAndSet(rec.addr);
+            if (recorder && rec.traceId != noTraceId)
+                recorder->bindRead(rec.traceId, v, now);
             trace("rmw.cpl", rec.addr, v);
             resumeNow(v);
         }
@@ -614,6 +688,8 @@ Processor::onCompletion(std::uint64_t cookie)
 
       case OpKind::SyncStore:
         mem.writeU64(rec.addr, rec.value);
+        if (recorder && rec.traceId != noTraceId)
+            recorder->commitWrite(rec.traceId, now);
         trace("syncst.cpl", rec.addr, rec.value);
         if (rec.isRelease) {
             releasePending = false;

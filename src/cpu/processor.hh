@@ -38,6 +38,11 @@ namespace mcsim::check
 class Checker;
 } // namespace mcsim::check
 
+namespace mcsim::axiom
+{
+class TraceRecorder;
+} // namespace mcsim::axiom
+
 namespace mcsim::cpu
 {
 
@@ -217,12 +222,24 @@ class Processor
     /** Wire the invariant checker (Machine; nullptr = no checking). */
     void setChecker(check::Checker *c) { checker = c; }
 
+    /** Wire the axiomatic trace recorder (Machine; nullptr = off). */
+    void setRecorder(axiom::TraceRecorder *r) { recorder = r; }
+
     /**
      * Fault injection (tests only): ignore the drain gate at the next sync
      * operation that would stall on it, issuing the sync op with references
      * still outstanding -- the ordering linter must catch this.
      */
     void injectSkipNextDrainForTest() { skipNextDrain = true; }
+
+    /**
+     * Fault injection (tests only): persistently disable every
+     * sync-ordering wait -- the WO drain-before-sync gate, the RC
+     * deferred-release wait, and the fence drain -- yielding a machine
+     * that issues syncs and releases while data references are still
+     * outstanding. The axiomatic checker must reject its traces.
+     */
+    void injectDisableSyncOrderingForTest() { syncOrderingDisabled = true; }
 
   private:
     friend class Awaiter;
@@ -262,7 +279,12 @@ class Processor
         bool isRelease = false;
         /** Outstanding slot already freed at buffer hand-off (SC). */
         bool earlyReleased = false;
+        /** Trace event awaiting its perform timestamp (recorder). */
+        std::uint32_t traceId = noTraceId;
     };
+
+    /** InFlight::traceId when recording is off. */
+    static constexpr std::uint32_t noTraceId = UINT32_MAX;
 
     std::uint64_t readMem(Addr addr, std::uint8_t width) const;
     void writeMem(Addr addr, std::uint64_t value, std::uint8_t width);
@@ -344,7 +366,11 @@ class Processor
     unsigned releaseCounter = 0;        ///< tagged refs still outstanding
 
     check::Checker *checker = nullptr;
+    axiom::TraceRecorder *recorder = nullptr;
+    /** Trace id of the deferred RC release (at most one pending). */
+    std::uint32_t releaseTraceId = noTraceId;
     bool skipNextDrain = false;  ///< fault injection, tests only
+    bool syncOrderingDisabled = false;  ///< fault injection, tests only
 
     ProcStats procStats;
 };

@@ -79,6 +79,7 @@ TEST(Checker, CleanHandoffRunsSilentlyOnEveryModel)
         EXPECT_EQ(cs.totalViolations(), 0u);
         EXPECT_GT(cs.lineAudits, 0u);
         EXPECT_GT(cs.accessesChecked, 0u);
+        EXPECT_GT(cs.orderingChecked, 0u);
         EXPECT_GT(cs.messagesChecked, 0u);
     }
 }
@@ -91,16 +92,23 @@ TEST(Checker, StatsAndMetricsExportCheckCounters)
     m.startWorkload(1, handoffReader(m.proc(1), seen));
     const Tick last = m.run();
 
+    // Fatal mode (the smallConfig default) must still export the check.*
+    // stats: a clean run reports zero violations alongside nonzero
+    // checks-run counters, proving the auditors actually ran.
     const StatSet stats = m.collectStats();
     EXPECT_TRUE(stats.has("check.coherence_violations"));
     EXPECT_EQ(stats.get("check.coherence_violations"), 0.0);
+    EXPECT_TRUE(stats.has("check.ordering_violations"));
+    EXPECT_EQ(stats.get("check.ordering_violations"), 0.0);
     EXPECT_GT(stats.get("check.line_audits"), 0.0);
     EXPECT_GT(stats.get("check.accesses_checked"), 0.0);
+    EXPECT_GT(stats.get("check.ordering_checks"), 0.0);
 
     const auto metrics = core::RunMetrics::fromMachine(m, last);
     EXPECT_EQ(metrics.checkViolations, 0u);
     EXPECT_GT(metrics.checkLineAudits, 0u);
     EXPECT_GT(metrics.checkAccessesChecked, 0u);
+    EXPECT_GT(metrics.checkOrderingChecked, 0u);
 }
 
 TEST(Checker, DisabledModeBuildsNoChecker)

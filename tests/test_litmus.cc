@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Litmus-test engine tests: the classic suite runs clean across all
+ * seven machine models and several seeds/configurations -- forbidden
+ * outcomes are never observed at either the functional or the
+ * hardware-visible level, and the axiomatic checker accepts every trace
+ * a correct machine produces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "axiom/litmus.hh"
+#include "core/consistency.hh"
+
+using namespace mcsim;
+using namespace mcsim::axiom;
+using core::Model;
+
+namespace
+{
+
+/** Run the whole suite on @p config for a few seeds; assert every run
+ *  is accepted by the checker and inside the model's allowed set. */
+void
+expectSuiteClean(const core::MachineConfig &config, unsigned num_seeds,
+                 const char *label)
+{
+    const core::ModelParams params = config.modelParams();
+    for (const LitmusTest &test : litmusSuite()) {
+        for (std::uint64_t seed = 1; seed <= num_seeds; ++seed) {
+            const LitmusRun run = runLitmus(test, config, seed);
+            EXPECT_TRUE(run.axiom.ok)
+                << label << " / " << test.name << " seed " << seed << "\n"
+                << run.axiom.message;
+            EXPECT_TRUE(test.allowed(params, run.hwReads))
+                << label << " / " << test.name << " seed " << seed
+                << ": forbidden hardware outcome ("
+                << outcomeString(run.hwReads) << ")";
+            EXPECT_TRUE(test.allowed(params, run.funcReads))
+                << label << " / " << test.name << " seed " << seed
+                << ": forbidden functional outcome ("
+                << outcomeString(run.funcReads) << ")";
+        }
+    }
+}
+
+} // namespace
+
+TEST(Litmus, SuiteCoversTheClassicShapes)
+{
+    const auto &suite = litmusSuite();
+    ASSERT_EQ(suite.size(), 10u);
+    std::vector<std::string> names;
+    for (const LitmusTest &t : suite) {
+        names.push_back(t.name);
+        EXPECT_GE(t.threads.size(), 1u);
+        EXPECT_LE(t.threads.size(), 4u);
+        EXPECT_NE(t.allowed, nullptr);
+    }
+    const std::vector<std::string> expected = {
+        "SB",  "SB+F",     "MP",   "MP+sync",   "LB",
+        "WRC", "WRC+sync", "IRIW", "IRIW+sync", "CoRR"};
+    EXPECT_EQ(names, expected);
+}
+
+TEST(Litmus, OutcomeStringFormats)
+{
+    EXPECT_EQ(outcomeString({}), "");
+    EXPECT_EQ(outcomeString({1}), "1");
+    EXPECT_EQ(outcomeString({1, 0, 2}), "1,0,2");
+}
+
+TEST(Litmus, ClassificationsMatchTheModels)
+{
+    const auto &suite = litmusSuite();
+    const core::ModelParams sc = core::modelParams(Model::SC1);
+    const core::ModelParams wo = core::modelParams(Model::WO1);
+    core::ModelParams buffered = sc;
+    buffered.scStoreBufferRelease = true;
+
+    const LitmusTest &sb = suite[0];
+    EXPECT_FALSE(sb.allowed(sc, {0, 0}));   // forbidden under SC
+    EXPECT_TRUE(sb.allowed(wo, {0, 0}));    // weak reordering
+    EXPECT_TRUE(sb.allowed(buffered, {0, 0}));
+    EXPECT_TRUE(sb.allowed(sc, {1, 1}));
+
+    const LitmusTest &sbf = suite[1];
+    EXPECT_FALSE(sbf.allowed(sc, {0, 0}));
+    EXPECT_TRUE(sbf.allowed(buffered, {0, 0}));  // fence is an SC no-op
+
+    const LitmusTest &mp_sync = suite[3];
+    EXPECT_FALSE(mp_sync.allowed(wo, {1, 0}));  // forbidden everywhere
+    EXPECT_TRUE(mp_sync.allowed(wo, {1, 1}));
+
+    const LitmusTest &corr = suite[9];
+    EXPECT_FALSE(corr.allowed(wo, {1, 0}));  // coherence on every model
+    EXPECT_TRUE(corr.allowed(wo, {0, 1}));
+}
+
+// The full suite on every model's canonical configuration. Forbidden
+// outcomes must never be observed; every trace must be accepted.
+TEST(Litmus, SuiteCleanOnAllModels)
+{
+    for (Model model : core::allModels)
+        expectSuiteClean(litmusConfig(model), 5, core::modelName(model));
+}
+
+// The SC store-buffer ablation: plain stores hand off to the interface
+// buffer and stop gating later accesses. SB's (0,0) becomes legal; the
+// checker must accept those traces rather than flag the reordering.
+TEST(Litmus, SuiteCleanWithScStoreBuffer)
+{
+    core::MachineConfig cfg = litmusConfig(Model::SC1);
+    core::ModelParams params = core::modelParams(Model::SC1);
+    params.scStoreBufferRelease = true;
+    cfg.modelOverride = params;
+    expectSuiteClean(cfg, 4, "SC1+buf");
+}
+
+// A different machine geometry: fewer modules, longer lines, slower
+// memory -- more contention and different interleavings.
+TEST(Litmus, SuiteCleanOnSmallGeometry)
+{
+    for (Model model : {Model::WO1, Model::RC, Model::SC2}) {
+        core::MachineConfig cfg = litmusConfig(model);
+        cfg.numModules = 2;
+        cfg.lineBytes = 64;
+        cfg.cacheBytes = 2048;
+        cfg.memInitCycles = 20;
+        expectSuiteClean(cfg, 3, core::modelName(model));
+    }
+}

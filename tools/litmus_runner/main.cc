@@ -1,0 +1,224 @@
+/**
+ * @file
+ * litmus_runner: run the classic litmus suite against the simulated
+ * machines and report per-outcome histograms with their verdicts.
+ *
+ * Every run records a full memory-event trace, reconstructs the
+ * hardware-visible read values, and feeds the trace to the axiomatic
+ * checker. A run fails when a model-forbidden outcome is observed (at
+ * the functional or hardware level) or when the checker rejects the
+ * trace; the happens-before cycle witness is printed in that case.
+ *
+ * Usage:
+ *   litmus_runner [--model NAME|all] [--test NAME|all] [--seeds N]
+ *                 [--store-buffer] [--verbose]
+ *
+ * Exit status: 0 when every selected run is clean, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "axiom/litmus.hh"
+#include "core/consistency.hh"
+#include "sim/logging.hh"
+
+using namespace mcsim;
+using namespace mcsim::axiom;
+
+namespace
+{
+
+struct Options
+{
+    std::string model = "all";
+    std::string test = "all";
+    unsigned seeds = 20;
+    bool storeBuffer = false;
+    bool verbose = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--model NAME|all] [--test NAME|all] [--seeds N]\n"
+        "          [--store-buffer] [--verbose]\n"
+        "  --model         one of SC1 SC2 WO1 WO2 RC bSC1 bWO1, or all\n"
+        "  --test          a litmus test name (e.g. SB, MP+sync), or all\n"
+        "  --seeds         runs per (model, test) pair (default 20)\n"
+        "  --store-buffer  also run the SC systems with the store-buffer\n"
+        "                  hand-off ablation enabled\n"
+        "  --verbose       print every individual run\n",
+        argv0);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--model") {
+            opt.model = next();
+        } else if (arg == "--test") {
+            opt.test = next();
+        } else if (arg == "--seeds") {
+            opt.seeds = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--store-buffer") {
+            opt.storeBuffer = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            usage(argv[0]);
+            std::exit(2);
+        }
+    }
+    if (opt.seeds == 0)
+        opt.seeds = 1;
+    return opt;
+}
+
+/** One machine configuration under test. */
+struct Target
+{
+    std::string label;
+    core::MachineConfig config;
+};
+
+std::vector<Target>
+buildTargets(const Options &opt)
+{
+    std::vector<Target> targets;
+    for (core::Model model : core::allModels) {
+        if (opt.model != "all" &&
+            opt.model != core::modelName(model))
+            continue;
+        targets.push_back({core::modelName(model), litmusConfig(model)});
+        if (opt.storeBuffer &&
+            core::modelParams(model).singleOutstanding) {
+            Target t{std::string(core::modelName(model)) + "+buf",
+                     litmusConfig(model)};
+            core::ModelParams params = core::modelParams(model);
+            params.scStoreBufferRelease = true;
+            t.config.modelOverride = params;
+            targets.push_back(std::move(t));
+        }
+    }
+    if (targets.empty()) {
+        std::fprintf(stderr, "no model matches '%s'\n", opt.model.c_str());
+        std::exit(2);
+    }
+    return targets;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    const std::vector<Target> targets = buildTargets(opt);
+
+    bool test_matched = false;
+    unsigned pairs = 0;
+    unsigned failed_pairs = 0;
+
+    for (const Target &target : targets) {
+        const core::ModelParams params = target.config.modelParams();
+        for (const LitmusTest &test : litmusSuite()) {
+            if (opt.test != "all" && opt.test != test.name)
+                continue;
+            test_matched = true;
+            pairs += 1;
+
+            // outcome -> {count, forbidden}
+            std::map<std::string, std::pair<unsigned, bool>> histogram;
+            unsigned rejected = 0;
+            std::string first_report;
+            for (std::uint64_t seed = 1; seed <= opt.seeds; ++seed) {
+                LitmusRun run;
+                try {
+                    run = runLitmus(test, target.config, seed);
+                } catch (const FatalError &err) {
+                    std::printf("%s / %s seed %llu: fatal: %s\n",
+                                target.label.c_str(), test.name.c_str(),
+                                static_cast<unsigned long long>(seed),
+                                err.what());
+                    rejected += 1;
+                    continue;
+                }
+                const bool hw_ok = test.allowed(params, run.hwReads);
+                const bool func_ok = test.allowed(params, run.funcReads);
+                auto &slot = histogram[outcomeString(run.hwReads)];
+                slot.first += 1;
+                slot.second = slot.second || !hw_ok;
+                if (!run.axiom.ok) {
+                    rejected += 1;
+                    if (first_report.empty())
+                        first_report = run.axiom.message;
+                }
+                if (!func_ok) {
+                    auto &fslot =
+                        histogram[outcomeString(run.funcReads) + " (func)"];
+                    fslot.first += 1;
+                    fslot.second = true;
+                }
+                if (opt.verbose) {
+                    std::printf("  %s / %s seed %llu: hw=(%s) func=(%s) "
+                                "%s %s\n",
+                                target.label.c_str(), test.name.c_str(),
+                                static_cast<unsigned long long>(seed),
+                                outcomeString(run.hwReads).c_str(),
+                                outcomeString(run.funcReads).c_str(),
+                                hw_ok && func_ok ? "allowed" : "FORBIDDEN",
+                                run.axiom.ok ? "accepted" : "REJECTED");
+                }
+            }
+
+            bool forbidden = false;
+            for (const auto &[outcome, slot] : histogram)
+                forbidden = forbidden || slot.second;
+            const bool pair_ok = !forbidden && rejected == 0;
+            failed_pairs += pair_ok ? 0 : 1;
+
+            std::printf("%-8s %-9s %s\n", target.label.c_str(),
+                        test.name.c_str(), pair_ok ? "ok" : "FAIL");
+            for (const auto &[outcome, slot] : histogram) {
+                std::printf("    (%s) x%u%s\n", outcome.c_str(),
+                            slot.first,
+                            slot.second ? "  FORBIDDEN" : "");
+            }
+            if (rejected > 0) {
+                std::printf("    %u trace(s) rejected by the axiomatic "
+                            "checker\n%s",
+                            rejected, first_report.c_str());
+            }
+        }
+    }
+
+    if (!test_matched) {
+        std::fprintf(stderr, "no litmus test matches '%s'\n",
+                     opt.test.c_str());
+        return 2;
+    }
+    std::printf("litmus_runner: %u/%u (model, test) pairs clean\n",
+                pairs - failed_pairs, pairs);
+    return failed_pairs == 0 ? 0 : 1;
+}
