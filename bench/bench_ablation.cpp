@@ -18,6 +18,7 @@
 
 #include "bench_common.hh"
 
+#include "workloads/gauss.hh"
 #include "workloads/synthetic.hh"
 
 using namespace mcsim;
@@ -37,61 +38,62 @@ mcyc(const core::RunMetrics &m)
 int
 main(int argc, char **argv)
 {
-    const bool full = parseFull(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const bool full = isFull(args);
 
     std::printf("Ablation studies (Gauss, 16 procs, %s caches, 16B "
                 "lines)\n",
-                cacheLabel(full, false));
+                cacheLabel(args, false));
     printHeaderRule();
 
     // 1. MSHR count under WO1.
     std::printf("\n[1] WO1 MSHR count (paper: 5)\n%-8s %12s\n", "mshrs",
                 "Mcycles");
     for (unsigned mshrs : {1u, 2u, 3u, 5u, 8u, 16u}) {
-        auto cfg = baseConfig(full);
+        auto cfg = baseConfig(args);
         cfg.model = core::Model::WO1;
         cfg.relaxedMshrs = mshrs;
-        std::printf("%-8u %12.3f\n", mshrs, mcyc(run("Gauss", cfg, full)));
+        std::printf("%-8u %12.3f\n", mshrs, mcyc(run("Gauss", cfg, args)));
     }
 
     // 2. Interface buffer depth.
     std::printf("\n[2] Interface buffer depth (paper: 4)\n%-8s %12s\n",
                 "entries", "Mcycles");
     for (unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
-        auto cfg = baseConfig(full);
+        auto cfg = baseConfig(args);
         cfg.model = core::Model::WO1;
         cfg.bufferEntries = depth;
-        std::printf("%-8u %12.3f\n", depth, mcyc(run("Gauss", cfg, full)));
+        std::printf("%-8u %12.3f\n", depth, mcyc(run("Gauss", cfg, args)));
     }
 
     // 3. Load bypassing (WO1 vs WO2) on a store-heavy stream.
     std::printf("\n[3] WO2 load bypassing (Qsort)\n%-10s %12s\n", "bypass",
                 "Mcycles");
     for (bool bypass : {false, true}) {
-        auto cfg = baseConfig(full);
+        auto cfg = baseConfig(args);
         cfg.model = bypass ? core::Model::WO2 : core::Model::WO1;
         std::printf("%-10s %12.3f\n", bypass ? "on (WO2)" : "off (WO1)",
-                    mcyc(run("Qsort", cfg, full)));
+                    mcyc(run("Qsort", cfg, args)));
     }
 
     // 4. SC store-buffer release.
     std::printf("\n[4] SC1 store-buffer release (Relax)\n%-10s %12s\n",
                 "buffered", "Mcycles");
     for (bool buffered : {true, false}) {
-        auto cfg = baseConfig(full);
+        auto cfg = baseConfig(args);
         cfg.model = core::Model::SC1;
         auto mp = core::modelParams(core::Model::SC1);
         mp.scStoreBufferRelease = buffered;
         cfg.modelOverride = mp;
         std::printf("%-10s %12.3f\n", buffered ? "on" : "off",
-                    mcyc(run("Relax", cfg, full)));
+                    mcyc(run("Relax", cfg, args)));
     }
 
     // 5. SC2 prefetch utility.
     {
-        auto cfg = baseConfig(full);
+        auto cfg = baseConfig(args);
         cfg.model = core::Model::SC2;
-        const auto m = run("Gauss", cfg, full);
+        const auto m = run("Gauss", cfg, args);
         std::printf("\n[5] SC2 prefetches: issued=%llu useful=%llu "
                     "(%.0f%%)\n",
                     (unsigned long long)m.prefetchesIssued,
@@ -106,11 +108,11 @@ main(int argc, char **argv)
     std::printf("\n[6] Switch arity (paper: 4x4)\n%-8s %12s\n", "radix",
                 "Mcycles");
     for (unsigned radix : {2u, 4u}) {
-        auto cfg = baseConfig(full);
+        auto cfg = baseConfig(args);
         cfg.model = core::Model::WO1;
         cfg.switchRadix = radix;
         std::printf("%ux%u      %12.3f\n", radix, radix,
-                    mcyc(run("Gauss", cfg, full)));
+                    mcyc(run("Gauss", cfg, args)));
     }
 
     // 7b. Sequential next-line prefetch (extension; paper conclusion
@@ -119,12 +121,12 @@ main(int argc, char **argv)
                 "model", "nlpf", "Mcycles");
     for (core::Model model : {core::Model::SC1, core::Model::WO1}) {
         for (bool nlpf : {false, true}) {
-            auto cfg = baseConfig(full);
+            auto cfg = baseConfig(args);
             cfg.model = model;
             cfg.nextLinePrefetch = nlpf;
             std::printf("%-14s %-8s %12.3f\n", core::modelName(model),
                         nlpf ? "on" : "off",
-                        mcyc(run("Gauss", cfg, full)));
+                        mcyc(run("Gauss", cfg, args)));
         }
     }
 
@@ -136,7 +138,7 @@ main(int argc, char **argv)
         gp.n = full ? 250 : 150;
         gp.readOwn = own;
         workloads::GaussWorkload w(gp);
-        auto cfg = baseConfig(full);
+        auto cfg = baseConfig(args);
         cfg.model = core::Model::WO1;
         const auto r = workloads::runWorkload(w, cfg);
         std::printf("%-8s %12.3f\n", own ? "on" : "off",
@@ -155,7 +157,7 @@ main(int argc, char **argv)
         p.privateWords = 1024;
         p.barrierKind = kind;
         workloads::SyntheticWorkload w(p);
-        auto cfg = baseConfig(full);
+        auto cfg = baseConfig(args);
         cfg.model = core::Model::WO1;
         const auto r = workloads::runWorkload(w, cfg);
         std::printf("%-15s %12.3f\n",

@@ -1,8 +1,11 @@
 /**
  * @file
- * Shared support for the table/figure reproduction benches: workload
- * factories at the scaled (default) or paper-exact (--full) sizes, the
- * matching cache-size pairs, and row printers.
+ * Shared support for the table/figure reproduction benches, rebased on
+ * the parallel sweep engine (src/exp/): each bench builds its named
+ * grid, fans it across worker threads, then prints the paper's rows
+ * from the result lookup. The config loops that used to be copy-pasted
+ * into every bench live in exp::namedGrid() now, shared with the
+ * tools/sweep_runner CLI and the golden-baseline tests.
  *
  * Scaling (DESIGN.md / EXPERIMENTS.md): problem sizes and cache sizes
  * shrink together so every benchmark stays in the same fits/doesn't-fit
@@ -14,96 +17,91 @@
 #define MCSIM_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/machine_config.hh"
 #include "core/metrics.hh"
-#include "workloads/gauss.hh"
-#include "workloads/psim.hh"
-#include "workloads/qsort.hh"
-#include "workloads/relax.hh"
-#include "workloads/workload.hh"
+#include "exp/grid.hh"
+#include "exp/sweep.hh"
 
 namespace mcsim::bench
 {
 
 /** Benchmark identifiers in the paper's presentation order. */
-inline const std::vector<std::string> benchmarkNames = {"Gauss", "Qsort",
-                                                        "Relax", "Psim"};
+inline const std::vector<std::string> &benchmarkNames =
+    exp::benchmarkNames();
 
-/** True when --full was passed: paper-exact problem and cache sizes. */
+/** Common bench command line: [--full] [--threads N] [--no-progress]. */
+struct BenchArgs
+{
+    exp::Scale scale = exp::Scale::Scaled;
+    unsigned threads = 0;  ///< 0 = hardware concurrency
+    bool progress = true;
+};
+
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--full")) {
+            args.scale = exp::Scale::Full;
+        } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+            args.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--no-progress")) {
+            args.progress = false;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--full] [--threads N] "
+                         "[--no-progress]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
 inline bool
-parseFull(int argc, char **argv)
+isFull(const BenchArgs &args)
 {
-    for (int i = 1; i < argc; ++i)
-        if (!std::strcmp(argv[i], "--full"))
-            return true;
-    return false;
-}
-
-inline unsigned
-smallCache(bool full)
-{
-    return full ? 16 * 1024 : 8 * 1024;
-}
-
-inline unsigned
-largeCache(bool full)
-{
-    return full ? 64 * 1024 : 32 * 1024;
+    return args.scale == exp::Scale::Full;
 }
 
 inline const char *
-cacheLabel(bool full, bool large)
+cacheLabel(const BenchArgs &args, bool large)
 {
-    if (full)
+    if (isFull(args))
         return large ? "64K" : "16K";
     return large ? "32K (64K-eq)" : "8K (16K-eq)";
 }
 
-/** Build one of the paper's benchmarks at the chosen scale. */
-inline std::unique_ptr<workloads::Workload>
-makeWorkload(const std::string &name, bool full,
-             workloads::RelaxSchedule schedule =
-                 workloads::RelaxSchedule::Default)
+/** Run the named grid in parallel and wrap the results for lookup. */
+inline exp::SweepOutcomes
+runNamedGrid(const std::string &name, const BenchArgs &args)
 {
-    if (name == "Gauss") {
-        workloads::GaussParams p;
-        p.n = full ? 250 : 150;
-        return std::make_unique<workloads::GaussWorkload>(p);
-    }
-    if (name == "Qsort") {
-        workloads::QsortParams p;
-        p.n = full ? 500000 : 65536;
-        return std::make_unique<workloads::QsortWorkload>(p);
-    }
-    if (name == "Relax") {
-        workloads::RelaxParams p;
-        p.interior = full ? 512 : 192;
-        p.iterations = full ? 8 : 3;
-        p.schedule = schedule;
-        return std::make_unique<workloads::RelaxWorkload>(p);
-    }
-    if (name == "Psim") {
-        workloads::PsimParams p;
-        p.packetsPerProc = full ? 513 : 96;
-        return std::make_unique<workloads::PsimWorkload>(p);
-    }
-    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
-    std::exit(1);
+    const exp::Grid grid = exp::namedGrid(name, args.scale);
+    exp::SweepOptions opts;
+    opts.threads = args.threads;
+    opts.progress = args.progress;
+    return exp::runGrid(grid, opts);
 }
+
+/**
+ * Single-run helpers for the ablation bench, which varies machine
+ * parameters (MSHR count, buffer depth, switch radix, model overrides)
+ * that the declarative grids deliberately do not span. @{
+ */
 
 /** Baseline paper machine (16 processors, 4x4 switches). */
 inline core::MachineConfig
-baseConfig(bool full, unsigned procs = 16)
+baseConfig(const BenchArgs &args, unsigned procs = 16)
 {
     core::MachineConfig cfg;
     cfg.numProcs = procs;
     cfg.numModules = procs;
-    cfg.cacheBytes = smallCache(full);
+    cfg.cacheBytes = exp::smallCache(args.scale);
     cfg.lineBytes = 16;
     // Figure benches report timings; invariant checking stays off here
     // (tests and bench_micro run with it on).
@@ -111,14 +109,29 @@ baseConfig(bool full, unsigned procs = 16)
     return cfg;
 }
 
-/** Run one benchmark on one configuration. */
-inline core::RunMetrics
-run(const std::string &name, const core::MachineConfig &cfg, bool full,
-    workloads::RelaxSchedule schedule = workloads::RelaxSchedule::Default)
+/** Build one of the paper's benchmarks at the chosen scale. */
+inline std::unique_ptr<workloads::Workload>
+makeWorkload(const std::string &name, exp::Scale scale,
+             workloads::RelaxSchedule schedule =
+                 workloads::RelaxSchedule::Default)
 {
-    auto w = makeWorkload(name, full, schedule);
+    exp::SweepPoint point;
+    point.benchmark = name;
+    point.scale = scale;
+    point.schedule = schedule;
+    return point.makeWorkload();
+}
+
+/** Run one benchmark on one hand-built configuration. */
+inline core::RunMetrics
+run(const std::string &name, const core::MachineConfig &cfg,
+    const BenchArgs &args)
+{
+    auto w = makeWorkload(name, args.scale);
     return workloads::runWorkload(*w, cfg).metrics;
 }
+
+/** @} */
 
 /** Standard line sizes swept throughout the paper. */
 inline const std::vector<unsigned> lineSizes = {8, 16, 64};

@@ -6,7 +6,7 @@
  * at the large one; Qsort's 64B point is the slowest; Relax and Psim
  * improve modestly, with Psim's 64B run-time rising from network load.
  *
- * Usage: bench_fig2 [--full]
+ * Usage: bench_fig2 [--full] [--threads N] [--no-progress]
  */
 
 #include "bench_common.hh"
@@ -17,24 +17,23 @@ using namespace mcsim::bench;
 int
 main(int argc, char **argv)
 {
-    const bool full = parseFull(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const exp::SweepOutcomes res = runNamedGrid("fig2", args);
 
     std::printf("Figure 2 reproduction: SC1 run-time (Mcycles) by line "
                 "size%s\n",
-                full ? " (paper-size)" : " (scaled)");
+                isFull(args) ? " (paper-size)" : " (scaled)");
     printHeaderRule();
 
     for (int big = 0; big < 2; ++big) {
-        std::printf("\n%s caches\n", cacheLabel(full, big));
+        std::printf("\n%s caches\n", cacheLabel(args, big));
         std::printf("%-7s %10s %10s %10s\n", "Program", "8B", "16B",
                     "64B");
         for (const auto &name : benchmarkNames) {
             std::printf("%-7s", name.c_str());
             for (unsigned line : lineSizes) {
-                auto cfg = baseConfig(full);
-                cfg.cacheBytes = big ? largeCache(full) : smallCache(full);
-                cfg.lineBytes = line;
-                const auto m = run(name, cfg, full);
+                const auto &m = res.metrics(exp::paperPoint(
+                    name, core::Model::SC1, args.scale, big, line));
                 std::printf(" %10.3f",
                             static_cast<double>(m.cycles) / 1e6);
             }

@@ -9,7 +9,7 @@
  * at every line size; Relax small; Psim moderate with SC2 negative at
  * 64B; WO1 ~ WO2 ~ RC everywhere.
  *
- * Usage: bench_fig4 [--full]
+ * Usage: bench_fig4 [--full] [--threads N] [--no-progress]
  */
 
 #include "bench_common.hh"
@@ -20,37 +20,31 @@ using namespace mcsim::bench;
 int
 main(int argc, char **argv)
 {
-    const bool full = parseFull(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const exp::SweepOutcomes res = runNamedGrid("fig4", args);
     const std::vector<core::Model> models = {
         core::Model::SC2, core::Model::WO1, core::Model::WO2,
         core::Model::RC};
 
     std::printf("Figure 4 reproduction: %% gain over SC1, 16 procs, "
                 "%s caches%s\n",
-                cacheLabel(full, false), full ? " (paper-size)" : "");
+                cacheLabel(args, false), isFull(args) ? " (paper-size)" : "");
     printHeaderRule();
 
     for (const auto &name : benchmarkNames) {
         std::printf("\n%s\n", name.c_str());
         std::printf("%-6s %10s %10s %10s %14s %12s\n", "model", "8B",
                     "16B", "64B", "bypasses/16B", "pref/16B");
-        // SC1 baselines per line size.
-        core::RunMetrics base[3];
-        for (std::size_t l = 0; l < lineSizes.size(); ++l) {
-            auto cfg = baseConfig(full);
-            cfg.lineBytes = lineSizes[l];
-            base[l] = run(name, cfg, full);
-        }
         for (core::Model model : models) {
             std::printf("%-6s", core::modelName(model));
             double bypasses16 = 0, prefetch16 = 0;
-            for (std::size_t l = 0; l < lineSizes.size(); ++l) {
-                auto cfg = baseConfig(full);
-                cfg.lineBytes = lineSizes[l];
-                cfg.model = model;
-                const auto m = run(name, cfg, full);
-                std::printf(" %9.1f%%", core::percentGain(base[l], m));
-                if (lineSizes[l] == 16) {
+            for (unsigned line : lineSizes) {
+                const auto &base = res.metrics(exp::paperPoint(
+                    name, core::Model::SC1, args.scale, false, line));
+                const auto &m = res.metrics(
+                    exp::paperPoint(name, model, args.scale, false, line));
+                std::printf(" %9.1f%%", core::percentGain(base, m));
+                if (line == 16) {
                     bypasses16 = static_cast<double>(m.bufferBypasses);
                     prefetch16 = static_cast<double>(m.prefetchesIssued);
                 }

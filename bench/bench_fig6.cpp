@@ -6,7 +6,7 @@
  * cycles), so the paper found slightly larger gains than at 16
  * processors.
  *
- * Usage: bench_fig6 [--full]
+ * Usage: bench_fig6 [--full] [--threads N] [--no-progress]
  */
 
 #include "bench_common.hh"
@@ -17,34 +17,29 @@ using namespace mcsim::bench;
 int
 main(int argc, char **argv)
 {
-    const bool full = parseFull(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const exp::SweepOutcomes res = runNamedGrid("fig6", args);
     const std::vector<core::Model> models = {
         core::Model::SC2, core::Model::WO1, core::Model::RC};
 
     std::printf("Figure 6 reproduction: Gauss, 32 processors, %% gain "
                 "over SC1%s\n",
-                full ? " (paper-size)" : " (scaled)");
+                isFull(args) ? " (paper-size)" : " (scaled)");
     printHeaderRule();
 
     for (int big = 0; big < 2; ++big) {
-        std::printf("\n%s caches\n", cacheLabel(full, big));
+        std::printf("\n%s caches\n", cacheLabel(args, big));
         std::printf("%-6s %10s %10s %10s\n", "model", "8B", "16B", "64B");
-        core::RunMetrics base[3];
-        for (std::size_t l = 0; l < lineSizes.size(); ++l) {
-            auto cfg = baseConfig(full, 32);
-            cfg.cacheBytes = big ? largeCache(full) : smallCache(full);
-            cfg.lineBytes = lineSizes[l];
-            base[l] = run("Gauss", cfg, full);
-        }
         for (core::Model model : models) {
             std::printf("%-6s", core::modelName(model));
-            for (std::size_t l = 0; l < lineSizes.size(); ++l) {
-                auto cfg = baseConfig(full, 32);
-                cfg.cacheBytes = big ? largeCache(full) : smallCache(full);
-                cfg.lineBytes = lineSizes[l];
-                cfg.model = model;
-                const auto m = run("Gauss", cfg, full);
-                std::printf(" %9.1f%%", core::percentGain(base[l], m));
+            for (unsigned line : lineSizes) {
+                const auto &base = res.metrics(
+                    exp::paperPoint("Gauss", core::Model::SC1, args.scale,
+                                    big, line, /*procs=*/32));
+                const auto &m = res.metrics(
+                    exp::paperPoint("Gauss", model, args.scale, big, line,
+                                    /*procs=*/32));
+                std::printf(" %9.1f%%", core::percentGain(base, m));
             }
             std::printf("\n");
         }

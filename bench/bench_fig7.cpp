@@ -10,7 +10,7 @@
  * Psim bWO1 already captures 75-85%% of WO1's gain (mostly write
  * latency).
  *
- * Usage: bench_fig7 [--full]
+ * Usage: bench_fig7 [--full] [--threads N] [--no-progress]
  */
 
 #include "bench_common.hh"
@@ -21,33 +21,27 @@ using namespace mcsim::bench;
 int
 main(int argc, char **argv)
 {
-    const bool full = parseFull(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const exp::SweepOutcomes res = runNamedGrid("fig7", args);
     const std::vector<core::Model> models = {
         core::Model::SC1, core::Model::BWO1, core::Model::WO1};
 
     std::printf("Figure 7 reproduction: %% gain over bSC1, 16 procs, "
                 "%s caches%s\n",
-                cacheLabel(full, false), full ? " (paper-size)" : "");
+                cacheLabel(args, false), isFull(args) ? " (paper-size)" : "");
     printHeaderRule();
 
     for (const auto &name : benchmarkNames) {
         std::printf("\n%s\n", name.c_str());
         std::printf("%-6s %10s %10s %10s\n", "model", "8B", "16B", "64B");
-        core::RunMetrics base[3];
-        for (std::size_t l = 0; l < lineSizes.size(); ++l) {
-            auto cfg = baseConfig(full);
-            cfg.lineBytes = lineSizes[l];
-            cfg.model = core::Model::BSC1;
-            base[l] = run(name, cfg, full);
-        }
         for (core::Model model : models) {
             std::printf("%-6s", core::modelName(model));
-            for (std::size_t l = 0; l < lineSizes.size(); ++l) {
-                auto cfg = baseConfig(full);
-                cfg.lineBytes = lineSizes[l];
-                cfg.model = model;
-                const auto m = run(name, cfg, full);
-                std::printf(" %9.1f%%", core::percentGain(base[l], m));
+            for (unsigned line : lineSizes) {
+                const auto &base = res.metrics(exp::paperPoint(
+                    name, core::Model::BSC1, args.scale, false, line));
+                const auto &m = res.metrics(
+                    exp::paperPoint(name, model, args.scale, false, line));
+                std::printf(" %9.1f%%", core::percentGain(base, m));
             }
             std::printf("\n");
         }

@@ -5,7 +5,7 @@
  * shrink; the paper notes Gauss's variations here are "so small as to
  * be unimportant".
  *
- * Usage: bench_fig8 [--full]
+ * Usage: bench_fig8 [--full] [--threads N] [--no-progress]
  */
 
 #include "bench_common.hh"
@@ -16,35 +16,27 @@ using namespace mcsim::bench;
 int
 main(int argc, char **argv)
 {
-    const bool full = parseFull(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const exp::SweepOutcomes res = runNamedGrid("fig8", args);
     const std::vector<core::Model> models = {
         core::Model::SC1, core::Model::BWO1, core::Model::WO1};
 
     std::printf("Figure 8 reproduction: %% gain over bSC1, 16 procs, "
                 "%s caches%s\n",
-                cacheLabel(full, true), full ? " (paper-size)" : "");
+                cacheLabel(args, true), isFull(args) ? " (paper-size)" : "");
     printHeaderRule();
 
     for (const auto &name : benchmarkNames) {
         std::printf("\n%s\n", name.c_str());
         std::printf("%-6s %10s %10s %10s\n", "model", "8B", "16B", "64B");
-        core::RunMetrics base[3];
-        for (std::size_t l = 0; l < lineSizes.size(); ++l) {
-            auto cfg = baseConfig(full);
-            cfg.cacheBytes = largeCache(full);
-            cfg.lineBytes = lineSizes[l];
-            cfg.model = core::Model::BSC1;
-            base[l] = run(name, cfg, full);
-        }
         for (core::Model model : models) {
             std::printf("%-6s", core::modelName(model));
-            for (std::size_t l = 0; l < lineSizes.size(); ++l) {
-                auto cfg = baseConfig(full);
-                cfg.cacheBytes = largeCache(full);
-                cfg.lineBytes = lineSizes[l];
-                cfg.model = model;
-                const auto m = run(name, cfg, full);
-                std::printf(" %9.1f%%", core::percentGain(base[l], m));
+            for (unsigned line : lineSizes) {
+                const auto &base = res.metrics(exp::paperPoint(
+                    name, core::Model::BSC1, args.scale, true, line));
+                const auto &m = res.metrics(
+                    exp::paperPoint(name, model, args.scale, true, line));
+                std::printf(" %9.1f%%", core::percentGain(base, m));
             }
             std::printf("\n");
         }

@@ -9,7 +9,7 @@
  * that the optimal order differs between SC (missing load issued last,
  * nothing after it) and WO (missing load issued first, used last).
  *
- * Usage: bench_fig9 [--full]
+ * Usage: bench_fig9 [--full] [--threads N] [--no-progress]
  */
 
 #include "bench_common.hh"
@@ -21,11 +21,12 @@ using workloads::RelaxSchedule;
 int
 main(int argc, char **argv)
 {
-    const bool full = parseFull(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const exp::SweepOutcomes res = runNamedGrid("fig9", args);
 
     std::printf("Figure 9 reproduction: Relax scheduling, %% run-time "
                 "change vs default schedule%s\n",
-                full ? " (paper-size)" : " (scaled)");
+                isFull(args) ? " (paper-size)" : " (scaled)");
     std::printf("(positive = faster than the default schedule)\n");
     printHeaderRule();
 
@@ -43,25 +44,27 @@ main(int argc, char **argv)
     for (int big = 0; big < 2; ++big) {
         for (const auto &v : variants) {
             std::printf("\n%s, %s caches\n", core::modelName(v.model),
-                        cacheLabel(full, big));
+                        cacheLabel(args, big));
             std::printf("%-9s %10s %10s %10s\n", "schedule", "8B", "16B",
                         "64B");
-            core::RunMetrics def[3], opt[3], bad[3];
-            for (std::size_t l = 0; l < lineSizes.size(); ++l) {
-                auto cfg = baseConfig(full);
-                cfg.cacheBytes = big ? largeCache(full) : smallCache(full);
-                cfg.lineBytes = lineSizes[l];
-                cfg.model = v.model;
-                def[l] = run("Relax", cfg, full, RelaxSchedule::Default);
-                opt[l] = run("Relax", cfg, full, v.optimal);
-                bad[l] = run("Relax", cfg, full, v.bad);
-            }
+            auto at = [&](RelaxSchedule sched, unsigned line)
+                -> const core::RunMetrics & {
+                return res.metrics(exp::paperPoint("Relax", v.model,
+                                                   args.scale, big, line,
+                                                   16, 4, sched));
+            };
             std::printf("%-9s", "optimal");
-            for (std::size_t l = 0; l < lineSizes.size(); ++l)
-                std::printf(" %9.1f%%", core::percentGain(def[l], opt[l]));
+            for (unsigned line : lineSizes)
+                std::printf(" %9.1f%%",
+                            core::percentGain(at(RelaxSchedule::Default,
+                                                 line),
+                                              at(v.optimal, line)));
             std::printf("\n%-9s", "bad");
-            for (std::size_t l = 0; l < lineSizes.size(); ++l)
-                std::printf(" %9.1f%%", core::percentGain(def[l], bad[l]));
+            for (unsigned line : lineSizes)
+                std::printf(" %9.1f%%",
+                            core::percentGain(at(RelaxSchedule::Default,
+                                                 line),
+                                              at(v.bad, line)));
             std::printf("\n");
         }
     }

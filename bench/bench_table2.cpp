@@ -6,7 +6,7 @@
  * references), plus the section 3.3 Psim observations (invalidation-miss
  * share and memory-module utilization skew).
  *
- * Usage: bench_table2 [--full]
+ * Usage: bench_table2 [--full] [--threads N] [--no-progress]
  */
 
 #include "bench_common.hh"
@@ -17,7 +17,8 @@ using namespace mcsim::bench;
 int
 main(int argc, char **argv)
 {
-    const bool full = parseFull(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const exp::SweepOutcomes res = runNamedGrid("table2", args);
 
     struct Row
     {
@@ -30,17 +31,16 @@ main(int argc, char **argv)
     };
 
     std::printf("Table 2 / 7 / 8 / 9 reproduction (SC1, 16 processors%s)\n",
-                full ? ", paper-size" : ", scaled");
+                isFull(args) ? ", paper-size" : ", scaled");
     printHeaderRule();
 
     std::vector<Row> rows(benchmarkNames.size());
     for (std::size_t b = 0; b < benchmarkNames.size(); ++b) {
         for (int big = 0; big < 2; ++big) {
             for (std::size_t l = 0; l < lineSizes.size(); ++l) {
-                auto cfg = baseConfig(full);
-                cfg.cacheBytes = big ? largeCache(full) : smallCache(full);
-                cfg.lineBytes = lineSizes[l];
-                const auto m = run(benchmarkNames[b], cfg, full);
+                const auto &m = res.metrics(
+                    exp::paperPoint(benchmarkNames[b], core::Model::SC1,
+                                    args.scale, big, lineSizes[l]));
                 rows[b].hit[big][l] = 100.0 * m.hitRate;
                 rows[b].rhit[big][l] = 100.0 * m.readHitRate;
                 rows[b].whit[big][l] = 100.0 * m.writeHitRate;
@@ -75,7 +75,7 @@ main(int argc, char **argv)
             r.hit[1][2]);
     }
     std::printf("(s = small cache %s, l = large cache %s)\n",
-                cacheLabel(full, false), cacheLabel(full, true));
+                cacheLabel(args, false), cacheLabel(args, true));
 
     std::printf("\nTable 7: read hit rates (%%)\n");
     std::printf("%-7s | %6s %6s %6s | %6s %6s %6s\n", "Program", "s/8B",

@@ -6,7 +6,7 @@
  * conclusion: the two-cycle results "are consistent with those obtained
  * with a four cycle delay and do not bring any further insight".
  *
- * Usage: bench_tables3_6 [--full]
+ * Usage: bench_tables3_6 [--full] [--threads N] [--no-progress]
  */
 
 #include "bench_common.hh"
@@ -17,11 +17,12 @@ using namespace mcsim::bench;
 int
 main(int argc, char **argv)
 {
-    const bool full = parseFull(argc, argv);
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    const exp::SweepOutcomes res = runNamedGrid("tables3_6", args);
 
     std::printf("Tables 3-6 reproduction: WO1 benefit over SC1 at 2- and "
                 "4-cycle delays%s\n",
-                full ? " (paper-size)" : " (scaled)");
+                isFull(args) ? " (paper-size)" : " (scaled)");
     printHeaderRule();
 
     for (const auto &name : benchmarkNames) {
@@ -34,15 +35,12 @@ main(int argc, char **argv)
                 std::printf("%-6s %-7u |", big ? "large" : "small",
                             delay);
                 for (unsigned line : lineSizes) {
-                    auto cfg = baseConfig(full);
-                    cfg.cacheBytes =
-                        big ? largeCache(full) : smallCache(full);
-                    cfg.lineBytes = line;
-                    cfg.loadDelay = delay;
-                    cfg.branchDelay = delay;
-                    const auto sc1 = run(name, cfg, full);
-                    cfg.model = core::Model::WO1;
-                    const auto wo1 = run(name, cfg, full);
+                    const auto &sc1 = res.metrics(
+                        exp::paperPoint(name, core::Model::SC1, args.scale,
+                                        big, line, 16, delay));
+                    const auto &wo1 = res.metrics(
+                        exp::paperPoint(name, core::Model::WO1, args.scale,
+                                        big, line, 16, delay));
                     std::printf(" %8.0f /%5.1f%% |",
                                 core::absoluteGainKCycles(sc1, wo1),
                                 core::percentGain(sc1, wo1));

@@ -73,7 +73,12 @@ RunMetrics::fromMachine(const Machine &machine, Tick run_ticks)
     for (unsigned p = 0; p < procs; ++p) {
         lat_sum += machine.cache(p).stats().missLatencySum;
         lat_count += machine.cache(p).stats().missLatencyCount;
+        m.mshrBusyCycles += machine.cache(p).stats().mshrBusyCycles;
     }
+    m.avgMshrOccupancy =
+        run_ticks ? static_cast<double>(m.mshrBusyCycles) /
+                        (static_cast<double>(run_ticks) * procs)
+                  : 0.0;
     m.avgMissLatency =
         lat_count ? static_cast<double>(lat_sum) /
                         static_cast<double>(lat_count)
@@ -94,6 +99,40 @@ RunMetrics::summary() const
         static_cast<unsigned long long>(cycles),
         readsPerProc + writesPerProc, hitRate, readHitRate, writeHitRate,
         syncOpsPerProc);
+}
+
+StatSet
+RunMetrics::toStatSet() const
+{
+    StatSet out;
+    out.set("cycles", static_cast<double>(cycles));
+    out.set("readsPerProc", readsPerProc);
+    out.set("writesPerProc", writesPerProc);
+    out.set("syncOpsPerProc", syncOpsPerProc);
+    out.set("readHitRate", readHitRate);
+    out.set("writeHitRate", writeHitRate);
+    out.set("hitRate", hitRate);
+    out.set("totalReads", static_cast<double>(totalReads));
+    out.set("totalWrites", static_cast<double>(totalWrites));
+    out.set("totalSyncOps", static_cast<double>(totalSyncOps));
+    out.set("invalidationMisses", static_cast<double>(invalidationMisses));
+    out.set("totalMisses", static_cast<double>(totalMisses));
+    out.set("bufferBypasses", static_cast<double>(bufferBypasses));
+    out.set("prefetchesIssued", static_cast<double>(prefetchesIssued));
+    out.set("prefetchesUseful", static_cast<double>(prefetchesUseful));
+    out.set("releasesDeferred", static_cast<double>(releasesDeferred));
+    out.set("checkViolations", static_cast<double>(checkViolations));
+    out.set("checkLineAudits", static_cast<double>(checkLineAudits));
+    out.set("checkAccessesChecked",
+            static_cast<double>(checkAccessesChecked));
+    out.set("checkOrderingChecked",
+            static_cast<double>(checkOrderingChecked));
+    out.set("moduleSkew", moduleSkew);
+    out.set("avgRespLatency", avgRespLatency);
+    out.set("avgMissLatency", avgMissLatency);
+    out.set("mshrBusyCycles", static_cast<double>(mshrBusyCycles));
+    out.set("avgMshrOccupancy", avgMshrOccupancy);
+    return out;
 }
 
 double

@@ -57,6 +57,10 @@ struct RunMetrics
     /** Mean miss service time seen by the caches (cycles); the
      *  uncontended floor is 18 at 16 processors. */
     double avgMissLatency = 0;
+    /** Cycle-weighted busy-MSHR integral summed over all caches. */
+    std::uint64_t mshrBusyCycles = 0;
+    /** Mean busy MSHRs per processor over the run (in [0, numMshrs]). */
+    double avgMshrOccupancy = 0;
 
     /** Mean cycles between successive reads / writes (paper Table 9). */
     double cyclesBetweenReads() const
@@ -76,6 +80,14 @@ struct RunMetrics
 
     /** One compact human-readable line. */
     std::string summary() const;
+
+    /**
+     * Flat name -> value export of every field above (names match the
+     * member names). This is the canonical machine-readable form of one
+     * run: the sweep engine (src/exp/) serializes it to JSON and the
+     * golden-baseline checker diffs it metric by metric.
+     */
+    StatSet toStatSet() const;
 };
 
 /**

@@ -1,0 +1,340 @@
+#include "exp/grid.hh"
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "workloads/gauss.hh"
+#include "workloads/psim.hh"
+#include "workloads/qsort.hh"
+#include "workloads/synthetic.hh"
+
+namespace mcsim::exp
+{
+
+const char *
+scaleName(Scale scale)
+{
+    switch (scale) {
+      case Scale::Quick: return "quick";
+      case Scale::Scaled: return "scaled";
+      case Scale::Full: return "full";
+    }
+    return "?";
+}
+
+Scale
+scaleFromName(const std::string &name)
+{
+    if (name == "quick")
+        return Scale::Quick;
+    if (name == "scaled")
+        return Scale::Scaled;
+    if (name == "full")
+        return Scale::Full;
+    fatal("unknown scale '%s' (quick/scaled/full)", name.c_str());
+}
+
+unsigned
+smallCache(Scale scale)
+{
+    switch (scale) {
+      case Scale::Quick: return 4 * 1024;
+      case Scale::Scaled: return 8 * 1024;
+      case Scale::Full: return 16 * 1024;
+    }
+    return 0;
+}
+
+unsigned
+largeCache(Scale scale)
+{
+    switch (scale) {
+      case Scale::Quick: return 8 * 1024;
+      case Scale::Scaled: return 32 * 1024;
+      case Scale::Full: return 64 * 1024;
+    }
+    return 0;
+}
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {"Gauss", "Qsort",
+                                                   "Relax", "Psim"};
+    return names;
+}
+
+std::string
+SweepPoint::id() const
+{
+    return strprintf("%s/%s/p%u/c%u/l%u/d%u/%s/s%llu", benchmark.c_str(),
+                     core::modelName(model), numProcs, cacheBytes,
+                     lineBytes, delay,
+                     workloads::relaxScheduleName(schedule),
+                     static_cast<unsigned long long>(seed));
+}
+
+std::uint64_t
+SweepPoint::derivedSeed() const
+{
+    SweepPoint seedless = *this;
+    seedless.seed = 0;
+    // splitmix64 spreads the hash so workloads that fold the seed with
+    // small constants still see well-mixed high bits.
+    return splitmix64(fnv1a(seedless.id()));
+}
+
+core::MachineConfig
+SweepPoint::machineConfig() const
+{
+    core::MachineConfig cfg;
+    cfg.numProcs = numProcs;
+    cfg.numModules = numProcs;
+    cfg.model = model;
+    cfg.cacheBytes = cacheBytes;
+    cfg.lineBytes = lineBytes;
+    cfg.loadDelay = delay;
+    cfg.branchDelay = delay;
+    if (maxCycles) {
+        cfg.maxCycles = maxCycles;
+    } else if (scale == Scale::Quick) {
+        // The per-job timeout: a diverging quick job fails fast instead
+        // of eating the 4G-cycle global default.
+        cfg.maxCycles = 100'000'000ull;
+    }
+    cfg.check.mode =
+        runChecks ? check::CheckMode::Fatal : check::CheckMode::Off;
+    cfg.trace.record = recordTrace;
+    return cfg;
+}
+
+namespace
+{
+
+/** Synthetic fuzz parameters, all derived from the point seed. */
+workloads::SyntheticParams
+syntheticParams(std::uint64_t seed)
+{
+    Rng rng(seed);
+    workloads::SyntheticParams p;
+    p.seed = seed;
+    p.refsPerProc =
+        static_cast<unsigned>(rng.between(600, 1200));
+    p.storeFraction = 0.1 + 0.4 * rng.uniform();
+    p.sharedFraction = 0.1 + 0.3 * rng.uniform();
+    p.sharedWords = static_cast<unsigned>(rng.between(128, 512));
+    p.execBetween = static_cast<unsigned>(rng.between(0, 8));
+    p.lockEvery =
+        rng.chance(0.5) ? static_cast<unsigned>(rng.between(16, 64)) : 0;
+    p.barrierEvery =
+        rng.chance(0.5) ? static_cast<unsigned>(rng.between(64, 256)) : 0;
+    return p;
+}
+
+} // namespace
+
+std::unique_ptr<workloads::Workload>
+SweepPoint::makeWorkload() const
+{
+    if (benchmark == "Gauss") {
+        workloads::GaussParams p;
+        p.n = scale == Scale::Full ? 250
+              : scale == Scale::Scaled ? 150
+                                       : 64;
+        if (seed)
+            p.seed = seed;
+        return std::make_unique<workloads::GaussWorkload>(p);
+    }
+    if (benchmark == "Qsort") {
+        workloads::QsortParams p;
+        p.n = scale == Scale::Full ? 500000
+              : scale == Scale::Scaled ? 65536
+                                       : 8192;
+        if (scale == Scale::Quick)
+            p.parallelCutoff = 2048;
+        if (seed)
+            p.seed = seed;
+        return std::make_unique<workloads::QsortWorkload>(p);
+    }
+    if (benchmark == "Relax") {
+        workloads::RelaxParams p;
+        p.interior = scale == Scale::Full ? 512
+                     : scale == Scale::Scaled ? 192
+                                              : 64;
+        p.iterations = scale == Scale::Full ? 8
+                       : scale == Scale::Scaled ? 3
+                                                : 2;
+        p.schedule = schedule;
+        if (seed)
+            p.seed = seed;
+        return std::make_unique<workloads::RelaxWorkload>(p);
+    }
+    if (benchmark == "Psim") {
+        workloads::PsimParams p;
+        p.simProcs = scale == Scale::Quick ? 8 : 16;
+        p.packetsPerProc = scale == Scale::Full ? 513
+                           : scale == Scale::Scaled ? 96
+                                                    : 24;
+        if (seed)
+            p.seed = seed;
+        return std::make_unique<workloads::PsimWorkload>(p);
+    }
+    if (benchmark == "Synthetic")
+        return std::make_unique<workloads::SyntheticWorkload>(
+            syntheticParams(seed ? seed : 99));
+    fatal("unknown benchmark '%s'", benchmark.c_str());
+}
+
+SweepPoint
+paperPoint(const std::string &benchmark, core::Model model, Scale scale,
+           bool big_cache, unsigned line_bytes, unsigned procs,
+           unsigned delay, workloads::RelaxSchedule schedule)
+{
+    SweepPoint p;
+    p.benchmark = benchmark;
+    p.model = model;
+    p.scale = scale;
+    p.numProcs = procs;
+    p.cacheBytes = big_cache ? largeCache(scale) : smallCache(scale);
+    p.lineBytes = line_bytes;
+    p.delay = delay;
+    p.schedule = schedule;
+    return p;
+}
+
+namespace
+{
+
+const std::vector<unsigned> &
+lineSizes()
+{
+    static const std::vector<unsigned> sizes = {8, 16, 64};
+    return sizes;
+}
+
+/** benchmark x model x cache x line cross product. */
+void
+crossInto(Grid &grid, const std::vector<std::string> &benchmarks,
+          const std::vector<core::Model> &models, Scale scale,
+          const std::vector<bool> &caches, unsigned procs = 16,
+          unsigned delay = 4)
+{
+    for (const auto &bench : benchmarks)
+        for (core::Model model : models)
+            for (bool big : caches)
+                for (unsigned line : lineSizes())
+                    grid.points.push_back(paperPoint(
+                        bench, model, scale, big, line, procs, delay));
+}
+
+Grid
+quickGrid()
+{
+    Grid grid{"quick", {}};
+    for (const auto &bench : benchmarkNames()) {
+        for (core::Model model : core::allModels) {
+            SweepPoint p = paperPoint(bench, model, Scale::Quick,
+                                      /*big_cache=*/false,
+                                      /*line_bytes=*/16, /*procs=*/8);
+            p.seed = p.derivedSeed();
+            grid.points.push_back(std::move(p));
+        }
+    }
+    return grid;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+gridNames()
+{
+    static const std::vector<std::string> names = {
+        "quick", "fig2",  "fig4",   "fig5",      "fig6",
+        "fig7",  "fig8",  "fig9",   "table2",    "tables3_6"};
+    return names;
+}
+
+Grid
+namedGrid(const std::string &name, Scale scale)
+{
+    using core::Model;
+    Grid grid{name, {}};
+    if (name == "quick")
+        return quickGrid();
+    if (name == "fig2" || name == "table2") {
+        crossInto(grid, benchmarkNames(), {Model::SC1}, scale,
+                  {false, true});
+        return grid;
+    }
+    if (name == "fig4" || name == "fig5") {
+        crossInto(grid, benchmarkNames(),
+                  {Model::SC1, Model::SC2, Model::WO1, Model::WO2,
+                   Model::RC},
+                  scale, {name == "fig5"});
+        return grid;
+    }
+    if (name == "fig6") {
+        crossInto(grid, {"Gauss"},
+                  {Model::SC1, Model::SC2, Model::WO1, Model::RC}, scale,
+                  {false, true}, /*procs=*/32);
+        return grid;
+    }
+    if (name == "fig7" || name == "fig8") {
+        crossInto(grid, benchmarkNames(),
+                  {Model::BSC1, Model::SC1, Model::BWO1, Model::WO1},
+                  scale, {name == "fig8"});
+        return grid;
+    }
+    if (name == "fig9") {
+        using workloads::RelaxSchedule;
+        const struct
+        {
+            Model model;
+            RelaxSchedule schedule;
+        } variants[] = {
+            {Model::SC1, RelaxSchedule::Default},
+            {Model::SC1, RelaxSchedule::OptimalSC},
+            {Model::SC1, RelaxSchedule::BadSC},
+            {Model::WO1, RelaxSchedule::Default},
+            {Model::WO1, RelaxSchedule::OptimalWO},
+            {Model::WO1, RelaxSchedule::BadWO},
+        };
+        for (bool big : {false, true})
+            for (const auto &v : variants)
+                for (unsigned line : lineSizes())
+                    grid.points.push_back(
+                        paperPoint("Relax", v.model, scale, big, line, 16,
+                                   4, v.schedule));
+        return grid;
+    }
+    if (name == "tables3_6") {
+        for (unsigned delay : {2u, 4u})
+            crossInto(grid, benchmarkNames(), {Model::SC1, Model::WO1},
+                      scale, {false, true}, 16, delay);
+        return grid;
+    }
+    fatal("unknown grid '%s'", name.c_str());
+}
+
+Grid
+fuzzGrid(unsigned count, std::uint64_t base_seed)
+{
+    Grid grid{"fuzz", {}};
+    for (unsigned i = 0; i < count; ++i) {
+        SweepPoint p;
+        p.benchmark = "Synthetic";
+        p.scale = Scale::Quick;
+        p.numProcs = 4;
+        p.cacheBytes = 2048;
+        p.lineBytes = 16;
+        p.seed = splitmix64(base_seed + i);
+        // Vary the model with the seed so the fuzz sweep exercises every
+        // implementation's ordering rules.
+        p.model = core::allModels[p.seed % std::size(core::allModels)];
+        p.recordTrace = true;
+        p.runChecks = true;
+        grid.points.push_back(std::move(p));
+    }
+    return grid;
+}
+
+} // namespace mcsim::exp

@@ -1,0 +1,349 @@
+#include "exp/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace mcsim::exp
+{
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    MCSIM_ASSERT(kind_ == Kind::Object, "operator[] on non-object JSON");
+    for (auto &[name, value] : members)
+        if (name == key)
+            return value;
+    members.emplace_back(key, Json());
+    return members.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : members)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+void
+Json::writeEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+Json::writeNumber(std::string &out, double v)
+{
+    // Exactly-representable integers print without a decimal point; this
+    // keeps cycle counts and counters readable and diff-friendly.
+    if (std::nearbyint(v) == v && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+Json::write(std::string &out, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    const std::string inner(static_cast<std::size_t>(depth + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += boolean ? "true" : "false";
+        break;
+      case Kind::Number:
+        writeNumber(out, number);
+        break;
+      case Kind::String:
+        writeEscaped(out, string);
+        break;
+      case Kind::Array:
+        if (items.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            out += inner;
+            items[i].write(out, depth + 1);
+            out += i + 1 < items.size() ? ",\n" : "\n";
+        }
+        out += pad + "]";
+        break;
+      case Kind::Object:
+        if (members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            out += inner;
+            writeEscaped(out, members[i].first);
+            out += ": ";
+            members[i].second.write(out, depth + 1);
+            out += i + 1 < members.size() ? ",\n" : "\n";
+        }
+        out += pad + "}";
+        break;
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    write(out, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a byte range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text(text), error(error)
+    {}
+
+    Json
+    run()
+    {
+        Json v = value();
+        skipWs();
+        if (!failed && pos != text.size())
+            fail("trailing content");
+        return failed ? Json() : v;
+    }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (!failed && error) {
+            *error = strprintf("JSON parse error at byte %zu: %s", pos,
+                               what.c_str());
+        }
+        failed = true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        if (failed || pos >= text.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        const char c = text[pos];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return Json(string());
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json();
+        return number();
+    }
+
+    std::string
+    string()
+    {
+        std::string out;
+        ++pos;  // opening quote
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > text.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                const unsigned code = static_cast<unsigned>(
+                    std::strtoul(text.substr(pos, 4).c_str(), nullptr,
+                                 16));
+                pos += 4;
+                // Golden files only carry ASCII; keep it simple.
+                out += static_cast<char>(code & 0x7f);
+                break;
+              }
+              default:
+                fail("unknown escape");
+                return out;
+            }
+        }
+        if (pos >= text.size()) {
+            fail("unterminated string");
+            return out;
+        }
+        ++pos;  // closing quote
+        return out;
+    }
+
+    Json
+    number()
+    {
+        const char *start = text.c_str() + pos;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start) {
+            fail("invalid value");
+            return Json();
+        }
+        pos += static_cast<std::size_t>(end - start);
+        return Json(v);
+    }
+
+    Json
+    array()
+    {
+        Json out = Json::array();
+        ++pos;  // [
+        if (eat(']'))
+            return out;
+        while (!failed) {
+            out.push(value());
+            if (eat(']'))
+                return out;
+            if (!eat(',')) {
+                fail("expected ',' or ']'");
+                return out;
+            }
+        }
+        return out;
+    }
+
+    Json
+    object()
+    {
+        Json out = Json::object();
+        ++pos;  // {
+        if (eat('}'))
+            return out;
+        while (!failed) {
+            skipWs();
+            if (pos >= text.size() || text[pos] != '"') {
+                fail("expected member name");
+                return out;
+            }
+            const std::string key = string();
+            if (!eat(':')) {
+                fail("expected ':'");
+                return out;
+            }
+            out[key] = value();
+            if (eat('}'))
+                return out;
+            if (!eat(',')) {
+                fail("expected ',' or '}'");
+                return out;
+            }
+        }
+        return out;
+    }
+
+    const std::string &text;
+    std::string *error;
+    std::size_t pos = 0;
+    bool failed = false;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).run();
+}
+
+} // namespace mcsim::exp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Minimal JSON value type with a canonical writer and a strict parser.
+ *
+ * The sweep engine's contract is that the same grid produces a
+ * byte-identical results document no matter how many worker threads ran
+ * it, so the writer is deliberately canonical: object keys keep
+ * insertion order (builders insert deterministically), numbers that are
+ * exactly integral print without a decimal point, and everything else
+ * prints with round-trippable %.17g. No locale dependence, no
+ * timestamps, no pointers.
+ *
+ * The parser accepts standard JSON (it reads back our own output plus
+ * hand-edited golden files) and reports the first error with its byte
+ * offset.
+ */
+
+#ifndef MCSIM_EXP_JSON_HH
+#define MCSIM_EXP_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcsim::exp
+{
+
+/** One JSON value (null / bool / number / string / array / object). */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Json() = default;
+    Json(bool b) : kind_(Kind::Bool), boolean(b) {}
+    Json(double v) : kind_(Kind::Number), number(v) {}
+    Json(int v) : kind_(Kind::Number), number(v) {}
+    Json(unsigned v) : kind_(Kind::Number), number(v) {}
+    Json(std::uint64_t v)
+        : kind_(Kind::Number), number(static_cast<double>(v))
+    {}
+    Json(const char *s) : kind_(Kind::String), string(s) {}
+    Json(std::string s) : kind_(Kind::String), string(std::move(s)) {}
+
+    static Json array() { Json j; j.kind_ = Kind::Array; return j; }
+    static Json object() { Json j; j.kind_ = Kind::Object; return j; }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return boolean; }
+    double asNumber() const { return number; }
+    const std::string &asString() const { return string; }
+
+    /** Array element count / object member count. */
+    std::size_t size() const
+    {
+        return kind_ == Kind::Array ? items.size() : members.size();
+    }
+
+    /** Array access. @{ */
+    void push(Json v) { items.push_back(std::move(v)); }
+    const Json &at(std::size_t i) const { return items.at(i); }
+    const std::vector<Json> &elements() const { return items; }
+    std::vector<Json> &elements() { return items; }
+    /** @} */
+
+    /** Object access: insert-or-fetch, preserving insertion order. */
+    Json &operator[](const std::string &key);
+    /** Member lookup; nullptr when absent (or not an object). */
+    const Json *find(const std::string &key) const;
+    /** Members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &pairs() const
+    {
+        return members;
+    }
+
+    /** Canonical serialization (2-space indent, trailing newline at the
+     *  top level is the caller's choice). */
+    std::string dump() const;
+
+    /**
+     * Parse @p text. On failure returns a Null value and, when @p error
+     * is non-null, stores a message with the byte offset of the problem.
+     */
+    static Json parse(const std::string &text, std::string *error);
+
+  private:
+    void write(std::string &out, int depth) const;
+    static void writeEscaped(std::string &out, const std::string &s);
+    static void writeNumber(std::string &out, double v);
+
+    Kind kind_ = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<Json> items;
+    std::vector<std::pair<std::string, Json>> members;
+};
+
+} // namespace mcsim::exp
+
+#endif // MCSIM_EXP_JSON_HH

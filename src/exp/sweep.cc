@@ -1,0 +1,267 @@
+#include "exp/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "axiom/axiom_checker.hh"
+#include "core/machine.hh"
+#include "sim/logging.hh"
+
+namespace mcsim::exp
+{
+
+SweepRunner::SweepRunner(SweepOptions options) : opts(options)
+{
+    if (opts.threads == 0) {
+        opts.threads = std::thread::hardware_concurrency();
+        if (opts.threads == 0)
+            opts.threads = 1;
+    }
+}
+
+JobResult
+SweepRunner::runPoint(const SweepPoint &point)
+{
+    JobResult result;
+    result.point = point;
+    try {
+        core::MachineConfig cfg = point.machineConfig();
+        auto workload = point.makeWorkload();
+        if (!workload->dataRaceFree())
+            cfg.check.races = false;
+
+        core::Machine machine(cfg);
+        workload->setup(machine);
+        const Tick last = machine.run();
+        workload->verify(machine);
+        result.metrics = core::RunMetrics::fromMachine(machine, last);
+
+        if (axiom::TraceRecorder *rec = machine.traceRecorder()) {
+            const axiom::Trace &trace = rec->finish();
+            const axiom::AxiomResult verdict =
+                axiom::checkTrace(trace, cfg.modelParams());
+            result.traceChecked = true;
+            result.traceAccepted = verdict.ok;
+            result.traceEvents = trace.events.size();
+            result.traceEdges = verdict.edgeCount;
+            if (!verdict.ok) {
+                result.error = "axiomatic trace rejected: " +
+                               verdict.message;
+                return result;
+            }
+        }
+        result.ok = true;
+    } catch (const std::exception &err) {
+        result.error = err.what();
+    }
+    return result;
+}
+
+std::vector<JobResult>
+SweepRunner::run(const Grid &grid) const
+{
+    const std::size_t total = grid.points.size();
+    std::vector<JobResult> results(total);
+    if (total == 0)
+        return results;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex reportMutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= total)
+                return;
+            results[i] = runPoint(grid.points[i]);
+            const std::size_t done = completed.fetch_add(1) + 1;
+            if (!opts.progress)
+                continue;
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            const double eta =
+                elapsed / static_cast<double>(done) *
+                static_cast<double>(total - done);
+            std::lock_guard<std::mutex> lock(reportMutex);
+            std::fprintf(stderr,
+                         "[%zu/%zu] %-44s %-6s %6.1fs elapsed, ETA "
+                         "%.1fs\n",
+                         done, total, grid.points[i].id().c_str(),
+                         results[i].ok ? "ok" : "FAILED", elapsed, eta);
+        }
+    };
+
+    const unsigned n =
+        static_cast<unsigned>(std::min<std::size_t>(opts.threads, total));
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+void
+SweepOutcomes::add(const Grid &grid, std::vector<JobResult> results)
+{
+    order.push_back(grid.name);
+    perGrid.push_back(std::move(results));
+}
+
+const std::vector<JobResult> &
+SweepOutcomes::gridResults(const std::string &g) const
+{
+    for (std::size_t i = 0; i < order.size(); ++i)
+        if (order[i] == g)
+            return perGrid[i];
+    fatal("no results recorded for grid '%s'", g.c_str());
+}
+
+const core::RunMetrics &
+SweepOutcomes::metrics(const SweepPoint &point) const
+{
+    const std::string key = point.id();
+    for (const auto &results : perGrid) {
+        for (const JobResult &job : results) {
+            if (job.point.id() != key)
+                continue;
+            if (!job.ok) {
+                fatal("sweep job %s failed: %s", key.c_str(),
+                      job.error.c_str());
+            }
+            return job.metrics;
+        }
+    }
+    fatal("no sweep result for point %s", key.c_str());
+}
+
+std::size_t
+SweepOutcomes::totalJobs() const
+{
+    std::size_t n = 0;
+    for (const auto &results : perGrid)
+        n += results.size();
+    return n;
+}
+
+std::size_t
+SweepOutcomes::failedJobs() const
+{
+    std::size_t n = 0;
+    for (const auto &results : perGrid)
+        for (const JobResult &job : results)
+            n += job.ok ? 0 : 1;
+    return n;
+}
+
+namespace
+{
+
+Json
+jobToJson(const JobResult &job)
+{
+    const SweepPoint &p = job.point;
+    Json out = Json::object();
+    out["id"] = Json(p.id());
+    out["benchmark"] = Json(p.benchmark);
+    out["model"] = Json(core::modelName(p.model));
+    out["scale"] = Json(scaleName(p.scale));
+    out["procs"] = Json(p.numProcs);
+    out["cacheBytes"] = Json(p.cacheBytes);
+    out["lineBytes"] = Json(p.lineBytes);
+    out["delay"] = Json(p.delay);
+    out["schedule"] = Json(workloads::relaxScheduleName(p.schedule));
+    // As a string: 64-bit seeds are not exactly representable in a JSON
+    // number (IEEE double mantissa is 53 bits).
+    out["seed"] = Json(
+        strprintf("%llu", static_cast<unsigned long long>(p.seed)));
+    out["status"] = Json(job.ok ? "ok" : "failed");
+    if (!job.ok)
+        out["error"] = Json(job.error);
+    Json metrics = Json::object();
+    for (const auto &[name, value] : job.metrics.toStatSet())
+        metrics[name] = Json(value);
+    if (job.traceChecked) {
+        metrics["axiomAccepted"] = Json(job.traceAccepted ? 1.0 : 0.0);
+        metrics["axiomEvents"] = Json(job.traceEvents);
+        metrics["axiomEdges"] = Json(job.traceEdges);
+    }
+    out["metrics"] = std::move(metrics);
+    return out;
+}
+
+} // namespace
+
+Json
+SweepOutcomes::toJson() const
+{
+    Json doc = Json::object();
+    doc["schema"] = Json("mcsim-sweep-v1");
+    Json grids = Json::object();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        Json jobs = Json::array();
+        for (const JobResult &job : perGrid[i])
+            jobs.push(jobToJson(job));
+        grids[order[i]] = std::move(jobs);
+    }
+    doc["grids"] = std::move(grids);
+    return doc;
+}
+
+std::string
+SweepOutcomes::toCsv() const
+{
+    // Fixed column set: point identity, status, then the RunMetrics
+    // export in its canonical (alphabetical) order, taken from a default
+    // instance so failed jobs produce the same columns.
+    const StatSet reference = core::RunMetrics().toStatSet();
+    std::string out =
+        "grid,id,benchmark,model,scale,procs,cacheBytes,lineBytes,delay,"
+        "schedule,seed,status";
+    for (const auto &[name, value] : reference) {
+        (void)value;
+        out += ',';
+        out += name;
+    }
+    out += "\n";
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        for (const JobResult &job : perGrid[i]) {
+            const SweepPoint &p = job.point;
+            out += strprintf(
+                "%s,%s,%s,%s,%s,%u,%u,%u,%u,%s,%llu,%s",
+                order[i].c_str(), p.id().c_str(), p.benchmark.c_str(),
+                core::modelName(p.model), scaleName(p.scale), p.numProcs,
+                p.cacheBytes, p.lineBytes, p.delay,
+                workloads::relaxScheduleName(p.schedule),
+                static_cast<unsigned long long>(p.seed),
+                job.ok ? "ok" : "failed");
+            const StatSet stats = job.metrics.toStatSet();
+            for (const auto &[name, value] : reference) {
+                (void)value;
+                out += ',';
+                // Reuse the canonical number formatting.
+                out += Json(stats.get(name)).dump();
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+SweepOutcomes
+runGrid(const Grid &grid, SweepOptions options)
+{
+    SweepOutcomes outcomes;
+    outcomes.add(grid, SweepRunner(options).run(grid));
+    return outcomes;
+}
+
+} // namespace mcsim::exp

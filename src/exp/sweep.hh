@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Parallel sweep engine: fans a Grid of SweepPoints across std::thread
+ * workers, one fully isolated Machine per job.
+ *
+ * Isolation and determinism contract:
+ *  - every job builds its own Machine, FunctionalMemory, and workload
+ *    from its SweepPoint alone -- no state is shared between jobs, so
+ *    results are independent of worker count and scheduling;
+ *  - seeds are a pure function of the point (SweepPoint::seed, assigned
+ *    by the grid builder, possibly via derivedSeed()) -- never wall
+ *    clock;
+ *  - a job that throws (FatalError: deadlock, maxCycles timeout budget,
+ *    failed verify, rejected axiomatic trace) marks itself failed with
+ *    the message and the sweep continues;
+ *  - results are reported in grid order, so serializing them yields a
+ *    byte-identical document no matter how many threads ran the sweep.
+ *
+ * Progress (completed count, elapsed, ETA) goes to stderr only; nothing
+ * wall-clock-derived enters the results.
+ */
+
+#ifndef MCSIM_EXP_SWEEP_HH
+#define MCSIM_EXP_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "exp/grid.hh"
+#include "exp/json.hh"
+
+namespace mcsim::exp
+{
+
+/** Outcome of one sweep job. */
+struct JobResult
+{
+    SweepPoint point;
+    bool ok = false;
+    /** Failure description (fatal message, verify failure, axiom cycle
+     *  witness); empty when ok. */
+    std::string error;
+    core::RunMetrics metrics;
+
+    /** Axiomatic post-run check (only when point.recordTrace). @{ */
+    bool traceChecked = false;
+    bool traceAccepted = false;
+    std::uint64_t traceEvents = 0;
+    std::uint64_t traceEdges = 0;
+    /** @} */
+};
+
+/** Sweep engine options. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+    /** Print per-job progress and ETA to stderr. */
+    bool progress = true;
+};
+
+/** Thread-pool sweep runner. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions options = {});
+
+    /** Run every point of @p grid; results in grid order. */
+    std::vector<JobResult> run(const Grid &grid) const;
+
+    /** Run one point in isolation (what each worker executes). */
+    static JobResult runPoint(const SweepPoint &point);
+
+  private:
+    SweepOptions opts;
+};
+
+/** Results of one or more grids keyed for lookup by point id. */
+class SweepOutcomes
+{
+  public:
+    void add(const Grid &grid, std::vector<JobResult> results);
+
+    /** Grids in insertion order. @{ */
+    const std::vector<std::string> &gridsRun() const { return order; }
+    const std::vector<JobResult> &gridResults(const std::string &g) const;
+    /** @} */
+
+    /** Lookup by point identity; fatal() when missing or failed. */
+    const core::RunMetrics &metrics(const SweepPoint &point) const;
+
+    /** Total and failed job counts across all grids. @{ */
+    std::size_t totalJobs() const;
+    std::size_t failedJobs() const;
+    /** @} */
+
+    /** The canonical results document ("mcsim-sweep-v1"). */
+    Json toJson() const;
+
+    /** Flat CSV (one row per job, fixed column set). */
+    std::string toCsv() const;
+
+  private:
+    std::vector<std::string> order;
+    std::vector<std::vector<JobResult>> perGrid;
+};
+
+/**
+ * Convenience: run @p grid and wrap the results for lookup. The figure
+ * benches use this to replace their serial config loops.
+ */
+SweepOutcomes runGrid(const Grid &grid, SweepOptions options = {});
+
+} // namespace mcsim::exp
+
+#endif // MCSIM_EXP_SWEEP_HH

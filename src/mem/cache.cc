@@ -76,6 +76,15 @@ Cache::findMshr(Addr line_addr)
     return nullptr;
 }
 
+void
+Cache::accountMshrs(int delta)
+{
+    const Tick now = queue.now();
+    cacheStats.mshrBusyCycles += mshrBusy * (now - mshrStamp);
+    mshrStamp = now;
+    mshrBusy = static_cast<unsigned>(static_cast<int>(mshrBusy) + delta);
+}
+
 Cache::Mshr *
 Cache::allocMshr()
 {
@@ -199,6 +208,7 @@ Cache::launchMiss(Line &way_line, std::uint32_t set, Addr line_addr,
     way_line.lru = queue.now();
 
     mshr->valid = true;
+    accountMshrs(+1);
     mshr->lineAddr = line_addr;
     mshr->exclusive = exclusive;
     mshr->prefetch = is_prefetch;
@@ -521,6 +531,7 @@ Cache::settleFill(Addr line_addr)
     MCSIM_ASSERT(mshr->completed || mshr->cookies.empty(),
                  "freeing MSHR with unfired consumers");
     mshr->valid = false;
+    accountMshrs(-1);
 
     if (deferred_inv) {
         applyInvalidate(line_addr);

@@ -246,9 +246,17 @@ class Cache
     /** Lines removed by coherence; a later miss on one is an inv. miss. */
     std::unordered_set<Addr> invalidatedLines;
 
+    /** Close the current MSHR-occupancy interval and apply @p delta busy
+     *  MSHRs from now on. */
+    void accountMshrs(int delta);
+
     CompletionFn completionFn;
     RetryFn retryFn;
     CacheStats cacheStats;
+    /** MSHR-occupancy accounting (mshrBusyCycles integral). @{ */
+    Tick mshrStamp = 0;
+    unsigned mshrBusy = 0;
+    /** @} */
 
     check::Checker *checker = nullptr;
     bool ignoreNextInvalidate = false;  ///< fault injection, tests only

@@ -47,6 +47,12 @@ struct CacheStats
     std::uint64_t missLatencyMax = 0;
     /** @} */
 
+    /** Integral over time of the number of busy MSHRs (cycle-weighted):
+     *  divide by run cycles for mean occupancy. The relaxed models' whole
+     *  point is keeping more than one of these busy (paper section 3.2),
+     *  so the sweep harness exports it per run. */
+    std::uint64_t mshrBusyCycles = 0;
+
     double
     avgMissLatency() const
     {
@@ -113,6 +119,8 @@ struct CacheStats
             out.set(prefix + "miss_latency_max",
                     static_cast<double>(missLatencyMax));
         }
+        out.add(prefix + "mshr_busy_cycles",
+                static_cast<double>(mshrBusyCycles));
     }
 };
 

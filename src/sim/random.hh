@@ -12,9 +12,38 @@
 #define MCSIM_SIM_RANDOM_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace mcsim
 {
+
+/**
+ * FNV-1a over a byte string. Used to derive run seeds from canonical
+ * configuration-point identifiers (src/exp/): the seed of a sweep job is
+ * a pure function of its configuration, never of wall clock or thread
+ * scheduling, so every job is reproducible in isolation.
+ */
+constexpr std::uint64_t
+fnv1a(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** One SplitMix64 step: derive independent sub-seeds from one seed. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
 
 /** xoshiro256** by Blackman & Vigna; public-domain reference algorithm. */
 class Rng

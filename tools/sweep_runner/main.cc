@@ -1,0 +1,243 @@
+/**
+ * @file
+ * sweep_runner: run named configuration grids through the parallel
+ * sweep engine (src/exp/) and emit canonical JSON/CSV results, or check
+ * them against committed golden baselines.
+ *
+ * Usage:
+ *   sweep_runner [--grid NAME[,NAME...]]... [--scale quick|scaled|full]
+ *                [--threads N] [--out FILE] [--csv FILE]
+ *                [--check DIR] [--golden-out DIR]
+ *                [--list] [--no-progress]
+ *
+ * Defaults: --grid quick, --threads hardware, --out
+ * results/BENCH_sweep.json when any grid ran and --out was not given
+ * explicitly pass --out "" to suppress writing.
+ *
+ * The JSON document is byte-identical for a given grid list regardless
+ * of --threads (results are serialized in grid order; nothing
+ * wall-clock-derived is recorded). --check DIR compares each grid
+ * against DIR/<grid>.json under the per-metric tolerance policy
+ * (src/exp/golden.hh) and prints the first divergent metric by name.
+ *
+ * Exit status: 0 all jobs ok (and all checks clean), 1 on any failed
+ * job or golden divergence, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/golden.hh"
+#include "exp/grid.hh"
+#include "exp/sweep.hh"
+#include "sim/logging.hh"
+
+using namespace mcsim;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> grids;
+    exp::Scale scale = exp::Scale::Scaled;
+    unsigned threads = 0;
+    std::string out = "results/BENCH_sweep.json";
+    std::string csv;
+    std::string checkDir;
+    std::string goldenOut;
+    bool list = false;
+    bool progress = true;
+};
+
+void
+usage(const char *argv0)
+{
+    std::string names;
+    for (const std::string &name : exp::gridNames())
+        names += (names.empty() ? "" : "|") + name;
+    std::fprintf(
+        stderr,
+        "usage: %s [--grid NAME[,NAME...]]... [--scale quick|scaled|full]\n"
+        "          [--threads N] [--out FILE] [--csv FILE]\n"
+        "          [--check DIR] [--golden-out DIR] [--list]\n"
+        "          [--no-progress]\n"
+        "  --grid        grid(s) to run: %s, or all (default: quick)\n"
+        "  --scale       problem/cache scale for the paper grids\n"
+        "                (default scaled; the quick grid is always quick)\n"
+        "  --threads     worker threads (default: hardware concurrency)\n"
+        "  --out         results JSON path (default "
+        "results/BENCH_sweep.json;\n"
+        "                \"\" suppresses writing)\n"
+        "  --csv         also write a flat CSV of every job\n"
+        "  --check       diff each grid against DIR/<grid>.json golden\n"
+        "                baselines; non-zero exit on divergence\n"
+        "  --golden-out  write one per-grid golden document into DIR\n"
+        "  --list        print the known grid names and exit\n",
+        argv0, names.c_str());
+}
+
+void
+splitGrids(const std::string &arg, std::vector<std::string> &out)
+{
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+        const std::size_t comma = arg.find(',', start);
+        const std::string name =
+            arg.substr(start, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - start);
+        if (name == "all") {
+            for (const std::string &g : exp::gridNames())
+                out.push_back(g);
+        } else if (!name.empty()) {
+            out.push_back(name);
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--grid") {
+            splitGrids(next(), opt.grids);
+        } else if (arg == "--scale") {
+            opt.scale = exp::scaleFromName(next());
+        } else if (arg == "--threads") {
+            opt.threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--out") {
+            opt.out = next();
+        } else if (arg == "--csv") {
+            opt.csv = next();
+        } else if (arg == "--check") {
+            opt.checkDir = next();
+        } else if (arg == "--golden-out") {
+            opt.goldenOut = next();
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--no-progress") {
+            opt.progress = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            usage(argv[0]);
+            std::exit(2);
+        }
+    }
+    if (opt.grids.empty())
+        opt.grids.push_back("quick");
+    return opt;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    if (opt.list) {
+        for (const std::string &name : exp::gridNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    exp::SweepOutcomes outcomes;
+    try {
+        for (const std::string &name : opt.grids) {
+            const exp::Grid grid = exp::namedGrid(name, opt.scale);
+            std::fprintf(stderr, "grid %s: %zu jobs on %u thread(s)\n",
+                         grid.name.c_str(), grid.points.size(),
+                         opt.threads
+                             ? opt.threads
+                             : std::thread::hardware_concurrency());
+            exp::SweepOptions sweep_opts;
+            sweep_opts.threads = opt.threads;
+            sweep_opts.progress = opt.progress;
+            outcomes.add(grid,
+                         exp::SweepRunner(sweep_opts).run(grid));
+        }
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 2;
+    }
+
+    const exp::Json doc = outcomes.toJson();
+    if (!opt.out.empty() && !writeFile(opt.out, doc.dump() + "\n"))
+        return 1;
+    if (!opt.csv.empty() && !writeFile(opt.csv, outcomes.toCsv()))
+        return 1;
+    if (!opt.goldenOut.empty()) {
+        // One self-contained document per grid, the format --check
+        // consumes.
+        const exp::Json *grids = doc.find("grids");
+        for (const std::string &name : outcomes.gridsRun()) {
+            exp::Json gdoc = exp::Json::object();
+            gdoc["schema"] = exp::Json("mcsim-sweep-v1");
+            exp::Json one = exp::Json::object();
+            if (const exp::Json *g = grids ? grids->find(name) : nullptr)
+                one[name] = *g;
+            else
+                one[name] = exp::Json::array();
+            gdoc["grids"] = std::move(one);
+            if (!writeFile(opt.goldenOut + "/" + name + ".json",
+                           gdoc.dump() + "\n"))
+                return 1;
+        }
+    }
+
+    bool check_ok = true;
+    if (!opt.checkDir.empty()) {
+        for (const std::string &name : outcomes.gridsRun()) {
+            const exp::GoldenDiff diff =
+                exp::checkAgainstGoldenDir(doc, opt.checkDir, name);
+            std::fputs(diff.report.c_str(), stdout);
+            check_ok = check_ok && diff.ok;
+        }
+    }
+
+    const std::size_t failed = outcomes.failedJobs();
+    std::printf("sweep_runner: %zu/%zu job(s) ok%s\n",
+                outcomes.totalJobs() - failed, outcomes.totalJobs(),
+                check_ok ? "" : ", golden check FAILED");
+    if (failed) {
+        for (const std::string &name : outcomes.gridsRun())
+            for (const exp::JobResult &job : outcomes.gridResults(name))
+                if (!job.ok)
+                    std::printf("  FAILED %s: %s\n",
+                                job.point.id().c_str(),
+                                job.error.c_str());
+    }
+    return failed == 0 && check_ok ? 0 : 1;
+}
