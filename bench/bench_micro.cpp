@@ -4,12 +4,18 @@
  * event-queue throughput, topology routing, network injection, cache
  * access, and a small end-to-end machine run. These track simulator
  * (host) performance, not simulated performance.
+ *
+ * The end-to-end pair BM_EndToEndSyntheticRun / BM_EndToEndTracerDisarmed
+ * is the observability overhead gate: the second compiles the tracer in
+ * but leaves it disarmed, and must stay within ~2% of the first.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
+#include "bench_common.hh"
+#include "check/check_config.hh"
 #include "core/machine.hh"
 #include "mem/cache.hh"
 #include "mem/memory_module.hh"
@@ -17,11 +23,38 @@
 #include "net/iface_buffer.hh"
 #include "net/omega_network.hh"
 #include "net/topology.hh"
+#include "obs/tracer.hh"
 #include "sim/event_queue.hh"
-#include "workloads/synthetic.hh"
 #include "workloads/workload.hh"
 
 using namespace mcsim;
+
+namespace
+{
+
+/** End-to-end machine for the micro runs: the shared bench config at 4
+ *  processors with a deliberately small cache, and the invariant
+ *  checkers restored (the figure benches turn them off; bench_micro
+ *  audits the hot path with them on). */
+core::MachineConfig
+microConfig()
+{
+    const bench::BenchArgs args;
+    core::MachineConfig cfg = bench::baseConfig(args, 4);
+    cfg.cacheBytes = 2048;
+    cfg.check = check::CheckConfig{};
+    return cfg;
+}
+
+core::RunMetrics
+runMicro(const core::MachineConfig &cfg)
+{
+    const bench::BenchArgs args;
+    const auto workload = bench::makeWorkload("Synthetic", args.scale);
+    return workloads::runWorkload(*workload, cfg).metrics;
+}
+
+} // namespace
 
 static void
 BM_EventQueueScheduleRun(benchmark::State &state)
@@ -100,22 +133,48 @@ BM_CacheHitPath(benchmark::State &state)
 }
 BENCHMARK(BM_CacheHitPath);
 
+// The disarmed tracer fast path in isolation: span() must reduce to one
+// predictable branch when tracing is off at runtime.
+static void
+BM_TracerSpanDisarmed(benchmark::State &state)
+{
+    obs::Tracer tracer(1024);
+    tracer.arm(false);
+    Tick now = 0;
+    for (auto _ : state) {
+        tracer.span(obs::Track::Proc, 0, obs::SpanKind::Busy, now++, 1);
+        benchmark::DoNotOptimize(tracer);
+    }
+    benchmark::DoNotOptimize(tracer.size());
+}
+BENCHMARK(BM_TracerSpanDisarmed);
+
 static void
 BM_EndToEndSyntheticRun(benchmark::State &state)
 {
+    const core::MachineConfig cfg = microConfig();
     for (auto _ : state) {
-        workloads::SyntheticParams p;
-        p.refsPerProc = 500;
-        p.lockEvery = 100;
-        workloads::SyntheticWorkload w(p);
-        core::MachineConfig cfg;
-        cfg.numProcs = 4;
-        cfg.numModules = 4;
-        cfg.cacheBytes = 2048;
-        const auto r = workloads::runWorkload(w, cfg);
-        benchmark::DoNotOptimize(r.metrics.cycles);
+        const core::RunMetrics m = runMicro(cfg);
+        benchmark::DoNotOptimize(m.cycles);
     }
 }
 BENCHMARK(BM_EndToEndSyntheticRun)->Unit(benchmark::kMillisecond);
+
+// Same run with the tracer constructed but disarmed: every span() call
+// site in the machine takes the early-out branch. The ~2% gate from the
+// observability acceptance criteria compares this against the baseline
+// above.
+static void
+BM_EndToEndTracerDisarmed(benchmark::State &state)
+{
+    core::MachineConfig cfg = microConfig();
+    cfg.obs.tracer = true;
+    cfg.obs.tracerArmed = false;
+    for (auto _ : state) {
+        const core::RunMetrics m = runMicro(cfg);
+        benchmark::DoNotOptimize(m.cycles);
+    }
+}
+BENCHMARK(BM_EndToEndTracerDisarmed)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -32,6 +32,11 @@ Machine::Machine(const MachineConfig &config) : cfg(config)
     const unsigned ports = std::max(cfg.numProcs, cfg.numModules);
     const ModelParams model = cfg.modelParams();
 
+    if (cfg.obs.tracer) {
+        tracerPtr = std::make_unique<obs::Tracer>(cfg.obs.tracerEvents);
+        tracerPtr->arm(cfg.obs.tracerArmed);
+    }
+
     reqNet = std::make_unique<Network>(
         queue, ports, cfg.switchRadix, [this](mem::NetMsg &&msg) {
             modules[msg.dst % cfg.numModules]->handleRequest(std::move(msg));
@@ -107,6 +112,17 @@ Machine::Machine(const MachineConfig &config) : cfg(config)
         for (auto &p : procs)
             p->setRecorder(recorderPtr.get());
     }
+
+    if (tracerPtr) {
+        reqNet->setTracer(tracerPtr.get(), obs::Track::ReqSwitch);
+        respNet->setTracer(tracerPtr.get(), obs::Track::RespSwitch);
+        for (auto &c : caches)
+            c->setTracer(tracerPtr.get());
+        for (auto &p : procs)
+            p->setTracer(tracerPtr.get());
+        for (auto &m : modules)
+            m->setTracer(tracerPtr.get());
+    }
 }
 
 void
@@ -174,6 +190,11 @@ Machine::collectStats() const
         checkerPtr->stats().addTo(out, "check.");
     if (recorderPtr)
         out.set("axiom.events", static_cast<double>(recorderPtr->size()));
+    if (tracerPtr) {
+        out.set("obs.trace_events", static_cast<double>(tracerPtr->size()));
+        out.set("obs.trace_dropped",
+                static_cast<double>(tracerPtr->dropped()));
+    }
 
     Tick last = 0;
     for (const auto &p : procs)

@@ -22,6 +22,7 @@
 #include "mem/outbox.hh"
 #include "net/iface_buffer.hh"
 #include "net/omega_network.hh"
+#include "obs/tracer.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
@@ -82,6 +83,10 @@ class Machine
         return recorderPtr.get();
     }
     /** @} */
+    /** The event tracer ring; nullptr when cfg.obs.tracer is off. @{ */
+    obs::Tracer *tracer() { return tracerPtr.get(); }
+    const obs::Tracer *tracer() const { return tracerPtr.get(); }
+    /** @} */
     /** @} */
 
     /** Aggregate every component's statistics into one StatSet. */
@@ -108,6 +113,7 @@ class Machine
 
     std::unique_ptr<check::Checker> checkerPtr;
     std::unique_ptr<axiom::TraceRecorder> recorderPtr;
+    std::unique_ptr<obs::Tracer> tracerPtr;
 
     unsigned started = 0;
     unsigned doneCount = 0;

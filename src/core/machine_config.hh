@@ -12,6 +12,7 @@
 #include "axiom/trace_config.hh"
 #include "check/check_config.hh"
 #include "core/consistency.hh"
+#include "obs/obs_config.hh"
 #include "sim/types.hh"
 
 namespace mcsim::core
@@ -67,6 +68,10 @@ struct MachineConfig
      *  keeps every shared access of the run in memory. The litmus
      *  engine and the axiom tests switch it on per-machine. */
     axiom::TraceConfig trace;
+
+    /** Observability (src/obs/): the timeline event tracer is off by
+     *  default; stall attribution and latency histograms are always on. */
+    obs::ObsConfig obs;
 
     /** When set, use this exact feature set instead of the canonical one
      *  for `model` -- the hook the ablation benches use to toggle single

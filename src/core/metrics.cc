@@ -31,8 +31,17 @@ RunMetrics::fromMachine(const Machine &machine, Tick run_ticks)
         m.totalSyncOps += ps.syncLoads + ps.syncRmws + ps.syncStores;
         m.releasesDeferred += ps.releasesDeferred;
 
+        m.breakdown.merge(ps.breakdown);
+        m.idleCycles += run_ticks - ps.finishedAt;
+        m.missLatencyHist.merge(cs.missLatencyHist);
+
         m.bufferBypasses += machine.procBufferStats(p).bypasses;
     }
+
+    m.netTransitHist.merge(machine.requestNetStats().transitHist);
+    m.netTransitHist.merge(machine.responseNetStats().transitHist);
+    for (unsigned i = 0; i < machine.config().numModules; ++i)
+        m.memQueueHist.merge(machine.module(i).stats().queueHist);
 
     if (const check::Checker *checker = machine.checker()) {
         const auto &cs = checker->stats();
@@ -132,6 +141,32 @@ RunMetrics::toStatSet() const
     out.set("avgMissLatency", avgMissLatency);
     out.set("mshrBusyCycles", static_cast<double>(mshrBusyCycles));
     out.set("avgMshrOccupancy", avgMshrOccupancy);
+    out.set("busyCycles", static_cast<double>(breakdown.busyCycles));
+    out.set("idleCycles", static_cast<double>(idleCycles));
+    out.set("stallLoadMissCycles",
+            static_cast<double>(breakdown.cause(obs::StallCause::LoadMiss)));
+    out.set("stallStoreMshrCycles",
+            static_cast<double>(breakdown.cause(obs::StallCause::StoreMshr)));
+    out.set("stallBufferCycles",
+            static_cast<double>(breakdown.cause(obs::StallCause::Buffer)));
+    out.set("stallFenceSyncCycles",
+            static_cast<double>(breakdown.cause(obs::StallCause::FenceSync)));
+    out.set("stallAcquireCycles",
+            static_cast<double>(breakdown.cause(obs::StallCause::Acquire)));
+    out.set("stallReleaseCycles",
+            static_cast<double>(breakdown.cause(obs::StallCause::Release)));
+    out.set("missLatencyP50", static_cast<double>(missLatencyHist.p50()));
+    out.set("missLatencyP90", static_cast<double>(missLatencyHist.p90()));
+    out.set("missLatencyP99", static_cast<double>(missLatencyHist.p99()));
+    out.set("missLatencyMax", static_cast<double>(missLatencyHist.maxValue));
+    out.set("netTransitP50", static_cast<double>(netTransitHist.p50()));
+    out.set("netTransitP90", static_cast<double>(netTransitHist.p90()));
+    out.set("netTransitP99", static_cast<double>(netTransitHist.p99()));
+    out.set("netTransitMax", static_cast<double>(netTransitHist.maxValue));
+    out.set("memQueueP50", static_cast<double>(memQueueHist.p50()));
+    out.set("memQueueP90", static_cast<double>(memQueueHist.p90()));
+    out.set("memQueueP99", static_cast<double>(memQueueHist.p99()));
+    out.set("memQueueMax", static_cast<double>(memQueueHist.maxValue));
     return out;
 }
 

@@ -12,6 +12,8 @@
 #include <string>
 
 #include "core/machine.hh"
+#include "obs/histogram.hh"
+#include "obs/stall.hh"
 #include "sim/types.hh"
 
 namespace mcsim::core
@@ -61,6 +63,20 @@ struct RunMetrics
     std::uint64_t mshrBusyCycles = 0;
     /** Mean busy MSHRs per processor over the run (in [0, numMshrs]). */
     double avgMshrOccupancy = 0;
+
+    /** Exact stall-cause attribution summed over all processors; per
+     *  processor busy + stalls == finishedAt, so machine-wide
+     *  breakdown.accounted() + idleCycles == cycles * numProcs. */
+    obs::StallBreakdown breakdown;
+    /** Cycles after a processor's workload finished, to the run end. */
+    std::uint64_t idleCycles = 0;
+
+    /** Merged log2 latency histograms (fixed component order, so the
+     *  summaries are identical across sweep thread counts). @{ */
+    obs::LatencyHistogram missLatencyHist;  ///< all caches
+    obs::LatencyHistogram netTransitHist;   ///< request + response nets
+    obs::LatencyHistogram memQueueHist;     ///< all memory modules
+    /** @} */
 
     /** Mean cycles between successive reads / writes (paper Table 9). */
     double cyclesBetweenReads() const

@@ -143,6 +143,7 @@ Processor::beginOp(const Op &op, std::coroutine_handle<> h)
         if (op.cycles == 0)
             return false;
         active = Active{op, h, now};
+        chargeBusy(op.cycles);
         finishAt(now + op.cycles, 0);
         return true;
       }
@@ -160,11 +161,13 @@ Processor::beginOp(const Op &op, std::coroutine_handle<> h)
         active = Active{op, h, now};
         if (tok.readyKnown) {
             procStats.useStallCycles += tok.ready - now;
+            chargeStall(obs::StallCause::LoadMiss, now, tok.ready);
             const std::uint64_t value = tok.value;
             tokens.erase(it);
             finishAt(tok.ready, value);
         } else {
             active->wait = WaitKind::Register;
+            active->waitStart = now;
             active->waitToken = op.token;
         }
         return true;
@@ -179,11 +182,84 @@ Processor::beginOp(const Op &op, std::coroutine_handle<> h)
 }
 
 void
+Processor::chargeBusy(std::uint64_t cycles)
+{
+    if (cycles == 0)
+        return;
+    procStats.breakdown.busy(cycles);
+    if (tracer) {
+        tracer->span(obs::Track::Proc, cfg.id, obs::SpanKind::Busy,
+                     queue.now(), cycles);
+    }
+}
+
+void
+Processor::chargeStall(obs::StallCause cause, Tick from, Tick until)
+{
+    if (until <= from)
+        return;
+    procStats.breakdown.stall(cause, until - from);
+    if (tracer) {
+        // The six stall SpanKinds mirror StallCause in order.
+        const auto kind = static_cast<obs::SpanKind>(
+            static_cast<unsigned>(obs::SpanKind::StallLoadMiss) +
+            static_cast<unsigned>(cause));
+        tracer->span(obs::Track::Proc, cfg.id, kind, from, until - from);
+    }
+}
+
+obs::StallCause
+Processor::gateCauseFor(Gate gate) const
+{
+    switch (gate) {
+      case Gate::Drain:
+        return obs::StallCause::FenceSync;
+      case Gate::ReleaseBusy:
+        return obs::StallCause::Release;
+      case Gate::CacheBlocked:
+        return obs::StallCause::StoreMshr;
+      case Gate::SingleOutstanding:
+        // Charge the wait to the reference actually outstanding; under
+        // the SC rule there is exactly one (early-released SC store
+        // requests no longer count as outstanding).
+        for (const auto &[cookie, rec] : inFlight) {
+            (void)cookie;
+            if (rec.earlyReleased)
+                continue;
+            switch (rec.kind) {
+              case OpKind::Load:
+              case OpKind::LoadUse:
+                return obs::StallCause::LoadMiss;
+              case OpKind::Store:
+                // With the SC store buffer the wait ends exactly at the
+                // interface-buffer hand-off, so it is backpressure, not
+                // MSHR occupancy.
+                return cfg.model.scStoreBufferRelease
+                           ? obs::StallCause::Buffer
+                           : obs::StallCause::StoreMshr;
+              case OpKind::SyncLoad:
+              case OpKind::SyncRmw:
+                return obs::StallCause::Acquire;
+              case OpKind::SyncStore:
+                return obs::StallCause::Release;
+              default:
+                break;
+            }
+        }
+        return obs::StallCause::LoadMiss;
+      case Gate::None:
+        break;
+    }
+    return obs::StallCause::LoadMiss;
+}
+
+void
 Processor::clearGate()
 {
     if (!active || active->gate == Gate::None)
         return;
     const Tick waited = queue.now() - active->gateStart;
+    chargeStall(active->gateCause, active->gateStart, queue.now());
     switch (active->gate) {
       case Gate::SingleOutstanding:
         procStats.issueStallCycles += waited;
@@ -217,10 +293,12 @@ Processor::attemptMem()
     auto gateOn = [&](Gate g) {
         if (active->gate == Gate::None) {
             active->gateStart = now;
+            active->gateCause = gateCauseFor(g);
         } else if (active->gate != g) {
             // Switching gates: charge the old one first.
             clearGate();
             active->gateStart = now;
+            active->gateCause = gateCauseFor(g);
         }
         active->gate = g;
         active->wait = WaitKind::Gated;
@@ -241,6 +319,7 @@ Processor::attemptMem()
             checker->onFenceComplete(cfg.id);
         if (recorder)
             recorder->recordFence(cfg.id, now);
+        chargeBusy(1);
         finishAt(now + 1, 0);
         return;
     }
@@ -257,6 +336,7 @@ Processor::attemptMem()
         // the release machinery: its completion path re-enters onRetry()
         // and must not see this op still gated.
         const Op release_op = op;
+        chargeBusy(1);
         finishAt(now + 1, 0);
         deferRelease(release_op);
         return;
@@ -324,6 +404,7 @@ Processor::handleHit()
                                  now, now);
         const std::uint64_t id = nextToken++;
         tokens[id] = TokenState{value, now + cfg.loadDelay, true};
+        chargeBusy(1);
         finishAt(now + 1, id);
         return;
       }
@@ -337,6 +418,8 @@ Processor::handleHit()
         procStats.useStallCycles += cfg.loadDelay > 1
                                         ? cfg.loadDelay - 1
                                         : 0;
+        chargeBusy(1);
+        chargeStall(obs::StallCause::LoadMiss, now + 1, now + cfg.loadDelay);
         finishAt(now + cfg.loadDelay, value);
         return;
       }
@@ -347,6 +430,7 @@ Processor::handleHit()
         if (recorder)
             recorder->recordWrite(cfg.id, op.addr, op.width, op.value,
                                   now, now);
+        chargeBusy(1);
         finishAt(now + 1, 0);
         return;
       case OpKind::SyncLoad: {
@@ -355,6 +439,8 @@ Processor::handleHit()
             recorder ? recorder->recordPendingRead(
                            cfg.id, axiom::EventKind::SyncRead, a, now)
                      : noTraceId;
+        chargeBusy(1);
+        chargeStall(obs::StallCause::Acquire, now + 1, now + cfg.loadDelay);
         finishAtEval(now + cfg.loadDelay, [this, a, tid]() {
             if (checker)
                 checker->onAcquire(cfg.id, a);
@@ -372,6 +458,8 @@ Processor::handleHit()
             recorder ? recorder->recordPendingRead(
                            cfg.id, axiom::EventKind::SyncRmw, a, now)
                      : noTraceId;
+        chargeBusy(1);
+        chargeStall(obs::StallCause::Acquire, now + 1, now + cfg.loadDelay);
         finishAtEval(now + cfg.loadDelay, [this, a, tid]() {
             if (checker)
                 checker->onAcquire(cfg.id, a);
@@ -395,6 +483,7 @@ Processor::handleHit()
             recorder->commitWrite(tid, now);
         }
         trace("syncst.hit", op.addr, op.value);
+        chargeBusy(1);
         finishAt(now + 1, 0);
         return;
       default:
@@ -430,8 +519,10 @@ Processor::handleIssued(std::uint64_t cookie)
         inFlight.emplace(cookie, rec);
         if (cfg.model.blockingLoads) {
             active->wait = WaitKind::Completion;
+            active->waitStart = now;
             active->waitCookie = cookie;
         } else {
+            chargeBusy(1);
             finishAt(now + 1, id);
         }
         return;
@@ -445,6 +536,7 @@ Processor::handleIssued(std::uint64_t cookie)
                                                rec.value, now, now, now);
         inFlight.emplace(cookie, rec);
         active->wait = WaitKind::Completion;
+        active->waitStart = now;
         active->waitCookie = cookie;
         return;
       }
@@ -481,6 +573,7 @@ Processor::handleIssued(std::uint64_t cookie)
                 },
                 EventQueue::prioDeliver);
         }
+        chargeBusy(1);
         finishAt(now + 1, 0);
         return;
       }
@@ -501,6 +594,7 @@ Processor::handleIssued(std::uint64_t cookie)
             // completion (when sharers' invalidations have been taken),
             // the same protocol point as under the relaxed models.
             inFlight.emplace(cookie, rec);
+            chargeBusy(1);
             finishAt(now + 1, 0);
             return;
         }
@@ -520,6 +614,7 @@ Processor::handleIssued(std::uint64_t cookie)
         }
         inFlight.emplace(cookie, rec);
         active->wait = WaitKind::Completion;
+        active->waitStart = now;
         active->waitCookie = cookie;
         return;
       default:
@@ -635,6 +730,7 @@ Processor::onCompletion(std::uint64_t cookie)
         if (active && active->wait == WaitKind::Register &&
             active->waitToken == rec.token) {
             procStats.useStallCycles += now - active->startTick;
+            chargeStall(obs::StallCause::LoadMiss, active->waitStart, now);
             const std::uint64_t value = it->second.value;
             tokens.erase(it);
             resumeNow(value);
@@ -642,6 +738,7 @@ Processor::onCompletion(std::uint64_t cookie)
                    active->waitCookie == cookie) {
             // Blocking-load wait: hand back the (ready) token.
             procStats.useStallCycles += now - active->startTick;
+            chargeStall(obs::StallCause::LoadMiss, active->waitStart, now);
             resumeNow(rec.token);
         }
         break;
@@ -651,6 +748,7 @@ Processor::onCompletion(std::uint64_t cookie)
         if (active && active->wait == WaitKind::Completion &&
             active->waitCookie == cookie) {
             procStats.useStallCycles += now - active->startTick;
+            chargeStall(obs::StallCause::LoadMiss, active->waitStart, now);
             resumeNow(rec.value);
         }
         break;
@@ -662,6 +760,7 @@ Processor::onCompletion(std::uint64_t cookie)
         if (active && active->wait == WaitKind::Completion &&
             active->waitCookie == cookie) {
             procStats.syncStallCycles += now - active->startTick;
+            chargeStall(obs::StallCause::Acquire, active->waitStart, now);
             if (checker)
                 checker->onAcquire(cfg.id, rec.addr);
             const std::uint64_t v = mem.readU64(rec.addr);
@@ -676,6 +775,7 @@ Processor::onCompletion(std::uint64_t cookie)
         if (active && active->wait == WaitKind::Completion &&
             active->waitCookie == cookie) {
             procStats.syncStallCycles += now - active->startTick;
+            chargeStall(obs::StallCause::Acquire, active->waitStart, now);
             if (checker)
                 checker->onAcquire(cfg.id, rec.addr);
             const std::uint64_t v = mem.testAndSet(rec.addr);
@@ -698,6 +798,7 @@ Processor::onCompletion(std::uint64_t cookie)
         } else if (active && active->wait == WaitKind::Completion &&
                    active->waitCookie == cookie) {
             procStats.syncStallCycles += now - active->startTick;
+            chargeStall(obs::StallCause::Release, active->waitStart, now);
             resumeNow(0);
         }
         break;

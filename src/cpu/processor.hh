@@ -28,6 +28,8 @@
 #include "core/consistency.hh"
 #include "mem/cache.hh"
 #include "mem/functional_memory.hh"
+#include "obs/stall.hh"
+#include "obs/tracer.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
@@ -83,9 +85,18 @@ struct ProcStats
     std::uint64_t releasesDeferred = 0;
     Tick finishedAt = 0;
 
+    /**
+     * Exact cycle attribution (src/obs/): unlike the per-rule counters
+     * above -- which mirror the paper's charges and overlap -- this
+     * tiles [0, finishedAt) exactly: busy + every stall cause ==
+     * finishedAt.
+     */
+    obs::StallBreakdown breakdown;
+
     void
     addTo(StatSet &out, const std::string &prefix) const
     {
+        breakdown.addTo(out, prefix);
         out.add(prefix + "instructions", static_cast<double>(instructions));
         out.add(prefix + "exec_cycles", static_cast<double>(execCycles));
         out.add(prefix + "loads", static_cast<double>(loads));
@@ -225,6 +236,9 @@ class Processor
     /** Wire the axiomatic trace recorder (Machine; nullptr = off). */
     void setRecorder(axiom::TraceRecorder *r) { recorder = r; }
 
+    /** Wire the event tracer (Machine; nullptr = no tracing). */
+    void setTracer(obs::Tracer *t) { tracer = t; }
+
     /**
      * Fault injection (tests only): ignore the drain gate at the next sync
      * operation that would stall on it, issuing the sync op with references
@@ -297,6 +311,12 @@ class Processor
         WaitKind wait = WaitKind::None;
         Gate gate = Gate::None;
         Tick gateStart = 0;
+        /** Stall cause the open gate span is charged to (set when the
+         *  span starts, so a later completion cannot re-classify it). */
+        obs::StallCause gateCause = obs::StallCause::LoadMiss;
+        /** Start of the current Completion/Register wait (attribution:
+         *  the gate spans already cover [startTick, issue)). */
+        Tick waitStart = 0;
         std::uint64_t waitCookie = 0;
         std::uint64_t waitToken = 0;
         bool prefetched = false;
@@ -325,6 +345,13 @@ class Processor
 
     /** Charge gate-stall time and clear the gate. */
     void clearGate();
+
+    /** Exact attribution charges (ProcStats::breakdown + tracer). @{ */
+    void chargeBusy(std::uint64_t cycles);
+    void chargeStall(obs::StallCause cause, Tick from, Tick until);
+    /** The cause a gate span opening now is charged to (per-model). */
+    obs::StallCause gateCauseFor(Gate gate) const;
+    /** @} */
 
     /** Finish the active op: resume at @p when with @p result. */
     void finishAt(Tick when, std::uint64_t result);
@@ -367,6 +394,7 @@ class Processor
 
     check::Checker *checker = nullptr;
     axiom::TraceRecorder *recorder = nullptr;
+    obs::Tracer *tracer = nullptr;
     /** Trace id of the deferred RC release (at most one pending). */
     std::uint32_t releaseTraceId = noTraceId;
     bool skipNextDrain = false;  ///< fault injection, tests only

@@ -21,7 +21,14 @@ metricTolerance(const std::string &metric)
         "releasesDeferred", "checkViolations",  "checkLineAudits",
         "checkAccessesChecked", "checkOrderingChecked",
         "mshrBusyCycles",  "axiomAccepted",     "axiomEvents",
-        "axiomEdges"};
+        "axiomEdges",      "busyCycles",        "idleCycles",
+        "stallLoadMissCycles", "stallStoreMshrCycles",
+        "stallBufferCycles", "stallFenceSyncCycles",
+        "stallAcquireCycles", "stallReleaseCycles",
+        "missLatencyP50",  "missLatencyP90",    "missLatencyP99",
+        "missLatencyMax",  "netTransitP50",     "netTransitP90",
+        "netTransitP99",   "netTransitMax",     "memQueueP50",
+        "memQueueP90",     "memQueueP99",       "memQueueMax"};
     for (const char *name : exact)
         if (metric == name)
             return 0.0;

@@ -392,6 +392,12 @@ Cache::handleResponse(NetMsg &&msg)
         cacheStats.missLatencyCount += 1;
         cacheStats.missLatencyMax =
             std::max<Tick>(cacheStats.missLatencyMax, latency);
+        cacheStats.missLatencyHist.record(latency);
+        if (tracer) {
+            tracer->span(obs::Track::Cache, procId,
+                         obs::SpanKind::MissService, mshr->issueTick,
+                         latency, mshr->lineAddr);
+        }
         const Tick install = queue.now() + cfg.lineWords();
         mshr->completionTick = completion;
         mshr->freeTick = std::max(completion, install);

@@ -24,6 +24,7 @@
 
 #include "mem/cache_stats.hh"
 #include "mem/outbox.hh"
+#include "obs/tracer.hh"
 #include "mem/protocol.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
@@ -150,6 +151,9 @@ class Cache
     /** Wire the invariant checker (Machine; nullptr = no checking). */
     void setChecker(check::Checker *c) { checker = c; }
 
+    /** Wire the event tracer (Machine; nullptr = no tracing). */
+    void setTracer(obs::Tracer *t) { tracer = t; }
+
     /**
      * Fault injection (tests only): silently drop the next Invalidate that
      * targets a resident line -- the InvAck is still sent, but the stale
@@ -259,6 +263,7 @@ class Cache
     /** @} */
 
     check::Checker *checker = nullptr;
+    obs::Tracer *tracer = nullptr;
     bool ignoreNextInvalidate = false;  ///< fault injection, tests only
 };
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.hh"
 #include "sim/stats.hh"
 
 namespace mcsim::mem
@@ -46,6 +47,11 @@ struct CacheStats
     std::uint64_t missLatencyCount = 0;
     std::uint64_t missLatencyMax = 0;
     /** @} */
+
+    /** Log2-bucketed distribution of the same miss service times; the
+     *  machine merges these per-cache histograms for the run-level
+     *  p50/p90/p99 quantiles. */
+    obs::LatencyHistogram missLatencyHist;
 
     /** Integral over time of the number of busy MSHRs (cycle-weighted):
      *  divide by run cycles for mean occupancy. The relaxed models' whole

@@ -83,9 +83,14 @@ Tick
 MemoryModule::reserveRead()
 {
     const Tick start = std::max(queue.now(), busyUntil);
+    modStats.queueHist.record(start - queue.now());
     const Tick first_word = start + cfg.initCycles;
     busyUntil = first_word + cfg.lineWords();
     modStats.busyCycles += busyUntil - start;
+    if (tracer) {
+        tracer->span(obs::Track::Module, moduleId, obs::SpanKind::DramBusy,
+                     start, busyUntil - start);
+    }
     return first_word;
 }
 
@@ -93,8 +98,13 @@ void
 MemoryModule::reserveWrite()
 {
     const Tick start = std::max(queue.now(), busyUntil);
+    modStats.queueHist.record(start - queue.now());
     busyUntil = start + cfg.initCycles + cfg.lineWords();
     modStats.busyCycles += busyUntil - start;
+    if (tracer) {
+        tracer->span(obs::Track::Module, moduleId, obs::SpanKind::DramBusy,
+                     start, busyUntil - start);
+    }
 }
 
 void
@@ -127,7 +137,7 @@ MemoryModule::handleRequest(NetMsg &&msg)
         auto it = txns.find(cm.lineAddr);
         if (it != txns.end()) {
             modStats.queuedRequests += 1;
-            it->second.waiters.push_back(std::move(msg));
+            it->second.waiters.push_back(Waiter{std::move(msg), queue.now()});
             return;
         }
         startTransaction(std::move(msg));
@@ -309,10 +319,19 @@ MemoryModule::finish(Addr line_addr, Tick reply_tick, bool owner_shares)
             if (checker)
                 checker->onDirectoryEvent(moduleId, line_addr);
 
-            std::deque<NetMsg> waiters = std::move(txn.waiters);
+            std::deque<Waiter> waiters = std::move(txn.waiters);
             txns.erase(line_addr);
-            for (auto &w : waiters)
-                handleRequest(std::move(w));
+            for (auto &w : waiters) {
+                // Per-segment delay: a request re-queued behind the next
+                // transaction for the line records each segment separately.
+                modStats.queueHist.record(queue.now() - w.arrival);
+                if (tracer) {
+                    tracer->span(obs::Track::Module, moduleId,
+                                 obs::SpanKind::DirQueue, w.arrival,
+                                 queue.now() - w.arrival, line_addr);
+                }
+                handleRequest(std::move(w.msg));
+            }
         },
         EventQueue::prioDeliver);
 }

@@ -27,6 +27,8 @@
 
 #include "mem/outbox.hh"
 #include "mem/protocol.hh"
+#include "obs/histogram.hh"
+#include "obs/tracer.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -62,6 +64,11 @@ struct ModuleStats
     std::uint64_t invalidatesSent = 0;
     std::uint64_t queuedRequests = 0;  ///< arrived while line blocked
     std::uint64_t busyCycles = 0;      ///< DRAM occupancy
+
+    /** Distribution of module queueing delays: the DRAM-busy wait of each
+     *  reservation (zero waits included) plus, per directory-blocked
+     *  request, each blocked segment spent in a line's waiter queue. */
+    obs::LatencyHistogram queueHist;
 
     void
     addTo(StatSet &out, const std::string &prefix) const
@@ -115,6 +122,9 @@ class MemoryModule
     /** Wire the invariant checker (Machine; nullptr = no checking). */
     void setChecker(check::Checker *c) { checker = c; }
 
+    /** Wire the event tracer (Machine; nullptr = no tracing). */
+    void setTracer(obs::Tracer *t) { tracer = t; }
+
     /**
      * Fault injection (tests only): overwrite a directory entry so it no
      * longer reflects the caches, which the coherence auditor must catch.
@@ -130,6 +140,13 @@ class MemoryModule
         ProcId owner = 0;            ///< valid when Exclusive
     };
 
+    /** A request parked behind a blocked line, with its arrival tick. */
+    struct Waiter
+    {
+        NetMsg msg;
+        Tick arrival = 0;
+    };
+
     struct Txn
     {
         MsgKind reqKind{MsgKind::GetShared};
@@ -140,7 +157,7 @@ class MemoryModule
         unsigned acksLeft = 0;
         bool memReadDone = false;
         Tick dataReadyTick = 0;
-        std::deque<NetMsg> waiters;  ///< blocked requests for this line
+        std::deque<Waiter> waiters;  ///< blocked requests for this line
     };
 
     /** Reserve the DRAM for a read; returns the first-word tick. */
@@ -164,6 +181,7 @@ class MemoryModule
     Tick busyUntil = 0;
     ModuleStats modStats;
     check::Checker *checker = nullptr;
+    obs::Tracer *tracer = nullptr;
 };
 
 } // namespace mcsim::mem

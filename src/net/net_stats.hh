@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -28,6 +29,12 @@ struct NetStats
     std::uint64_t latencyCycles = 0;
     /** Largest single-message queueing delay observed. */
     Tick maxQueueDelay = 0;
+
+    /** Distribution of per-message inject-to-delivery head latency. */
+    obs::LatencyHistogram transitHist;
+    /** Distribution of per-hop port waits (zero waits included, so the
+     *  sample count is messages x stages). */
+    obs::LatencyHistogram hopWaitHist;
 
     /** Export under @p prefix (e.g. "reqnet."). */
     void

@@ -22,6 +22,7 @@
 #include "net/message.hh"
 #include "net/net_stats.hh"
 #include "net/topology.hh"
+#include "obs/tracer.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -68,6 +69,15 @@ class OmegaNetwork
     /** Traffic statistics. */
     const NetStats &stats() const { return netStats; }
 
+    /** Wire the event tracer; @p track distinguishes the request and
+     *  response instances' timelines (nullptr = no tracing). */
+    void
+    setTracer(obs::Tracer *t, obs::Track track)
+    {
+        tracer = t;
+        tracerTrack = track;
+    }
+
     /**
      * Inject a message whose head flit is at the stage-0 switch input at
      * the current tick. Caller (the interface buffer) is responsible for
@@ -100,7 +110,15 @@ class OmegaNetwork
             if (waited > netStats.maxQueueDelay)
                 netStats.maxQueueDelay = waited;
         }
+        netStats.hopWaitHist.record(start - t);
         port_free = start + msg.flits();
+        if (tracer) {
+            // Switch-port ids are packed as (stage << 8) | output link.
+            tracer->span(tracerTrack,
+                         (static_cast<std::uint32_t>(stage) << 8) |
+                             h.outLink,
+                         obs::SpanKind::PortBusy, start, msg.flits());
+        }
         const Tick head_out = start + 1;
         const unsigned next_stage = stage + 1;
         const unsigned out_link = h.outLink;
@@ -109,6 +127,7 @@ class OmegaNetwork
                 head_out,
                 [this, m = std::move(msg), inject_t]() mutable {
                     netStats.latencyCycles += queue.now() - inject_t;
+                    netStats.transitHist.record(queue.now() - inject_t);
                     deliverFn(std::move(m));
                 },
                 EventQueue::prioDeliver);
@@ -130,6 +149,8 @@ class OmegaNetwork
     /** Per-stage, per-output-link earliest-free tick. */
     std::vector<std::vector<Tick>> portFree;
     NetStats netStats;
+    obs::Tracer *tracer = nullptr;
+    obs::Track tracerTrack = obs::Track::ReqSwitch;
 };
 
 } // namespace mcsim::net

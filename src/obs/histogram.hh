@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Log2-bucketed latency histogram (DESIGN.md section 10).
+ *
+ * Bucket b holds values whose bit width is b, i.e. bucket 0 holds only
+ * 0, bucket b >= 1 holds [2^(b-1), 2^b - 1]. Quantiles are reported as
+ * the upper edge of the bucket containing the requested rank (capped at
+ * the exact observed maximum), so they are deterministic integers: a
+ * merge of per-component histograms in a fixed order yields the same
+ * summary no matter how many sweep worker threads ran, which keeps the
+ * golden baselines exact-match.
+ */
+
+#ifndef MCSIM_OBS_HISTOGRAM_HH
+#define MCSIM_OBS_HISTOGRAM_HH
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace mcsim::obs
+{
+
+/** Fixed-size log2 histogram of cycle counts. */
+struct LatencyHistogram
+{
+    /** std::bit_width of a uint64_t is in [0, 64]. */
+    static constexpr unsigned numBuckets = 65;
+
+    std::array<std::uint64_t, numBuckets> counts{};
+    std::uint64_t samples = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t maxValue = 0;
+
+    void
+    record(std::uint64_t value)
+    {
+        counts[std::bit_width(value)] += 1;
+        samples += 1;
+        sum += value;
+        maxValue = std::max(maxValue, value);
+    }
+
+    /** Element-wise merge; order-independent, so deterministic. */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        for (unsigned b = 0; b < numBuckets; ++b)
+            counts[b] += other.counts[b];
+        samples += other.samples;
+        sum += other.sum;
+        maxValue = std::max(maxValue, other.maxValue);
+    }
+
+    double
+    mean() const
+    {
+        return samples ? static_cast<double>(sum) /
+                             static_cast<double>(samples)
+                       : 0.0;
+    }
+
+    /** Inclusive upper edge of bucket @p b. */
+    static std::uint64_t
+    bucketUpper(unsigned b)
+    {
+        return b == 0 ? 0 : (std::uint64_t(1) << b) - 1;
+    }
+
+    /**
+     * Deterministic upper-bound quantile: the upper edge of the bucket
+     * containing rank ceil(p * samples), capped at the exact maximum.
+     * Returns 0 when empty.
+     */
+    std::uint64_t
+    quantile(double p) const
+    {
+        if (samples == 0)
+            return 0;
+        const double exact = p * static_cast<double>(samples);
+        std::uint64_t rank =
+            static_cast<std::uint64_t>(std::ceil(exact));
+        rank = std::clamp<std::uint64_t>(rank, 1, samples);
+        std::uint64_t cumulative = 0;
+        for (unsigned b = 0; b < numBuckets; ++b) {
+            cumulative += counts[b];
+            if (cumulative >= rank)
+                return std::min(bucketUpper(b), maxValue);
+        }
+        return maxValue;
+    }
+
+    std::uint64_t p50() const { return quantile(0.50); }
+    std::uint64_t p90() const { return quantile(0.90); }
+    std::uint64_t p99() const { return quantile(0.99); }
+};
+
+} // namespace mcsim::obs
+
+#endif // MCSIM_OBS_HISTOGRAM_HH

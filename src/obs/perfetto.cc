@@ -1,0 +1,94 @@
+#include "obs/perfetto.hh"
+
+#include <map>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mcsim::obs
+{
+
+namespace
+{
+
+/** Thread (component instance) display name within its track. */
+std::string
+threadName(Track track, std::uint32_t id)
+{
+    switch (track) {
+      case Track::Proc:
+        return strprintf("proc %u", id);
+      case Track::Cache:
+        return strprintf("cache %u", id);
+      case Track::ReqSwitch:
+      case Track::RespSwitch:
+        // Switch-port ids are packed as (stage << 8) | output link.
+        return strprintf("stage %u port %u", id >> 8, id & 0xffu);
+      case Track::Module:
+        return strprintf("module %u", id);
+    }
+    return strprintf("id %u", id);
+}
+
+} // namespace
+
+std::string
+perfettoJson(const Tracer &tracer)
+{
+    // One Perfetto process per track; pid 0 is reserved.
+    auto pidOf = [](Track track) {
+        return static_cast<unsigned>(track) + 1;
+    };
+
+    // Collect the (track, id) instances present so each gets exactly one
+    // thread_name metadata record. std::map keeps the output canonical.
+    std::map<std::pair<unsigned, std::uint32_t>, Track> threads;
+    tracer.forEach([&](const TraceEvent &e) {
+        threads.emplace(std::make_pair(pidOf(e.track), e.id), e.track);
+    });
+
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string &record) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '\n';
+        out += record;
+    };
+
+    for (unsigned t = 0; t < numTracks; ++t) {
+        const Track track = static_cast<Track>(t);
+        emit(strprintf("{\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+                       "\"name\":\"process_name\","
+                       "\"args\":{\"name\":\"%s\"}}",
+                       pidOf(track), trackName(track)));
+    }
+    for (const auto &[key, track] : threads) {
+        emit(strprintf("{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                       "\"name\":\"thread_name\","
+                       "\"args\":{\"name\":\"%s\"}}",
+                       key.first, key.second,
+                       threadName(track, key.second).c_str()));
+    }
+
+    tracer.forEach([&](const TraceEvent &e) {
+        std::string record = strprintf(
+            "{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"ts\":%llu,"
+            "\"dur\":%llu,\"name\":\"%s\"",
+            pidOf(e.track), e.id,
+            static_cast<unsigned long long>(e.begin),
+            static_cast<unsigned long long>(e.dur), spanKindName(e.kind));
+        if (e.arg != 0) {
+            record += strprintf(",\"args\":{\"addr\":\"0x%llx\"}",
+                                static_cast<unsigned long long>(e.arg));
+        }
+        record += '}';
+        emit(record);
+    });
+
+    out += "\n]}\n";
+    return out;
+}
+
+} // namespace mcsim::obs

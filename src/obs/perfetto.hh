@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto) exporter for the obs::Tracer ring.
+ *
+ * Emits the legacy JSON trace format (a "traceEvents" array of "X"
+ * complete events plus process/thread name metadata), which both
+ * chrome://tracing and ui.perfetto.dev load directly. Each component
+ * class (Track) becomes one process; each component instance becomes
+ * one named thread, so the viewer shows per-processor, per-switch-port
+ * and per-module timelines. Timestamps are simulated cycles written
+ * into the "ts"/"dur" microsecond fields: read 1 us as 1 cycle.
+ */
+
+#ifndef MCSIM_OBS_PERFETTO_HH
+#define MCSIM_OBS_PERFETTO_HH
+
+#include <string>
+
+#include "obs/tracer.hh"
+
+namespace mcsim::obs
+{
+
+/** Serialize the retained events as a Chrome trace-event JSON document. */
+std::string perfettoJson(const Tracer &tracer);
+
+} // namespace mcsim::obs
+
+#endif // MCSIM_OBS_PERFETTO_HH

@@ -9,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "exp/grid.hh"
+#include "exp/json.hh"
 #include "exp/sweep.hh"
 #include "sim/random.hh"
 
@@ -84,6 +88,72 @@ TEST(Determinism, SeedIsPureFunctionOfThePoint)
     }
     // And distinct points get distinct seeds.
     EXPECT_NE(grid.points[0].derivedSeed(), grid.points[1].derivedSeed());
+}
+
+namespace
+{
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    for (char c : line) {
+        if (c == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else {
+            cell += c;
+        }
+    }
+    cells.push_back(std::move(cell));
+    return cells;
+}
+
+} // namespace
+
+// The CSV export is derived from RunMetrics::toStatSet, so every metric
+// added there (MSHR occupancy from the sweep engine PR, the stall-cause
+// breakdown and histogram quantiles from src/obs/) must appear as a
+// column whose cell matches the StatSet value under the canonical JSON
+// number formatting.
+TEST(Determinism, CsvCarriesMshrAndObsColumns)
+{
+    exp::Grid grid{"quick", {sliceGrid().points.front()}};
+    const exp::SweepOutcomes outcomes = runWithThreads(grid, 1);
+    const std::string csv = outcomes.toCsv();
+
+    const std::size_t eol = csv.find('\n');
+    ASSERT_NE(eol, std::string::npos);
+    const std::vector<std::string> header =
+        splitCsvLine(csv.substr(0, eol));
+    const std::size_t eol2 = csv.find('\n', eol + 1);
+    ASSERT_NE(eol2, std::string::npos);
+    const std::vector<std::string> row =
+        splitCsvLine(csv.substr(eol + 1, eol2 - eol - 1));
+    ASSERT_EQ(header.size(), row.size());
+
+    const StatSet stats =
+        outcomes.metrics(grid.points.front()).toStatSet();
+    const char *required[] = {
+        "mshrBusyCycles",     "avgMshrOccupancy",
+        "busyCycles",         "idleCycles",
+        "stallLoadMissCycles", "stallStoreMshrCycles",
+        "stallBufferCycles",  "stallFenceSyncCycles",
+        "stallAcquireCycles", "stallReleaseCycles",
+        "missLatencyP50",     "missLatencyMax",
+        "netTransitP99",      "memQueueP90",
+    };
+    for (const char *name : required) {
+        std::size_t col = header.size();
+        for (std::size_t i = 0; i < header.size(); ++i) {
+            if (header[i] == name)
+                col = i;
+        }
+        ASSERT_LT(col, header.size()) << name << " missing from header";
+        // Cells reuse the canonical JSON number formatting.
+        EXPECT_EQ(row[col], exp::Json(stats.get(name)).dump()) << name;
+    }
 }
 
 TEST(Determinism, HashPrimitivesAreFixed)
