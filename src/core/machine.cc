@@ -1,5 +1,6 @@
 #include "core/machine.hh"
 
+#include "fault/watchdog.hh"
 #include "sim/logging.hh"
 
 namespace mcsim::core
@@ -22,6 +23,7 @@ MachineConfig::validate() const
         fatal("loadDelay must be >= 1");
     if (relaxedMshrs == 0)
         fatal("relaxedMshrs must be >= 1");
+    fault.validate();
     // Cache geometry is validated by CacheParams::validate().
 }
 
@@ -123,6 +125,40 @@ Machine::Machine(const MachineConfig &config) : cfg(config)
         for (auto &m : modules)
             m->setTracer(tracerPtr.get());
     }
+
+    if (cfg.fault.enabled()) {
+        planPtr = std::make_unique<fault::FaultPlan>(cfg.fault);
+        // Only kinds with a retry path may be lost or cloned; everything
+        // else is delay-eligible only (see FaultPlan::onNetMessage).
+        auto droppable = [](const mem::CoherenceMsg &cm) {
+            switch (cm.kind) {
+              case mem::MsgKind::GetShared:
+              case mem::MsgKind::GetExclusive:
+              case mem::MsgKind::DataReplyShared:
+              case mem::MsgKind::DataReplyExclusive:
+              case mem::MsgKind::Nack:
+                return true;
+              default:
+                return false;
+            }
+        };
+        reqNet->setFaultFilter([this, droppable](const mem::NetMsg &m) {
+            const fault::FaultAction a = planPtr->onNetMessage(
+                /*request_net=*/true, droppable(m.payload));
+            return net::NetPerturbation{a.drop, a.duplicate, a.extraDelay,
+                                        a.duplicateDelay};
+        });
+        respNet->setFaultFilter([this, droppable](const mem::NetMsg &m) {
+            const fault::FaultAction a = planPtr->onNetMessage(
+                /*request_net=*/false, droppable(m.payload));
+            return net::NetPerturbation{a.drop, a.duplicate, a.extraDelay,
+                                        a.duplicateDelay};
+        });
+        for (auto &c : caches)
+            c->setFaultPlan(planPtr.get());
+        for (auto &m : modules)
+            m->setFaultPlan(planPtr.get());
+    }
 }
 
 void
@@ -140,24 +176,128 @@ Machine::onWorkloadDone()
     ++doneCount;
 }
 
+std::uint64_t
+Machine::totalRetired() const
+{
+    std::uint64_t retired = 0;
+    for (const auto &p : procs)
+        retired += p->stats().instructions;
+    return retired;
+}
+
+std::string
+Machine::diagnosticSnapshot() const
+{
+    std::string out = strprintf("diagnostic snapshot at tick %llu:\n",
+                                static_cast<unsigned long long>(queue.now()));
+    for (unsigned p = 0; p < cfg.numProcs; ++p) {
+        const auto &proc = *procs[p];
+        out += strprintf(
+            "  proc %u: %s, %llu instrs, %u outstanding, outbox backlog "
+            "%zu, iface buffer %zu\n",
+            p, proc.done() ? "done" : "running",
+            static_cast<unsigned long long>(proc.stats().instructions),
+            proc.outstandingRefs(), procOut[p]->backlog(),
+            reqBufs[p]->occupancy());
+        for (const auto &m : caches[p]->pendingMshrs()) {
+            out += strprintf(
+                "    mshr line 0x%llx %s%s, issued at %llu, %u retries\n",
+                static_cast<unsigned long long>(m.lineAddr),
+                m.exclusive ? "exclusive" : "shared",
+                m.replyReceived ? ", reply received" : "",
+                static_cast<unsigned long long>(m.issueTick), m.attempts);
+        }
+        if (caches[p]->pendingWritebacks() > 0) {
+            out += strprintf("    %zu writebacks awaiting WbAck\n",
+                             caches[p]->pendingWritebacks());
+        }
+    }
+    for (unsigned m = 0; m < cfg.numModules; ++m) {
+        if (modules[m]->openTransactions() == 0 &&
+            memOut[m]->backlog() == 0 && respBufs[m]->occupancy() == 0) {
+            continue;
+        }
+        out += strprintf(
+            "  module %u: %zu open transactions, outbox backlog %zu, "
+            "iface buffer %zu\n",
+            m, modules[m]->openTransactions(), memOut[m]->backlog(),
+            respBufs[m]->occupancy());
+    }
+    if (planPtr) {
+        const fault::FaultStats &fs = planPtr->stats();
+        out += strprintf(
+            "  faults injected: %llu (%llu drops, %llu dups, %llu delays, "
+            "%llu reply losses, %llu stalls, %llu blackout deferrals)\n",
+            static_cast<unsigned long long>(fs.total()),
+            static_cast<unsigned long long>(fs.drops),
+            static_cast<unsigned long long>(fs.duplicates),
+            static_cast<unsigned long long>(fs.delays),
+            static_cast<unsigned long long>(fs.replyLosses),
+            static_cast<unsigned long long>(fs.moduleStalls),
+            static_cast<unsigned long long>(fs.blackoutDeferrals));
+    }
+    if (tracerPtr && tracerPtr->size() > 0) {
+        // Tail of the event-trace ring: the most recent activity.
+        constexpr std::size_t tail = 16;
+        const std::size_t skip =
+            tracerPtr->size() > tail ? tracerPtr->size() - tail : 0;
+        std::size_t index = 0;
+        out += strprintf("  trace tail (last %zu of %zu events):\n",
+                         tracerPtr->size() - skip, tracerPtr->size());
+        tracerPtr->forEach([&](const obs::TraceEvent &e) {
+            if (index++ < skip)
+                return;
+            out += strprintf(
+                "    [%llu +%llu] %s/%u %s line 0x%llx\n",
+                static_cast<unsigned long long>(e.begin),
+                static_cast<unsigned long long>(e.dur),
+                obs::trackName(e.track), e.id, obs::spanKindName(e.kind),
+                static_cast<unsigned long long>(e.arg));
+        });
+    }
+    return out;
+}
+
 Tick
 Machine::run()
 {
     if (started == 0)
         fatal("Machine::run with no workloads started");
+    fault::ForwardProgressWatchdog watchdog(cfg.fault.watchdogCycles);
     while (doneCount < started) {
         if (queue.empty()) {
-            fatal("deadlock: %u of %u workloads unfinished at tick %llu",
+            fatal("deadlock: %u of %u workloads unfinished at tick %llu\n%s",
                   started - doneCount, started,
-                  static_cast<unsigned long long>(queue.now()));
+                  static_cast<unsigned long long>(queue.now()),
+                  diagnosticSnapshot().c_str());
         }
         queue.run(1 << 16);
+        if (watchdog.poll(queue.now(), totalRetired())) {
+            fatal("forward-progress watchdog: no instruction retired for "
+                  "%llu cycles (threshold %llu) with %u of %u workloads "
+                  "unfinished\n%s",
+                  static_cast<unsigned long long>(
+                      watchdog.stalledCycles(queue.now())),
+                  static_cast<unsigned long long>(watchdog.threshold()),
+                  started - doneCount, started,
+                  diagnosticSnapshot().c_str());
+        }
         if (queue.now() > cfg.maxCycles) {
             fatal("simulation exceeded maxCycles=%llu with %u workloads "
-                  "unfinished",
+                  "unfinished\n%s",
                   static_cast<unsigned long long>(cfg.maxCycles),
-                  started - doneCount);
+                  started - doneCount, diagnosticSnapshot().c_str());
         }
+    }
+    if (planPtr) {
+        // Faulted runs can retire their last instruction with revocations,
+        // duplicates, and retry timers still in flight; drain them so the
+        // final audit and the chaos fingerprint see the quiesced protocol,
+        // not a mid-flight window. (Terminates: every pending retry timer
+        // no-ops against its completed MSHR and nothing re-arms.) Fault-off
+        // runs keep the legacy stop tick so goldens see zero drift.
+        while (!queue.empty())
+            queue.run(1 << 16);
     }
     if (checkerPtr)
         checkerPtr->finalAudit();
@@ -195,6 +335,8 @@ Machine::collectStats() const
         out.set("obs.trace_dropped",
                 static_cast<double>(tracerPtr->dropped()));
     }
+    if (planPtr)
+        planPtr->stats().addTo(out, "fault.");
 
     Tick last = 0;
     for (const auto &p : procs)

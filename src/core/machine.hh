@@ -10,12 +10,14 @@
 #define MCSIM_CORE_MACHINE_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "axiom/trace.hh"
 #include "check/checker.hh"
 #include "core/machine_config.hh"
 #include "cpu/processor.hh"
+#include "fault/fault.hh"
 #include "mem/cache.hh"
 #include "mem/functional_memory.hh"
 #include "mem/memory_module.hh"
@@ -87,7 +89,24 @@ class Machine
     obs::Tracer *tracer() { return tracerPtr.get(); }
     const obs::Tracer *tracer() const { return tracerPtr.get(); }
     /** @} */
+    /** The fault plan; nullptr when cfg.fault is off (perfect HW). @{ */
+    fault::FaultPlan *faultPlan() { return planPtr.get(); }
+    const fault::FaultPlan *faultPlan() const { return planPtr.get(); }
     /** @} */
+    /** @} */
+
+    /** Machine-wide retired-instruction count (watchdog progress). */
+    std::uint64_t totalRetired() const;
+
+    /**
+     * Multi-line dump of where every in-flight piece of work sits:
+     * per-processor retirement/outstanding-ref/stall state, busy MSHRs
+     * with their retry attempts, writeback limbo, outbox and interface
+     * buffer occupancy, open directory transactions, fault-injection
+     * counters and the tail of the event-trace ring. Attached to the
+     * deadlock / watchdog / maxCycles fatal()s.
+     */
+    std::string diagnosticSnapshot() const;
 
     /** Aggregate every component's statistics into one StatSet. */
     StatSet collectStats() const;
@@ -114,6 +133,7 @@ class Machine
     std::unique_ptr<check::Checker> checkerPtr;
     std::unique_ptr<axiom::TraceRecorder> recorderPtr;
     std::unique_ptr<obs::Tracer> tracerPtr;
+    std::unique_ptr<fault::FaultPlan> planPtr;
 
     unsigned started = 0;
     unsigned doneCount = 0;

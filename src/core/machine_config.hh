@@ -12,6 +12,7 @@
 #include "axiom/trace_config.hh"
 #include "check/check_config.hh"
 #include "core/consistency.hh"
+#include "fault/fault_config.hh"
 #include "obs/obs_config.hh"
 #include "sim/types.hh"
 
@@ -72,6 +73,11 @@ struct MachineConfig
     /** Observability (src/obs/): the timeline event tracer is off by
      *  default; stall attribution and latency histograms are always on. */
     obs::ObsConfig obs;
+
+    /** Fault injection (src/fault/): off by default (perfect hardware,
+     *  legacy protocol paths, zero golden drift). The forward-progress
+     *  watchdog inside is armed regardless of fault.enable. */
+    fault::FaultConfig fault;
 
     /** When set, use this exact feature set instead of the canonical one
      *  for `model` -- the hook the ablation benches use to toggle single

@@ -51,6 +51,17 @@ RunMetrics::fromMachine(const Machine &machine, Tick run_ticks)
         m.checkOrderingChecked = cs.orderingChecked;
     }
 
+    if (const fault::FaultPlan *plan = machine.faultPlan())
+        m.faultsInjected = plan->stats().total();
+    for (unsigned p = 0; p < procs; ++p) {
+        const auto &cs = machine.cache(p).stats();
+        m.protocolRetries += cs.retries;
+        m.protocolNacks += cs.nacksReceived;
+        m.staleProtocolMsgs += cs.staleReplies;
+    }
+    for (unsigned i = 0; i < machine.config().numModules; ++i)
+        m.staleProtocolMsgs += machine.module(i).stats().staleMessages;
+
     m.readsPerProc = static_cast<double>(m.totalReads) / procs;
     m.writesPerProc = static_cast<double>(m.totalWrites) / procs;
     m.syncOpsPerProc = static_cast<double>(m.totalSyncOps) / procs;
@@ -136,6 +147,10 @@ RunMetrics::toStatSet() const
             static_cast<double>(checkAccessesChecked));
     out.set("checkOrderingChecked",
             static_cast<double>(checkOrderingChecked));
+    out.set("faultsInjected", static_cast<double>(faultsInjected));
+    out.set("protocolRetries", static_cast<double>(protocolRetries));
+    out.set("protocolNacks", static_cast<double>(protocolNacks));
+    out.set("staleProtocolMsgs", static_cast<double>(staleProtocolMsgs));
     out.set("moduleSkew", moduleSkew);
     out.set("avgRespLatency", avgRespLatency);
     out.set("avgMissLatency", avgMissLatency);

@@ -52,6 +52,14 @@ struct RunMetrics
     std::uint64_t checkOrderingChecked = 0;
     /** @} */
 
+    /** Fault injection and recovery (src/fault/); all zero when faults
+     *  are off, which the golden baseline checks exactly. @{ */
+    std::uint64_t faultsInjected = 0;     ///< FaultStats::total()
+    std::uint64_t protocolRetries = 0;    ///< cache re-sends (timeout/NACK)
+    std::uint64_t protocolNacks = 0;      ///< NACKs received by caches
+    std::uint64_t staleProtocolMsgs = 0;  ///< discarded as stale/duplicate
+    /** @} */
+
     /** Memory-module busy-cycle skew: max/min utilization ratio. */
     double moduleSkew = 1.0;
     /** Mean response-network message latency (cycles). */

@@ -20,6 +20,8 @@ metricTolerance(const std::string &metric)
         "bufferBypasses",  "prefetchesIssued",  "prefetchesUseful",
         "releasesDeferred", "checkViolations",  "checkLineAudits",
         "checkAccessesChecked", "checkOrderingChecked",
+        "faultsInjected",  "protocolRetries",   "protocolNacks",
+        "staleProtocolMsgs",
         "mshrBusyCycles",  "axiomAccepted",     "axiomEvents",
         "axiomEdges",      "busyCycles",        "idleCycles",
         "stallLoadMissCycles", "stallStoreMshrCycles",

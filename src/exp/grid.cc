@@ -1,5 +1,6 @@
 #include "exp/grid.hh"
 
+#include "fault/fault_config.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "workloads/gauss.hh"
@@ -66,11 +67,18 @@ benchmarkNames()
 std::string
 SweepPoint::id() const
 {
-    return strprintf("%s/%s/p%u/c%u/l%u/d%u/%s/s%llu", benchmark.c_str(),
-                     core::modelName(model), numProcs, cacheBytes,
-                     lineBytes, delay,
-                     workloads::relaxScheduleName(schedule),
-                     static_cast<unsigned long long>(seed));
+    std::string base =
+        strprintf("%s/%s/p%u/c%u/l%u/d%u/%s/s%llu", benchmark.c_str(),
+                  core::modelName(model), numProcs, cacheBytes, lineBytes,
+                  delay, workloads::relaxScheduleName(schedule),
+                  static_cast<unsigned long long>(seed));
+    // The "off" preset is behaviorally identical to no preset at all;
+    // keeping the ids (and hence the derived seeds) equal lets a
+    // fault-off sweep be checked against the golden baseline point for
+    // point, proving the fault plumbing causes zero drift when disabled.
+    if (!faultPreset.empty() && faultPreset != "off")
+        base += strprintf("/F%s", faultPreset.c_str());
+    return base;
 }
 
 std::uint64_t
@@ -104,6 +112,12 @@ SweepPoint::machineConfig() const
     cfg.check.mode =
         runChecks ? check::CheckMode::Fatal : check::CheckMode::Off;
     cfg.trace.record = recordTrace;
+    if (!faultPreset.empty()) {
+        cfg.fault = fault::faultPreset(faultPreset);
+        // A distinct chain from the workload seed, so fault decisions and
+        // workload data never correlate.
+        cfg.fault.seed = splitmix64(derivedSeed() ^ 0xFA171FA171FA171Full);
+    }
     return cfg;
 }
 

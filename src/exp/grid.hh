@@ -68,8 +68,14 @@ struct SweepPoint
     bool runChecks = false;
     /** Simulated-cycle budget (job timeout); 0 = per-scale default. */
     Tick maxCycles = 0;
+    /** Fault-injection preset name (src/fault/: "light", "standard",
+     *  "heavy"); empty = perfect hardware. The fault seed derives from
+     *  the point id, so chaos jobs reproduce in isolation. */
+    std::string faultPreset;
 
-    /** Canonical unique id, e.g. "Gauss/WO1/p16/c8192/l16/d4/default/s0". */
+    /** Canonical unique id, e.g. "Gauss/WO1/p16/c8192/l16/d4/default/s0";
+     *  faulted points append "/F<preset>" so fault-free ids -- and the
+     *  goldens keyed by them -- are untouched. */
     std::string id() const;
 
     /** Seed derived from the seedless id -- what grid builders assign

@@ -79,6 +79,17 @@ SweepRunner::run(const Grid &grid) const
             if (i >= total)
                 return;
             results[i] = runPoint(grid.points[i]);
+            if (!results[i].ok) {
+                // Locate the failure for whoever reads the results
+                // document: a timeout/watchdog message alone does not say
+                // which job died (the machine knows nothing of the grid).
+                results[i].error = strprintf(
+                    "grid '%s' point %zu of %zu (%s, seed %llu): %s",
+                    grid.name.c_str(), i, total,
+                    grid.points[i].id().c_str(),
+                    static_cast<unsigned long long>(grid.points[i].seed),
+                    results[i].error.c_str());
+            }
             const std::size_t done = completed.fetch_add(1) + 1;
             if (!opts.progress)
                 continue;

@@ -1,0 +1,230 @@
+#include "fault/fault.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace mcsim::fault
+{
+
+namespace
+{
+
+/** Distinct decision-site tags folded into the hash chain. */
+enum Site : std::uint64_t
+{
+    siteNetRequest = 0x6e657452657155ull,
+    siteNetResponse = 0x6e657452657370ull,
+    siteReplyLoss = 0x7265706c79ull,
+    siteModuleStall = 0x7374616c6cull,
+    siteBlackout = 0x626c61636bull,
+    siteBackoff = 0x6261636b6full,
+};
+
+bool
+rateValid(double r)
+{
+    return r >= 0.0 && r <= 1.0;
+}
+
+} // namespace
+
+void
+FaultConfig::validate() const
+{
+    if (!rateValid(dropRate) || !rateValid(dupRate) ||
+        !rateValid(delayRate) || !rateValid(replyLossRate) ||
+        !rateValid(moduleStallRate)) {
+        fatal("fault rates must lie in [0, 1]");
+    }
+    if ((delayRate > 0.0 || dupRate > 0.0) && delayMaxCycles == 0)
+        fatal("fault delayRate/dupRate need delayMaxCycles >= 1");
+    if (moduleStallRate > 0.0 && moduleStallMaxCycles == 0)
+        fatal("fault moduleStallRate needs moduleStallMaxCycles >= 1");
+    if (blackoutPeriod > 0 && blackoutMaxCycles >= blackoutPeriod)
+        fatal("fault blackoutMaxCycles (%llu) must be shorter than "
+              "blackoutPeriod (%llu)",
+              static_cast<unsigned long long>(blackoutMaxCycles),
+              static_cast<unsigned long long>(blackoutPeriod));
+    if (blackoutPeriod > 0 && blackoutMaxCycles == 0)
+        fatal("fault blackoutPeriod needs blackoutMaxCycles >= 1");
+    const bool can_lose = dropRate > 0.0 || replyLossRate > 0.0;
+    if (enable && can_lose && retryTimeoutCycles == 0 &&
+        watchdogCycles == 0) {
+        fatal("fault plan can lose messages but has neither retries nor "
+              "a watchdog; a lost reply would hang the run");
+    }
+}
+
+const std::vector<std::string> &
+faultPresetNames()
+{
+    static const std::vector<std::string> names = {"off", "light",
+                                                   "standard", "heavy"};
+    return names;
+}
+
+FaultConfig
+faultPreset(const std::string &name)
+{
+    FaultConfig fc;
+    if (name == "off")
+        return fc;
+    fc.enable = true;
+    if (name == "light") {
+        fc.dropRate = 0.002;
+        fc.dupRate = 0.002;
+        fc.delayRate = 0.01;
+        fc.delayMaxCycles = 32;
+        fc.replyLossRate = 0.002;
+        fc.moduleStallRate = 0.005;
+        fc.moduleStallMaxCycles = 16;
+        return fc;
+    }
+    if (name == "standard") {
+        fc.dropRate = 0.01;
+        fc.dupRate = 0.01;
+        fc.delayRate = 0.03;
+        fc.delayMaxCycles = 64;
+        fc.replyLossRate = 0.01;
+        fc.moduleStallRate = 0.02;
+        fc.moduleStallMaxCycles = 32;
+        fc.blackoutPeriod = 20'000;
+        fc.blackoutMaxCycles = 300;
+        return fc;
+    }
+    if (name == "heavy") {
+        fc.dropRate = 0.04;
+        fc.dupRate = 0.03;
+        fc.delayRate = 0.10;
+        fc.delayMaxCycles = 128;
+        fc.replyLossRate = 0.04;
+        fc.moduleStallRate = 0.05;
+        fc.moduleStallMaxCycles = 64;
+        fc.blackoutPeriod = 10'000;
+        fc.blackoutMaxCycles = 500;
+        fc.retryTimeoutCycles = 300;
+        fc.nackThreshold = 4;
+        return fc;
+    }
+    fatal("unknown fault preset '%s' (off/light/standard/heavy)",
+          name.c_str());
+}
+
+FaultPlan::FaultPlan(const FaultConfig &config) : cfg(config)
+{
+    cfg.validate();
+}
+
+std::uint64_t
+FaultPlan::hash(std::uint64_t site)
+{
+    return splitmix64(cfg.seed ^ splitmix64(site + 0x9e3779b97f4a7c15ull *
+                                                       ++nonce));
+}
+
+double
+FaultPlan::draw(std::uint64_t site)
+{
+    return static_cast<double>(hash(site) >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultPlan::budgetLeft() const
+{
+    return cfg.budget == 0 || st.total() < cfg.budget;
+}
+
+FaultAction
+FaultPlan::onNetMessage(bool request_net, bool droppable)
+{
+    FaultAction act;
+    if (!cfg.enable)
+        return act;
+    const std::uint64_t site =
+        request_net ? siteNetRequest : siteNetResponse;
+    if (droppable && cfg.dropRate > 0.0 && budgetLeft() &&
+        draw(site) < cfg.dropRate) {
+        st.drops += 1;
+        act.drop = true;
+        // A dropped message can still have been duplicated upstream;
+        // modelling that adds nothing, so one fault per message.
+        return act;
+    }
+    if (droppable && cfg.dupRate > 0.0 && budgetLeft() &&
+        draw(site) < cfg.dupRate) {
+        st.duplicates += 1;
+        act.duplicate = true;
+        act.duplicateDelay = 1 + hash(site) % cfg.delayMaxCycles;
+    }
+    if (cfg.delayRate > 0.0 && budgetLeft() &&
+        draw(site) < cfg.delayRate) {
+        st.delays += 1;
+        act.extraDelay = 1 + hash(site) % cfg.delayMaxCycles;
+    }
+    return act;
+}
+
+bool
+FaultPlan::loseReply(ModuleId module)
+{
+    if (!cfg.enable || cfg.replyLossRate <= 0.0 || !budgetLeft())
+        return false;
+    if (draw(siteReplyLoss + module) >= cfg.replyLossRate)
+        return false;
+    st.replyLosses += 1;
+    return true;
+}
+
+Tick
+FaultPlan::stallCycles(ModuleId module)
+{
+    if (!cfg.enable || cfg.moduleStallRate <= 0.0 || !budgetLeft())
+        return 0;
+    if (draw(siteModuleStall + module) >= cfg.moduleStallRate)
+        return 0;
+    st.moduleStalls += 1;
+    return 1 + hash(siteModuleStall + module) % cfg.moduleStallMaxCycles;
+}
+
+Tick
+FaultPlan::blackoutUntil(ModuleId module, Tick now)
+{
+    if (!cfg.enable || cfg.blackoutPeriod == 0 || !budgetLeft())
+        return 0;
+    // One seed-positioned outage per (module, period window). This is a
+    // pure function of the window index -- not of the decision counter --
+    // so every arrival during the outage computes the same boundaries.
+    const Tick window = now / cfg.blackoutPeriod;
+    const std::uint64_t h = splitmix64(
+        cfg.seed ^ splitmix64(siteBlackout + module * 0x10001ull + window));
+    const Tick len = h % (cfg.blackoutMaxCycles + 1);
+    if (len == 0)
+        return 0;
+    const Tick window_base = window * cfg.blackoutPeriod;
+    const Tick start =
+        window_base + (h >> 32) % (cfg.blackoutPeriod - len);
+    const Tick end = start + len;
+    if (now < start || now >= end)
+        return 0;
+    st.blackoutDeferrals += 1;
+    return end;
+}
+
+Tick
+FaultPlan::backoffCycles(ProcId proc, unsigned attempt)
+{
+    const unsigned shift = std::min(attempt > 0 ? attempt - 1 : 0, 31u);
+    const std::uint64_t base =
+        std::min<std::uint64_t>(std::uint64_t(cfg.backoffBaseCycles)
+                                    << shift,
+                                cfg.backoffMaxCycles);
+    const std::uint64_t jitter =
+        cfg.backoffJitterCycles
+            ? hash(siteBackoff + proc) % (cfg.backoffJitterCycles + 1)
+            : 0;
+    return base + jitter;
+}
+
+} // namespace mcsim::fault

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Forward-progress watchdog (DESIGN.md section 11).
+ *
+ * Machine::run polls it after each event-queue chunk with the current
+ * tick and the machine-wide retired-instruction count. If the count has
+ * not moved for `thresholdCycles` simulated cycles the watchdog trips and
+ * the machine converts the hang (deadlocked protocol, livelocked retry
+ * storm) into a structured fatal() carrying a diagnostic snapshot,
+ * instead of spinning to maxCycles.
+ *
+ * The watchdog is pure observation -- it schedules no events and touches
+ * no component state -- so arming it changes no run by a single cycle.
+ */
+
+#ifndef MCSIM_FAULT_WATCHDOG_HH
+#define MCSIM_FAULT_WATCHDOG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace mcsim::fault
+{
+
+/** Detects "no instruction retired machine-wide for K cycles". */
+class ForwardProgressWatchdog
+{
+  public:
+    /** @param threshold_cycles K; 0 disables the watchdog. */
+    explicit ForwardProgressWatchdog(Tick threshold_cycles)
+        : thresholdCycles(threshold_cycles)
+    {}
+
+    /**
+     * Record an observation.
+     * @param now current simulated tick
+     * @param retired machine-wide retired-instruction count (monotone)
+     * @return true when the watchdog trips: no progress for >= K cycles
+     */
+    bool
+    poll(Tick now, std::uint64_t retired)
+    {
+        if (thresholdCycles == 0)
+            return false;
+        if (retired != lastRetired) {
+            lastRetired = retired;
+            lastProgressTick = now;
+            return false;
+        }
+        return now - lastProgressTick >= thresholdCycles;
+    }
+
+    /** Cycles since the last observed retirement (diagnostics). */
+    Tick
+    stalledCycles(Tick now) const
+    {
+        return now - lastProgressTick;
+    }
+
+    Tick threshold() const { return thresholdCycles; }
+
+  private:
+    Tick thresholdCycles;
+    Tick lastProgressTick = 0;
+    std::uint64_t lastRetired = 0;
+};
+
+} // namespace mcsim::fault
+
+#endif // MCSIM_FAULT_WATCHDOG_HH

@@ -134,6 +134,19 @@ Cache::validLines() const
     return out;
 }
 
+std::vector<Cache::MshrView>
+Cache::pendingMshrs() const
+{
+    std::vector<MshrView> out;
+    for (const auto &m : mshrs) {
+        if (!m.valid)
+            continue;
+        out.push_back(MshrView{m.lineAddr, m.exclusive, m.replyReceived,
+                               m.issueTick, m.attempts});
+    }
+    return out;
+}
+
 Cache::Line *
 Cache::pickVictim(std::uint32_t set)
 {
@@ -151,16 +164,41 @@ Cache::pickVictim(std::uint32_t set)
 }
 
 void
+Cache::bumpGrantFloor(Addr line_addr, std::uint32_t seq)
+{
+    std::uint32_t &floor = grantFloor[line_addr];
+    floor = std::max(floor, seq);
+}
+
+std::uint32_t
+Cache::grantFloorOf(Addr line_addr) const
+{
+    auto it = grantFloor.find(line_addr);
+    return it == grantFloor.end() ? 0 : it->second;
+}
+
+void
 Cache::evict(Line &line)
 {
     MCSIM_ASSERT(line.state == LineState::Shared ||
                      line.state == LineState::Modified,
                  "evicting line in bad state");
+    if (plan) {
+        // The grant this copy was installed under is surrendered; any
+        // reply at or below its seq still in flight is a stale duplicate
+        // and must not satisfy a later miss on this line.
+        bumpGrantFloor(line.lineAddr, line.seq + 1);
+    }
     if (line.state == LineState::Modified) {
         // Exclusive lines always surrender via Writeback so the directory
         // never waits forever on a recall (see DESIGN.md).
         cacheStats.writebacks += 1;
-        sendRequest(MsgKind::Writeback, line.lineAddr, false, 0);
+        sendRequest(MsgKind::Writeback, line.lineAddr, false, 0, line.seq);
+        if (plan) {
+            // Hardened: the line enters writeback limbo until the
+            // directory acknowledges; re-requests block meanwhile.
+            wbLimbo.insert(line.lineAddr);
+        }
     }
     // Clean (Shared) lines are dropped silently; the directory's stale
     // presence bit costs at worst one spurious Invalidate later.
@@ -173,14 +211,14 @@ Cache::evict(Line &line)
 
 void
 Cache::sendRequest(MsgKind kind, Addr line_addr, bool bypass_eligible,
-                   Tick delay)
+                   Tick delay, std::uint32_t seq)
 {
     NetMsg msg;
     msg.src = procId;
     msg.dst = moduleOf(line_addr);
     msg.bytes = messageBytes(kind, cfg.lineBytes);
     msg.bypassEligible = bypass_eligible;
-    msg.payload = CoherenceMsg{kind, line_addr, procId};
+    msg.payload = CoherenceMsg{kind, line_addr, procId, seq};
     if (checker)
         checker->onProtocolMessage(msg.payload, /*to_memory=*/true);
     if (delay == 0) {
@@ -223,6 +261,11 @@ Cache::launchMiss(Line &way_line, std::uint32_t set, Addr line_addr,
     mshr->deferredInvalidate = false;
     mshr->deferredRecallExclusive = false;
     mshr->deferredRecallShared = false;
+    mshr->deferredRecallSeq = 0;
+    mshr->replySeq = 0;
+    mshr->minAcceptSeq = plan ? grantFloorOf(line_addr) : 0;
+    mshr->attempts = 0;
+    mshr->retryGen = 0;
     if (!is_prefetch)
         mshr->cookies.push_back(cookie);
 
@@ -233,6 +276,8 @@ Cache::launchMiss(Line &way_line, std::uint32_t set, Addr line_addr,
 
     sendRequest(exclusive ? MsgKind::GetExclusive : MsgKind::GetShared,
                 line_addr, bypass_eligible, cfg.missHandleCycles);
+    if (plan && plan->config().retryTimeoutCycles > 0)
+        armRetry(*mshr, cfg.missHandleCycles + retryDelay(0));
 }
 
 AccessOutcome
@@ -240,6 +285,14 @@ Cache::access(Addr addr, AccessType type, std::uint64_t cookie)
 {
     const Addr line_addr = lineOf(addr);
     const bool wants_excl = needsExclusive(type);
+
+    if (plan && wbLimbo.count(line_addr)) {
+        // Hardened: our Writeback for this line is still unacknowledged;
+        // re-requesting now could race it at the directory. The WbAck
+        // fires the retry handler.
+        cacheStats.blockedAccesses += 1;
+        return AccessOutcome::Blocked;
+    }
 
     // Statistics are recorded on the first (non-Blocked) attempt outcome;
     // Blocked attempts will be retried and counted then.
@@ -274,6 +327,8 @@ Cache::access(Addr addr, AccessType type, std::uint64_t cookie)
             // refetch with write permission -- a write miss (paper 3.3).
             if (allocMshr() != nullptr) {
                 count(false);
+                if (plan)
+                    bumpGrantFloor(line_addr, line->seq + 1);
                 line->state = LineState::Invalid;
                 line->lineAddr = invalidAddr;
                 const std::uint32_t set = setOf(line_addr);
@@ -336,6 +391,8 @@ bool
 Cache::prefetch(Addr addr, bool exclusive)
 {
     const Addr line_addr = lineOf(addr);
+    if (plan && wbLimbo.count(line_addr))
+        return false;
     if (Line *line = findLine(line_addr)) {
         // Present (in any state) or already being fetched: nothing to do.
         // A non-binding prefetch never invalidates a valid copy.
@@ -372,6 +429,50 @@ Cache::notifyRetry()
         retryFn();
 }
 
+Tick
+Cache::retryDelay(unsigned attempt)
+{
+    // First re-issue waits the plain timeout; later ones add bounded
+    // exponential backoff with seed-derived jitter so colliding
+    // retries decohere instead of hammering the directory in lockstep.
+    const Tick timeout = plan->config().retryTimeoutCycles;
+    return attempt == 0
+               ? timeout
+               : timeout + plan->backoffCycles(procId, attempt);
+}
+
+void
+Cache::armRetry(Mshr &mshr, Tick delay)
+{
+    const std::uint64_t gen = ++retrySeq;
+    mshr.retryGen = gen;
+    queue.scheduleIn(
+        std::max<Tick>(delay, 1),
+        [this, line_addr = mshr.lineAddr, gen]() {
+            retryFire(line_addr, gen);
+        },
+        EventQueue::prioDefault);
+}
+
+void
+Cache::retryFire(Addr line_addr, std::uint64_t gen)
+{
+    Mshr *mshr = findMshr(line_addr);
+    if (!mshr || mshr->retryGen != gen || mshr->replyReceived)
+        return;  // superseded timer, or the reply made it after all
+    mshr->attempts += 1;
+    cacheStats.retries += 1;
+    if (tracer) {
+        tracer->span(obs::Track::Cache, procId,
+                     obs::SpanKind::FaultRetry, queue.now(), 1,
+                     line_addr);
+    }
+    sendRequest(mshr->exclusive ? MsgKind::GetExclusive
+                                : MsgKind::GetShared,
+                line_addr, false, 0);
+    armRetry(*mshr, retryDelay(mshr->attempts));
+}
+
 void
 Cache::handleResponse(NetMsg &&msg)
 {
@@ -380,12 +481,27 @@ Cache::handleResponse(NetMsg &&msg)
       case MsgKind::DataReplyShared:
       case MsgKind::DataReplyExclusive: {
         Mshr *mshr = findMshr(cm.lineAddr);
-        MCSIM_ASSERT(mshr != nullptr, "data reply without MSHR for line");
-        MCSIM_ASSERT(!mshr->replyReceived, "duplicate data reply");
         const bool excl = cm.kind == MsgKind::DataReplyExclusive;
-        MCSIM_ASSERT(excl == mshr->exclusive,
-                     "reply permission does not match request");
+        if (plan) {
+            // Hardened: duplicated or long-delayed grants can arrive with
+            // no (or the wrong) transaction waiting, or after an
+            // Invalidate/Recall already revoked them (minAcceptSeq).
+            // Discarding is safe -- the protocol is timing-only and the
+            // timeout retry recovers the miss.
+            if (!mshr || mshr->replyReceived || excl != mshr->exclusive ||
+                cm.seq < mshr->minAcceptSeq) {
+                cacheStats.staleReplies += 1;
+                break;
+            }
+        } else {
+            MCSIM_ASSERT(mshr != nullptr,
+                         "data reply without MSHR for line");
+            MCSIM_ASSERT(!mshr->replyReceived, "duplicate data reply");
+            MCSIM_ASSERT(excl == mshr->exclusive,
+                         "reply permission does not match request");
+        }
         mshr->replyReceived = true;
+        mshr->replySeq = cm.seq;
         const Tick completion = queue.now() + cfg.fillCycles;
         const Tick latency = completion - mshr->issueTick;
         cacheStats.missLatencySum += latency;
@@ -429,6 +545,12 @@ Cache::handleResponse(NetMsg &&msg)
 
       case MsgKind::Invalidate: {
         cacheStats.invalidationsReceived += 1;
+        if (plan) {
+            // The stamp is the invalidating transaction's grant seq:
+            // every grant to us ordered before it is now revoked, even
+            // ones still in flight that no live MSHR remembers.
+            bumpGrantFloor(cm.lineAddr, cm.seq);
+        }
         if (Mshr *mshr = findMshr(cm.lineAddr)) {
             if (mshr->replyReceived) {
                 // The invalidation targets the line we are installing;
@@ -437,6 +559,13 @@ Cache::handleResponse(NetMsg &&msg)
             } else {
                 // Stale presence bit: our old copy is long gone and our
                 // own fetch is ordered after the invalidating transaction.
+                if (plan) {
+                    // Hardened: a delayed grant for our fetch could still
+                    // overtake this revocation; refuse anything older than
+                    // the invalidating transaction's grant.
+                    mshr->minAcceptSeq =
+                        std::max(mshr->minAcceptSeq, cm.seq);
+                }
                 sendRequest(MsgKind::InvAck, cm.lineAddr, false, 0);
             }
             break;
@@ -455,24 +584,95 @@ Cache::handleResponse(NetMsg &&msg)
       case MsgKind::RecallShared:
       case MsgKind::RecallExclusive: {
         const bool excl = cm.kind == MsgKind::RecallExclusive;
+        if (plan)
+            bumpGrantFloor(cm.lineAddr, cm.seq);
         if (Mshr *mshr = findMshr(cm.lineAddr)) {
             if (mshr->replyReceived) {
+                if (plan && cm.seq <= mshr->replySeq) {
+                    // The recall targets a grant older than the one we
+                    // just accepted; its transaction already closed.
+                    cacheStats.staleReplies += 1;
+                    break;
+                }
+                if (plan)
+                    mshr->deferredRecallSeq = cm.seq;
                 if (excl)
                     mshr->deferredRecallExclusive = true;
                 else
                     mshr->deferredRecallShared = true;
             } else {
                 // We no longer own the line (writeback in flight).
-                sendRequest(MsgKind::RecallStale, cm.lineAddr, false, 0);
+                if (plan) {
+                    mshr->minAcceptSeq =
+                        std::max(mshr->minAcceptSeq, cm.seq);
+                }
+                sendRequest(MsgKind::RecallStale, cm.lineAddr, false, 0,
+                            plan ? cm.seq : 0);
             }
             break;
         }
         Line *line = findLine(cm.lineAddr);
         if (!line) {
-            sendRequest(MsgKind::RecallStale, cm.lineAddr, false, 0);
+            sendRequest(MsgKind::RecallStale, cm.lineAddr, false, 0,
+                        plan ? cm.seq : 0);
             break;
         }
+        if (plan) {
+            if (line->seq >= cm.seq) {
+                // Long-delayed recall: the recalling transaction already
+                // completed (its data arrived via the racing writeback)
+                // and this copy comes from a strictly later grant.
+                // Flushing it would revoke a current grant; discard, and
+                // send nothing -- that transaction needs no reply.
+                cacheStats.staleReplies += 1;
+                break;
+            }
+            if (line->state != LineState::Modified) {
+                // Only a clean copy left of the grant under recall: no
+                // dirty data to flush. RecallStale completes the
+                // transaction from memory's image AND drops us from the
+                // presence set, so the copy must be surrendered entirely
+                // -- keeping it Shared would leave it untracked and
+                // immune to later invalidations.
+                line->state = LineState::Invalid;
+                line->lineAddr = invalidAddr;
+                invalidatedLines.insert(cm.lineAddr);
+                if (checker)
+                    checker->onCacheLineEvent(procId, cm.lineAddr);
+                sendRequest(MsgKind::RecallStale, cm.lineAddr, false, 0,
+                            cm.seq);
+                break;
+            }
+        }
         applyRecall(cm.lineAddr, excl);
+        break;
+      }
+
+      case MsgKind::Nack: {
+        // Hardened protocol only: the directory refused our Get*. Re-arm
+        // the retry timer at the pure backoff delay (no extra timeout --
+        // the directory definitively has no grant in flight for us).
+        MCSIM_ASSERT(plan != nullptr, "Nack on the legacy protocol");
+        Mshr *mshr = findMshr(cm.lineAddr);
+        if (!mshr || mshr->replyReceived) {
+            cacheStats.staleReplies += 1;
+            break;
+        }
+        cacheStats.nacksReceived += 1;
+        mshr->attempts += 1;
+        armRetry(*mshr,
+                 plan->backoffCycles(procId,
+                                     std::max(mshr->attempts, 1u)));
+        break;
+      }
+
+      case MsgKind::WbAck: {
+        // Hardened protocol only: our Writeback was consumed (or
+        // recognized as stale) at the directory; the line may be
+        // re-requested now.
+        MCSIM_ASSERT(plan != nullptr, "WbAck on the legacy protocol");
+        wbLimbo.erase(cm.lineAddr);
+        notifyRetry();
         break;
       }
 
@@ -505,7 +705,7 @@ Cache::applyRecall(Addr line_addr, bool exclusive_recall)
     MCSIM_ASSERT(line && line->state == LineState::Modified,
                  "recall for line not in M state");
     cacheStats.recallsServed += 1;
-    sendRequest(MsgKind::FlushData, line_addr, false, 0);
+    sendRequest(MsgKind::FlushData, line_addr, false, 0, line->seq);
     if (exclusive_recall) {
         line->state = LineState::Invalid;
         line->lineAddr = invalidAddr;
@@ -530,10 +730,12 @@ Cache::settleFill(Addr line_addr)
 
     line.state = mshr->exclusive ? LineState::Modified : LineState::Shared;
     line.lru = queue.now();
+    line.seq = mshr->replySeq;
 
     const bool deferred_inv = mshr->deferredInvalidate;
     const bool deferred_recall_excl = mshr->deferredRecallExclusive;
     const bool deferred_recall_shared = mshr->deferredRecallShared;
+    const std::uint32_t deferred_recall_seq = mshr->deferredRecallSeq;
     MCSIM_ASSERT(mshr->completed || mshr->cookies.empty(),
                  "freeing MSHR with unfired consumers");
     mshr->valid = false;
@@ -543,7 +745,19 @@ Cache::settleFill(Addr line_addr)
         applyInvalidate(line_addr);
         sendRequest(MsgKind::InvAck, line_addr, false, 0);
     } else if (deferred_recall_excl || deferred_recall_shared) {
-        applyRecall(line_addr, deferred_recall_excl);
+        if (plan && line.state != LineState::Modified) {
+            // A Shared fill caught by a (self-)recall: clean surrender,
+            // exactly as in the no-MSHR clean-copy case above.
+            line.state = LineState::Invalid;
+            line.lineAddr = invalidAddr;
+            invalidatedLines.insert(line_addr);
+            if (checker)
+                checker->onCacheLineEvent(procId, line_addr);
+            sendRequest(MsgKind::RecallStale, line_addr, false, 0,
+                        deferred_recall_seq);
+        } else {
+            applyRecall(line_addr, deferred_recall_excl);
+        }
     } else if (checker) {
         // Deferred paths audit inside applyInvalidate/applyRecall.
         checker->onCacheLineEvent(procId, line_addr);

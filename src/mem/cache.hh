@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <functional>
 #include <utility>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "mem/cache_stats.hh"
 #include "mem/outbox.hh"
 #include "obs/tracer.hh"
@@ -155,6 +157,15 @@ class Cache
     void setTracer(obs::Tracer *t) { tracer = t; }
 
     /**
+     * Wire the fault plan (Machine; nullptr = perfect hardware). A wired
+     * plan switches the cache onto the hardened protocol: tolerant
+     * dedup of stale/duplicate replies, writeback limbo (no re-request
+     * of a line until its Writeback is acknowledged), NACK handling,
+     * and MSHR timeout retry with bounded exponential backoff.
+     */
+    void setFaultPlan(fault::FaultPlan *p) { plan = p; }
+
+    /**
      * Fault injection (tests only): silently drop the next Invalidate that
      * targets a resident line -- the InvAck is still sent, but the stale
      * Shared copy survives, which the coherence auditor must catch when
@@ -177,6 +188,20 @@ class Cache
     /** Snapshot of all valid lines (tests/invariant checks). */
     std::vector<std::pair<Addr, LineState>> validLines() const;
 
+    /** One in-flight miss, for the watchdog's diagnostic snapshot. */
+    struct MshrView
+    {
+        Addr lineAddr = invalidAddr;
+        bool exclusive = false;
+        bool replyReceived = false;
+        Tick issueTick = 0;
+        unsigned attempts = 0;
+    };
+    /** Snapshot of all busy MSHRs (diagnostics). */
+    std::vector<MshrView> pendingMshrs() const;
+    /** Writebacks awaiting WbAck (hardened protocol; diagnostics). */
+    std::size_t pendingWritebacks() const { return wbLimbo.size(); }
+
     const CacheParams &params() const { return cfg; }
 
   private:
@@ -185,6 +210,9 @@ class Cache
         Addr lineAddr = invalidAddr;
         LineState state = LineState::Invalid;
         Tick lru = 0;
+        /** Directory grant seq this copy was installed under (hardened
+         *  protocol: stamps Writeback/FlushData surrenders). */
+        std::uint32_t seq = 0;
     };
 
     struct Mshr
@@ -205,6 +233,15 @@ class Cache
         bool deferredInvalidate = false;
         bool deferredRecallExclusive = false;
         bool deferredRecallShared = false;
+        /** Stamp of the deferred recall (hardened: echoed in the
+         *  RecallStale a clean surrender answers with). */
+        std::uint32_t deferredRecallSeq = 0;
+        /** Hardened protocol (fault plan wired). @{ */
+        std::uint32_t replySeq = 0;     ///< seq of the accepted reply
+        std::uint32_t minAcceptSeq = 0; ///< replies below this are stale
+        unsigned attempts = 0;          ///< re-sends so far
+        std::uint64_t retryGen = 0;     ///< cancels superseded timers
+        /** @} */
     };
 
     Addr lineOf(Addr addr) const { return alignDown(addr, cfg.lineBytes); }
@@ -228,13 +265,25 @@ class Cache
     void evict(Line &line);
 
     void sendRequest(MsgKind kind, Addr line_addr, bool bypass_eligible,
-                     Tick delay);
+                     Tick delay, std::uint32_t seq = 0);
+
+    /** Hardened protocol: timeout-driven re-issue. @{ */
+    void armRetry(Mshr &mshr, Tick delay);
+    void retryFire(Addr line_addr, std::uint64_t gen);
+    Tick retryDelay(unsigned attempt);
+    /** @} */
 
     /** Fill settle: install line, free MSHR, run deferred coherence. */
     void settleFill(Addr line_addr);
 
     void applyInvalidate(Addr line_addr);
     void applyRecall(Addr line_addr, bool exclusive_recall);
+
+    /** Hardened protocol: record that grants below @p seq for
+     *  @p line_addr are dead to this cache. @{ */
+    void bumpGrantFloor(Addr line_addr, std::uint32_t seq);
+    std::uint32_t grantFloorOf(Addr line_addr) const;
+    /** @} */
 
     void fireCompletion(std::uint64_t cookie, Tick when);
     void notifyRetry();
@@ -249,6 +298,19 @@ class Cache
     std::vector<Mshr> mshrs;
     /** Lines removed by coherence; a later miss on one is an inv. miss. */
     std::unordered_set<Addr> invalidatedLines;
+    /** Hardened protocol: lines whose Writeback awaits a WbAck; accesses
+     *  to them block until the ack clears the limbo (this is what makes
+     *  "GetExclusive from the registered owner" unambiguous at the
+     *  directory -- a lost reply, never an eviction race). */
+    std::unordered_set<Addr> wbLimbo;
+    /** Hardened protocol: per-line minimum acceptable grant seq. An MSHR's
+     *  minAcceptSeq dies with the MSHR, but a stale grant (from a retry or
+     *  a network duplicate) can outlive it and arrive at a LATER miss on
+     *  the same line; without this floor that miss would install a copy
+     *  the directory already revoked. Bumped by every Invalidate/Recall
+     *  stamp and by evictions surrendering a grant; seeds minAcceptSeq in
+     *  launchMiss. */
+    std::unordered_map<Addr, std::uint32_t> grantFloor;
 
     /** Close the current MSHR-occupancy interval and apply @p delta busy
      *  MSHRs from now on. */
@@ -264,6 +326,8 @@ class Cache
 
     check::Checker *checker = nullptr;
     obs::Tracer *tracer = nullptr;
+    fault::FaultPlan *plan = nullptr;  ///< nullptr = legacy protocol
+    std::uint64_t retrySeq = 0;        ///< retry-timer generation counter
     bool ignoreNextInvalidate = false;  ///< fault injection, tests only
 };
 

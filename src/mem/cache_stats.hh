@@ -40,6 +40,13 @@ struct CacheStats
     std::uint64_t prefetchesIssued = 0;
     std::uint64_t prefetchesUseful = 0;  ///< later demand access merged/hit
 
+    /** Hardened protocol under fault injection (src/fault/); all zero
+     *  on perfect hardware. @{ */
+    std::uint64_t retries = 0;        ///< timeout/NACK-driven re-sends
+    std::uint64_t nacksReceived = 0;
+    std::uint64_t staleReplies = 0;   ///< duplicate/superseded, dropped
+    /** @} */
+
     /** Observed miss service times (request issue to consumer completion),
      *  capturing contention and coherence round trips on top of the
      *  18-cycle uncontended base. @{ */
@@ -117,6 +124,11 @@ struct CacheStats
                 static_cast<double>(prefetchesIssued));
         out.add(prefix + "prefetches_useful",
                 static_cast<double>(prefetchesUseful));
+        out.add(prefix + "retries", static_cast<double>(retries));
+        out.add(prefix + "nacks_received",
+                static_cast<double>(nacksReceived));
+        out.add(prefix + "stale_replies",
+                static_cast<double>(staleReplies));
         out.add(prefix + "miss_latency_sum",
                 static_cast<double>(missLatencySum));
         out.add(prefix + "miss_latency_count",

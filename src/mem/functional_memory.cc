@@ -20,6 +20,31 @@ FunctionalMemory::ensure(Addr limit)
     }
 }
 
+std::uint64_t
+FunctionalMemory::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t
+FunctionalMemory::fingerprint(Addr addr, std::size_t n) const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr a = addr + i;
+        // Unbacked bytes read as zero, matching read().
+        const std::uint8_t b = a < bytes.size() ? bytes[a] : 0;
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 void
 FunctionalMemory::read(Addr addr, void *out, std::size_t n) const
 {

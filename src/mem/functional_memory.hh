@@ -58,6 +58,19 @@ class FunctionalMemory
     /** Ensure addresses [0, limit) are backed. */
     void ensure(Addr limit);
 
+    /**
+     * FNV-1a hash over the full backed image. The chaos harness compares
+     * a faulted run's fingerprint against its fault-free twin to assert
+     * fault transparency: injected faults may change timing, never the
+     * final memory contents.
+     */
+    std::uint64_t fingerprint() const;
+
+    /** FNV-1a hash over [addr, addr + n): the range variant workloads
+     *  use to fingerprint their output region when other parts of the
+     *  image (scheduler stacks, scratch) legitimately vary with timing. */
+    std::uint64_t fingerprint(Addr addr, std::size_t n) const;
+
   private:
     // A const read of an unbacked address returns zero without growing;
     // writes grow the store. mutable is avoided by pre-growing in ensure().

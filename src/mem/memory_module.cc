@@ -109,13 +109,22 @@ MemoryModule::reserveWrite()
 
 void
 MemoryModule::sendToProc(MsgKind kind, Addr line_addr, ProcId proc,
-                         Tick when)
+                         Tick when, std::uint32_t seq)
 {
+    if (plan &&
+        (kind == MsgKind::DataReplyShared ||
+         kind == MsgKind::DataReplyExclusive) &&
+        plan->loseReply(moduleId)) {
+        // Lost reply: the directory has already committed the grant, so
+        // the requester's timeout retry finds "Exclusive, owner == self"
+        // (or a Shared presence bit) and is re-granted idempotently.
+        return;
+    }
     NetMsg msg;
     msg.src = moduleId;
     msg.dst = proc;
     msg.bytes = messageBytes(kind, cfg.lineBytes);
-    msg.payload = CoherenceMsg{kind, line_addr, proc};
+    msg.payload = CoherenceMsg{kind, line_addr, proc, seq};
     if (checker)
         checker->onProtocolMessage(msg.payload, /*to_memory=*/false);
     if (when <= queue.now()) {
@@ -130,12 +139,52 @@ MemoryModule::sendToProc(MsgKind kind, Addr line_addr, ProcId proc,
 void
 MemoryModule::handleRequest(NetMsg &&msg)
 {
+    if (plan) {
+        // Blackout: the module is down; defer (never drop) every arrival
+        // to the outage end, where it re-enters this check.
+        const Tick until = plan->blackoutUntil(moduleId, queue.now());
+        if (until > queue.now()) {
+            queue.schedule(
+                until,
+                [this, m = std::move(msg)]() mutable {
+                    handleRequest(std::move(m));
+                },
+                EventQueue::prioDeliver);
+            return;
+        }
+        // Transient stall: this arrival is processed late, once.
+        if (const Tick stall = plan->stallCycles(moduleId)) {
+            queue.scheduleIn(
+                stall,
+                [this, m = std::move(msg)]() mutable {
+                    dispatchRequest(std::move(m));
+                },
+                EventQueue::prioDeliver);
+            return;
+        }
+    }
+    dispatchRequest(std::move(msg));
+}
+
+void
+MemoryModule::dispatchRequest(NetMsg &&msg)
+{
     const CoherenceMsg cm = msg.payload;
     switch (cm.kind) {
       case MsgKind::GetShared:
       case MsgKind::GetExclusive: {
         auto it = txns.find(cm.lineAddr);
         if (it != txns.end()) {
+            if (plan && plan->config().nackThreshold > 0 &&
+                it->second.waiters.size() >=
+                    plan->config().nackThreshold) {
+                // Hardened: refuse instead of queueing ever deeper; the
+                // requester re-sends after backoff.
+                modStats.nacksSent += 1;
+                sendToProc(MsgKind::Nack, cm.lineAddr, cm.proc,
+                           queue.now());
+                return;
+            }
             modStats.queuedRequests += 1;
             it->second.waiters.push_back(Waiter{std::move(msg), queue.now()});
             return;
@@ -145,6 +194,32 @@ MemoryModule::handleRequest(NetMsg &&msg)
       }
 
       case MsgKind::Writeback: {
+        if (plan) {
+            // Hardened: validate against the registered grant; a
+            // Writeback that lost a race with a completed recall (its
+            // grant seq was superseded) is acknowledged but discarded.
+            // Every Writeback gets a WbAck so the owner's limbo clears.
+            auto it = txns.find(cm.lineAddr);
+            DirEntry &entry = dir[cm.lineAddr];
+            const bool valid = entry.state == DirState::Exclusive &&
+                               entry.owner == cm.proc &&
+                               cm.seq == entry.seq;
+            if (valid && it != txns.end() && it->second.waitingData) {
+                modStats.writebacks += 1;
+                handleDataArrival(cm.lineAddr, false);
+            } else if (valid) {
+                modStats.writebacks += 1;
+                entry.state = DirState::Uncached;
+                entry.presence = 0;
+                reserveWrite();
+                if (checker)
+                    checker->onDirectoryEvent(moduleId, cm.lineAddr);
+            } else {
+                modStats.staleMessages += 1;
+            }
+            sendToProc(MsgKind::WbAck, cm.lineAddr, cm.proc, queue.now());
+            return;
+        }
         modStats.writebacks += 1;
         auto it = txns.find(cm.lineAddr);
         if (it != txns.end()) {
@@ -166,6 +241,18 @@ MemoryModule::handleRequest(NetMsg &&msg)
       }
 
       case MsgKind::FlushData: {
+        if (plan) {
+            auto it = txns.find(cm.lineAddr);
+            if (it == txns.end() || !it->second.waitingData) {
+                // Hardened: the transaction was already completed (e.g.
+                // by a RecallStale recovery); the data is functionally
+                // current in memory anyway.
+                modStats.staleMessages += 1;
+                return;
+            }
+            handleDataArrival(cm.lineAddr, true);
+            return;
+        }
         MCSIM_ASSERT(txns.count(cm.lineAddr) &&
                          txns.at(cm.lineAddr).waitingData,
                      "flush data without a recall transaction");
@@ -174,6 +261,28 @@ MemoryModule::handleRequest(NetMsg &&msg)
       }
 
       case MsgKind::RecallStale: {
+        if (plan) {
+            // Hardened: "stale" can also mean the target's grant was lost
+            // or its Writeback already consumed -- then no data is coming
+            // and waiting would wedge the line. Memory's copy is current
+            // (functional/timing split), so complete the recall with it.
+            // A Writeback genuinely still in flight later fails the grant
+            // seq check above and is discarded. The echoed recall stamp
+            // (this transaction's grant-to-be) rejects a long-delayed
+            // RecallStale left over from an earlier recall of the same
+            // processor, which would otherwise close this transaction
+            // while its own recall -- and the copy it governs -- is
+            // still in flight.
+            auto it = txns.find(cm.lineAddr);
+            if (it != txns.end() && it->second.waitingData &&
+                it->second.owner == cm.proc &&
+                cm.seq == dir[cm.lineAddr].seq + 1) {
+                handleDataArrival(cm.lineAddr, false);
+            } else {
+                modStats.staleMessages += 1;
+            }
+            return;
+        }
         // The recall target surrendered the line before our recall reached
         // it; its Writeback (already in flight) completes the transaction
         // when it arrives, so nothing to record here.
@@ -207,6 +316,24 @@ MemoryModule::startTransaction(NetMsg &&msg)
             finish(cm.lineAddr, reserveRead(), false);
             return;
           case DirState::Exclusive:
+            if (plan && entry.owner == req) {
+                // Hardened: a duplicated/stale Get can leave this entry
+                // registered to a requester whose copy (or grant) is
+                // long gone, and that requester may legitimately fetch
+                // again. Recall the requester itself: a live Modified
+                // copy flushes and the transaction completes normally; a
+                // clean or missing copy answers RecallStale and memory's
+                // current image (functional/timing split) completes it.
+                // Either way the line converges -- discarding here would
+                // starve a genuine re-fetch forever.
+                txn.waitingData = true;
+                txn.owner = req;
+                txn.keepOwnerShared = true;
+                modStats.recallsSent += 1;
+                sendToProc(MsgKind::RecallShared, cm.lineAddr, req,
+                           queue.now(), entry.seq + 1);
+                return;
+            }
             txn.waitingData = true;
             txn.owner = entry.owner;
             if (entry.owner == req) {
@@ -217,7 +344,7 @@ MemoryModule::startTransaction(NetMsg &&msg)
                 txn.keepOwnerShared = true;
                 modStats.recallsSent += 1;
                 sendToProc(MsgKind::RecallShared, cm.lineAddr, entry.owner,
-                           queue.now());
+                           queue.now(), entry.seq + 1);
             }
             return;
         }
@@ -239,7 +366,8 @@ MemoryModule::startTransaction(NetMsg &&msg)
         unsigned sharers = 0;
         for (ProcId p = 0; p < cfg.numProcs; ++p) {
             if (entry.presence & bitOf(p)) {
-                sendToProc(MsgKind::Invalidate, cm.lineAddr, p, queue.now());
+                sendToProc(MsgKind::Invalidate, cm.lineAddr, p, queue.now(),
+                           entry.seq + 1);
                 ++sharers;
             }
         }
@@ -251,13 +379,24 @@ MemoryModule::startTransaction(NetMsg &&msg)
       }
 
       case DirState::Exclusive:
+        if (plan && entry.owner == req) {
+            // Hardened: writeback limbo makes "GetExclusive from the
+            // registered owner" unambiguous -- its grant (or a duplicate
+            // of the request) was lost in flight, never an eviction
+            // race. Re-grant idempotently with the SAME seq so a copy
+            // installed from either reply surrenders consistently.
+            txns.erase(cm.lineAddr);
+            sendToProc(MsgKind::DataReplyExclusive, cm.lineAddr, req,
+                       reserveRead(), entry.seq);
+            return;
+        }
         txn.waitingData = true;
         txn.owner = entry.owner;
         txn.keepOwnerShared = false;
         if (entry.owner != req) {
             modStats.recallsSent += 1;
             sendToProc(MsgKind::RecallExclusive, cm.lineAddr, entry.owner,
-                       queue.now());
+                       queue.now(), entry.seq + 1);
         }
         return;
     }
@@ -279,6 +418,10 @@ void
 MemoryModule::handleInvAck(Addr line_addr, ProcId from)
 {
     auto it = txns.find(line_addr);
+    if (plan && (it == txns.end() || it->second.acksLeft == 0)) {
+        modStats.staleMessages += 1;
+        return;
+    }
     MCSIM_ASSERT(it != txns.end() && it->second.acksLeft > 0,
                  "unexpected InvAck from %u", from);
     Txn &txn = it->second;
@@ -299,6 +442,7 @@ MemoryModule::finish(Addr line_addr, Tick reply_tick, bool owner_shares)
             DirEntry &entry = dir[line_addr];
             const ProcId req = txn.requester;
 
+            entry.seq += 1;  // this grant's sequence number
             if (txn.reqKind == MsgKind::GetShared) {
                 if (entry.state == DirState::Exclusive)
                     entry.presence = 0;
@@ -307,13 +451,13 @@ MemoryModule::finish(Addr line_addr, Tick reply_tick, bool owner_shares)
                 if (owner_shares)
                     entry.presence |= bitOf(txn.owner);
                 sendToProc(MsgKind::DataReplyShared, line_addr, req,
-                           queue.now());
+                           queue.now(), entry.seq);
             } else {
                 entry.state = DirState::Exclusive;
                 entry.owner = req;
                 entry.presence = bitOf(req);
                 sendToProc(MsgKind::DataReplyExclusive, line_addr, req,
-                           queue.now());
+                           queue.now(), entry.seq);
             }
             modStats.requests += 1;
             if (checker)

@@ -25,6 +25,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "fault/fault.hh"
 #include "mem/outbox.hh"
 #include "mem/protocol.hh"
 #include "obs/histogram.hh"
@@ -65,6 +66,12 @@ struct ModuleStats
     std::uint64_t queuedRequests = 0;  ///< arrived while line blocked
     std::uint64_t busyCycles = 0;      ///< DRAM occupancy
 
+    /** Hardened protocol under fault injection (src/fault/); all zero
+     *  on perfect hardware. @{ */
+    std::uint64_t nacksSent = 0;       ///< Get* refused, deep waiter queue
+    std::uint64_t staleMessages = 0;   ///< superseded/duplicate, discarded
+    /** @} */
+
     /** Distribution of module queueing delays: the DRAM-busy wait of each
      *  reservation (zero waits included) plus, per directory-blocked
      *  request, each blocked segment spent in a line's waiter queue. */
@@ -81,6 +88,9 @@ struct ModuleStats
         out.add(prefix + "queued_requests",
                 static_cast<double>(queuedRequests));
         out.add(prefix + "busy_cycles", static_cast<double>(busyCycles));
+        out.add(prefix + "nacks_sent", static_cast<double>(nacksSent));
+        out.add(prefix + "stale_messages",
+                static_cast<double>(staleMessages));
     }
 };
 
@@ -126,6 +136,16 @@ class MemoryModule
     void setTracer(obs::Tracer *t) { tracer = t; }
 
     /**
+     * Wire the fault plan (Machine; nullptr = perfect hardware). A wired
+     * plan arms this module's injection sites (blackout deferral,
+     * transient DRAM stalls, lost replies) and switches the directory
+     * onto the hardened protocol: tolerant validation of stale
+     * writebacks/acks, WbAck generation, idempotent re-grants to the
+     * registered owner, and NACKs once a line's waiter queue runs deep.
+     */
+    void setFaultPlan(fault::FaultPlan *p) { plan = p; }
+
+    /**
      * Fault injection (tests only): overwrite a directory entry so it no
      * longer reflects the caches, which the coherence auditor must catch.
      */
@@ -138,6 +158,11 @@ class MemoryModule
         DirState state = DirState::Uncached;
         std::uint64_t presence = 0;  ///< sharer bit per processor
         ProcId owner = 0;            ///< valid when Exclusive
+        /** Grant sequence number: bumped before every grant for the line;
+         *  stamps replies, revocations (seq+1 at send time) and expected
+         *  surrenders. Maintained unconditionally; only the hardened
+         *  protocol reads it (see CoherenceMsg::seq). */
+        std::uint32_t seq = 0;
     };
 
     /** A request parked behind a blocked line, with its arrival tick. */
@@ -165,11 +190,14 @@ class MemoryModule
     /** Reserve the DRAM for a (writeback) write. */
     void reserveWrite();
 
+    /** handleRequest proper, after any fault-injection deferral. */
+    void dispatchRequest(NetMsg &&msg);
     void startTransaction(NetMsg &&msg);
     void handleDataArrival(Addr line_addr, bool via_flush);
     void handleInvAck(Addr line_addr, ProcId from);
     void finish(Addr line_addr, Tick reply_tick, bool owner_shares);
-    void sendToProc(MsgKind kind, Addr line_addr, ProcId proc, Tick when);
+    void sendToProc(MsgKind kind, Addr line_addr, ProcId proc, Tick when,
+                    std::uint32_t seq = 0);
 
     EventQueue &queue;
     ModuleId moduleId;
@@ -182,6 +210,7 @@ class MemoryModule
     ModuleStats modStats;
     check::Checker *checker = nullptr;
     obs::Tracer *tracer = nullptr;
+    fault::FaultPlan *plan = nullptr;  ///< nullptr = legacy protocol
 };
 
 } // namespace mcsim::mem

@@ -18,6 +18,8 @@ msgKindName(MsgKind kind)
       case MsgKind::Invalidate: return "Invalidate";
       case MsgKind::RecallShared: return "RecallShared";
       case MsgKind::RecallExclusive: return "RecallExclusive";
+      case MsgKind::Nack: return "Nack";
+      case MsgKind::WbAck: return "WbAck";
     }
     return "<unknown>";
 }

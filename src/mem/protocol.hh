@@ -7,7 +7,8 @@
  *  - processor -> memory (request network): GetShared, GetExclusive,
  *    Writeback, InvAck, RecallStale, FlushData
  *  - memory -> processor (response network): DataReplyShared,
- *    DataReplyExclusive, Invalidate, RecallShared, RecallExclusive
+ *    DataReplyExclusive, Invalidate, RecallShared, RecallExclusive, plus
+ *    Nack and WbAck under the hardened protocol (src/fault/)
  *
  * Only timing flows through the protocol; functional data is maintained by
  * the processors against FunctionalMemory at instruction issue time (see
@@ -42,6 +43,10 @@ enum class MsgKind : std::uint8_t
     Invalidate,          ///< directory asks a sharer to drop its copy
     RecallShared,        ///< directory asks the owner to flush, keep shared
     RecallExclusive,     ///< directory asks the owner to flush + invalidate
+
+    // memory -> processor, hardened protocol only (src/fault/)
+    Nack,                ///< directory refuses a Get*; retry after backoff
+    WbAck,               ///< directory consumed a Writeback; limbo cleared
 };
 
 /** Human-readable kind name (diagnostics and tests). */
@@ -73,6 +78,16 @@ struct CoherenceMsg
     Addr lineAddr = 0;
     /** Processor involved (requester for requests, target for replies). */
     ProcId proc = 0;
+    /**
+     * Per-line grant sequence number (directory DirEntry::seq). Replies
+     * carry the seq of the grant; Invalidate/Recall carry the seq their
+     * transaction's grant will get; Writeback/FlushData carry the seq of
+     * the grant being surrendered. The directory maintains it
+     * unconditionally, but only the hardened protocol (fault injection
+     * on, src/fault/) uses it -- to recognize and discard stale or
+     * duplicate messages that reordered past their revocation.
+     */
+    std::uint32_t seq = 0;
 };
 
 /** Message envelope type used by both machine networks. */

@@ -15,6 +15,7 @@
 #ifndef MCSIM_NET_OMEGA_NETWORK_HH
 #define MCSIM_NET_OMEGA_NETWORK_HH
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -31,6 +32,20 @@ namespace mcsim::net
 {
 
 /**
+ * Perturbation applied to one message at injection time (fault
+ * injection, src/fault/). The network stays payload-agnostic: the
+ * Machine installs a filter that inspects the protocol payload and
+ * returns one of these.
+ */
+struct NetPerturbation
+{
+    bool drop = false;       ///< lose the message entirely
+    bool duplicate = false;  ///< also inject a copy after duplicateDelay
+    Tick extraDelay = 0;     ///< hold the message this long first
+    Tick duplicateDelay = 0;
+};
+
+/**
  * One direction of interconnect (the machine has two: requests and
  * responses).
  *
@@ -42,6 +57,7 @@ class OmegaNetwork
   public:
     using Message = Msg<Payload>;
     using DeliverFn = std::function<void(Message &&)>;
+    using FaultFilterFn = std::function<NetPerturbation(const Message &)>;
 
     /**
      * @param eq shared event queue
@@ -78,6 +94,11 @@ class OmegaNetwork
         tracerTrack = track;
     }
 
+    /** Install the fault-injection filter (Machine; empty = no faults).
+     *  Consulted once per inject(); dropped messages never enter the
+     *  switch fabric and are not counted in NetStats. */
+    void setFaultFilter(FaultFilterFn fn) { faultFilter = std::move(fn); }
+
     /**
      * Inject a message whose head flit is at the stage-0 switch input at
      * the current tick. Caller (the interface buffer) is responsible for
@@ -88,12 +109,41 @@ class OmegaNetwork
     {
         MCSIM_ASSERT(msg.dst < topo.width(), "bad network destination %u",
                      msg.dst);
+        if (faultFilter) {
+            const NetPerturbation p = faultFilter(msg);
+            if (p.duplicate) {
+                Message copy = msg;
+                queue.schedule(
+                    queue.now() + std::max<Tick>(p.duplicateDelay, 1),
+                    [this, m = std::move(copy)]() mutable {
+                        injectNow(std::move(m));
+                    },
+                    EventQueue::prioDeliver);
+            }
+            if (p.drop)
+                return;
+            if (p.extraDelay > 0) {
+                queue.schedule(
+                    queue.now() + p.extraDelay,
+                    [this, m = std::move(msg)]() mutable {
+                        injectNow(std::move(m));
+                    },
+                    EventQueue::prioDeliver);
+                return;
+            }
+        }
+        injectNow(std::move(msg));
+    }
+
+  private:
+    /** Injection proper, after any fault perturbation. */
+    void
+    injectNow(Message &&msg)
+    {
         netStats.messages += 1;
         netStats.flits += msg.flits();
         hop(std::move(msg), 0, msg.src, queue.now(), queue.now());
     }
-
-  private:
     /**
      * Process arrival of @p msg at stage @p stage on link @p link at tick
      * @p t; reserve the output port and advance the head.
@@ -149,6 +199,7 @@ class OmegaNetwork
     /** Per-stage, per-output-link earliest-free tick. */
     std::vector<std::vector<Tick>> portFree;
     NetStats netStats;
+    FaultFilterFn faultFilter;
     obs::Tracer *tracer = nullptr;
     obs::Track tracerTrack = obs::Track::ReqSwitch;
 };

@@ -35,6 +35,7 @@ spanKindName(SpanKind kind)
       case SpanKind::PortBusy: return "port_busy";
       case SpanKind::DramBusy: return "dram_busy";
       case SpanKind::DirQueue: return "dir_queue";
+      case SpanKind::FaultRetry: return "fault_retry";
     }
     return "<span>";
 }

@@ -58,6 +58,7 @@ enum class SpanKind : std::uint8_t
     PortBusy,     ///< switch output port occupied by a message's flits
     DramBusy,     ///< module: DRAM reservation (read or writeback)
     DirQueue,     ///< module: request queued behind a blocked line
+    FaultRetry,   ///< cache: timeout/NACK-driven re-issue (src/fault/)
 };
 
 const char *spanKindName(SpanKind kind);

@@ -311,4 +311,22 @@ PsimWorkload::verify(core::Machine &machine) const
     }
 }
 
+std::uint64_t
+PsimWorkload::resultFingerprint(core::Machine &machine) const
+{
+    const auto &memory = machine.memory();
+    std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(memory.readU64(deliveredAddr));
+    for (unsigned g = 0; g < numSwitches(); ++g)
+        for (unsigned port = 0; port < 2; ++port)
+            mix(memory.readU64(countAddr(g, port)));
+    return h;
+}
+
 } // namespace mcsim::workloads

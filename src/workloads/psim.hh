@@ -69,6 +69,14 @@ class PsimWorkload : public Workload
     void setup(core::Machine &machine) override;
     void verify(core::Machine &machine) const override;
 
+    /** Delivered-packet counter and ring count words only: Psim is a
+     *  dynamically scheduled simulation, so per-switch statistics and
+     *  per-input state records count simulated rounds (which vary with
+     *  timing) and drained ring slots keep stale compacted payloads.
+     *  The timing-invariant semantic result is that every injected
+     *  packet was delivered and every port ring drained to empty. */
+    std::uint64_t resultFingerprint(core::Machine &machine) const override;
+
   private:
     static SimTask body(cpu::Processor &proc, PsimWorkload &w,
                         unsigned pid, unsigned n_procs);

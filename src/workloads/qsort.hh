@@ -56,6 +56,16 @@ class QsortWorkload : public Workload
     void setup(core::Machine &machine) override;
     void verify(core::Machine &machine) const override;
 
+    /** The sorted array only: the work stack and partition scratch
+     *  record which processor popped which segment, which legitimately
+     *  varies with timing. */
+    std::uint64_t
+    resultFingerprint(core::Machine &machine) const override
+    {
+        return machine.memory().fingerprint(dataBase,
+                                            std::size_t(cfg.n) * 4);
+    }
+
   private:
     static SimTask body(cpu::Processor &proc, QsortWorkload &w,
                         unsigned pid, unsigned n_procs);

@@ -53,6 +53,23 @@ class Workload
      * coherence and ordering checks stay on.
      */
     virtual bool dataRaceFree() const { return true; }
+
+    /**
+     * Fingerprint of the run's semantic result in @p machine's functional
+     * memory. The chaos harness (src/exp/chaos.hh) compares a faulted
+     * run's value against its fault-free twin's to assert fault
+     * transparency. The default hashes the whole image -- right for
+     * statically scheduled workloads, whose final memory is a pure
+     * function of the program. Dynamically scheduled workloads override
+     * it to hash their output region only: WHICH processor pops which
+     * work unit (and hence scheduler stacks and scratch) legitimately
+     * varies with timing, while the output itself must not.
+     */
+    virtual std::uint64_t
+    resultFingerprint(core::Machine &machine) const
+    {
+        return machine.memory().fingerprint();
+    }
 };
 
 /** Result of one run: derived metrics plus the raw statistic set. */

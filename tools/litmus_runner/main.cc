@@ -95,6 +95,59 @@ parseArgs(int argc, char **argv)
     return opt;
 }
 
+/** One-line config error + exit 2 (the up-front validation contract). */
+[[noreturn]] void
+configError(const std::string &message)
+{
+    std::fprintf(stderr, "litmus_runner: %s\n", message.c_str());
+    std::exit(2);
+}
+
+/**
+ * Fail fast on bad configuration: model and test names and every machine
+ * configuration are checked before a single litmus run starts.
+ */
+void
+validateOptions(const Options &opt)
+{
+    if (opt.model != "all") {
+        bool known = false;
+        for (core::Model model : core::allModels)
+            known = known || opt.model == core::modelName(model);
+        if (!known) {
+            std::string names;
+            for (core::Model model : core::allModels)
+                names += std::string(names.empty() ? "" : " ") +
+                         core::modelName(model);
+            configError(strprintf("unknown model '%s' (one of: %s, all)",
+                                  opt.model.c_str(), names.c_str()));
+        }
+    }
+    if (opt.test != "all") {
+        bool known = false;
+        for (const LitmusTest &test : litmusSuite())
+            known = known || opt.test == test.name;
+        if (!known) {
+            std::string names;
+            for (const LitmusTest &test : litmusSuite())
+                names += (names.empty() ? "" : ", ") + test.name;
+            configError(strprintf("unknown litmus test '%s' (one of: "
+                                  "%s, all)",
+                                  opt.test.c_str(), names.c_str()));
+        }
+    }
+    for (core::Model model : core::allModels) {
+        if (opt.model != "all" && opt.model != core::modelName(model))
+            continue;
+        try {
+            litmusConfig(model).validate();
+        } catch (const FatalError &err) {
+            configError(strprintf("model %s: %s",
+                                  core::modelName(model), err.what()));
+        }
+    }
+}
+
 /** One machine configuration under test. */
 struct Target
 {
@@ -134,6 +187,7 @@ int
 main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
+    validateOptions(opt);
     const std::vector<Target> targets = buildTargets(opt);
 
     bool test_matched = false;

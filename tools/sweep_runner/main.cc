@@ -8,6 +8,8 @@
  *   sweep_runner [--grid NAME[,NAME...]]... [--scale quick|scaled|full]
  *                [--threads N] [--out FILE] [--csv FILE]
  *                [--check DIR] [--golden-out DIR]
+ *                [--procs N] [--cache-bytes N] [--line-bytes N]
+ *                [--faults PRESET] [--chaos]
  *                [--list] [--no-progress]
  *
  * Defaults: --grid quick, --threads hardware, --out
@@ -20,8 +22,15 @@
  * against DIR/<grid>.json under the per-metric tolerance policy
  * (src/exp/golden.hh) and prints the first divergent metric by name.
  *
+ * --faults PRESET applies a fault-injection preset (src/fault/) to every
+ * point; --chaos instead runs the chaos harness (src/exp/chaos.hh),
+ * which pairs every point with a fault-free baseline and asserts fault
+ * transparency. All configuration -- grid names, preset names, geometry
+ * overrides -- is validated before any job runs, so a typo fails in
+ * milliseconds with one actionable line instead of mid-sweep.
+ *
  * Exit status: 0 all jobs ok (and all checks clean), 1 on any failed
- * job or golden divergence, 2 on usage errors.
+ * job, golden divergence, or chaos failure, 2 on usage/config errors.
  */
 
 #include <cstdio>
@@ -32,9 +41,12 @@
 #include <thread>
 #include <vector>
 
+#include "exp/chaos.hh"
 #include "exp/golden.hh"
 #include "exp/grid.hh"
 #include "exp/sweep.hh"
+#include "fault/fault_config.hh"
+#include "mem/cache.hh"
 #include "sim/logging.hh"
 
 using namespace mcsim;
@@ -48,9 +60,15 @@ struct Options
     exp::Scale scale = exp::Scale::Scaled;
     unsigned threads = 0;
     std::string out = "results/BENCH_sweep.json";
+    bool outExplicit = false;
     std::string csv;
     std::string checkDir;
     std::string goldenOut;
+    std::string faults;
+    bool chaos = false;
+    unsigned procs = 0;
+    unsigned cacheBytes = 0;
+    unsigned lineBytes = 0;
     bool list = false;
     bool progress = true;
 };
@@ -61,25 +79,37 @@ usage(const char *argv0)
     std::string names;
     for (const std::string &name : exp::gridNames())
         names += (names.empty() ? "" : "|") + name;
+    std::string presets;
+    for (const std::string &name : fault::faultPresetNames())
+        presets += (presets.empty() ? "" : "|") + name;
     std::fprintf(
         stderr,
         "usage: %s [--grid NAME[,NAME...]]... [--scale quick|scaled|full]\n"
         "          [--threads N] [--out FILE] [--csv FILE]\n"
-        "          [--check DIR] [--golden-out DIR] [--list]\n"
-        "          [--no-progress]\n"
+        "          [--check DIR] [--golden-out DIR]\n"
+        "          [--procs N] [--cache-bytes N] [--line-bytes N]\n"
+        "          [--faults PRESET] [--chaos] [--list] [--no-progress]\n"
         "  --grid        grid(s) to run: %s, or all (default: quick)\n"
         "  --scale       problem/cache scale for the paper grids\n"
         "                (default scaled; the quick grid is always quick)\n"
         "  --threads     worker threads (default: hardware concurrency)\n"
         "  --out         results JSON path (default "
-        "results/BENCH_sweep.json;\n"
+        "results/BENCH_sweep.json,\n"
+        "                or results/BENCH_chaos.json under --chaos;\n"
         "                \"\" suppresses writing)\n"
         "  --csv         also write a flat CSV of every job\n"
         "  --check       diff each grid against DIR/<grid>.json golden\n"
         "                baselines; non-zero exit on divergence\n"
         "  --golden-out  write one per-grid golden document into DIR\n"
+        "  --procs       override processor/module count per point\n"
+        "  --cache-bytes override per-processor cache size per point\n"
+        "  --line-bytes  override cache line size per point\n"
+        "  --faults      fault-injection preset: %s\n"
+        "  --chaos       run the fault-transparency chaos harness instead\n"
+        "                of a plain sweep (preset from --faults, default\n"
+        "                standard)\n"
         "  --list        print the known grid names and exit\n",
-        argv0, names.c_str());
+        argv0, names.c_str(), presets.c_str());
 }
 
 void
@@ -125,12 +155,23 @@ parseArgs(int argc, char **argv)
             opt.threads = static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--out") {
             opt.out = next();
+            opt.outExplicit = true;
         } else if (arg == "--csv") {
             opt.csv = next();
         } else if (arg == "--check") {
             opt.checkDir = next();
         } else if (arg == "--golden-out") {
             opt.goldenOut = next();
+        } else if (arg == "--procs") {
+            opt.procs = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--cache-bytes") {
+            opt.cacheBytes = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--line-bytes") {
+            opt.lineBytes = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--faults") {
+            opt.faults = next();
+        } else if (arg == "--chaos") {
+            opt.chaos = true;
         } else if (arg == "--list") {
             opt.list = true;
         } else if (arg == "--no-progress") {
@@ -146,7 +187,97 @@ parseArgs(int argc, char **argv)
     }
     if (opt.grids.empty())
         opt.grids.push_back("quick");
+    if (opt.chaos && !opt.outExplicit)
+        opt.out = "results/BENCH_chaos.json";
     return opt;
+}
+
+/** One-line config error + exit 2 (the up-front validation contract). */
+[[noreturn]] void
+configError(const std::string &message)
+{
+    std::fprintf(stderr, "sweep_runner: %s\n", message.c_str());
+    std::exit(2);
+}
+
+/**
+ * Fail fast on bad configuration: every grid name, the fault preset, the
+ * geometry overrides, and each resulting per-point MachineConfig are
+ * checked before a single job is launched.
+ */
+std::vector<exp::Grid>
+buildGrids(const Options &opt)
+{
+    for (const std::string &name : opt.grids) {
+        bool known = false;
+        for (const std::string &g : exp::gridNames())
+            known = known || g == name;
+        if (!known)
+            configError(strprintf(
+                "unknown grid '%s' (run --list for the catalog)",
+                name.c_str()));
+    }
+    if (!opt.faults.empty() || opt.chaos) {
+        const std::string preset =
+            opt.faults.empty() ? "standard" : opt.faults;
+        bool known = false;
+        for (const std::string &p : fault::faultPresetNames())
+            known = known || p == preset;
+        if (!known) {
+            std::string presets;
+            for (const std::string &p : fault::faultPresetNames())
+                presets += (presets.empty() ? "" : "/") + p;
+            configError(strprintf("unknown fault preset '%s' (try %s)",
+                                  preset.c_str(), presets.c_str()));
+        }
+    }
+    if (opt.procs && !isPowerOf2(opt.procs))
+        configError(strprintf(
+            "--procs %u: processor count must be a power of two "
+            "(the Omega networks route by bit slices)",
+            opt.procs));
+    if (opt.lineBytes && (!isPowerOf2(opt.lineBytes) || opt.lineBytes < 8))
+        configError(strprintf(
+            "--line-bytes %u: line size must be a power of two >= 8",
+            opt.lineBytes));
+    const unsigned line = opt.lineBytes ? opt.lineBytes : 8;
+    if (opt.cacheBytes && opt.cacheBytes < line)
+        configError(strprintf(
+            "--cache-bytes %u: cache would hold zero lines of %u bytes",
+            opt.cacheBytes, line));
+
+    std::vector<exp::Grid> grids;
+    for (const std::string &name : opt.grids)
+        grids.push_back(exp::namedGrid(name, opt.scale));
+    for (exp::Grid &grid : grids) {
+        for (exp::SweepPoint &point : grid.points) {
+            if (opt.procs)
+                point.numProcs = opt.procs;
+            if (opt.cacheBytes)
+                point.cacheBytes = opt.cacheBytes;
+            if (opt.lineBytes)
+                point.lineBytes = opt.lineBytes;
+            if (!opt.faults.empty() && !opt.chaos)
+                point.faultPreset = opt.faults;
+            // Dry-build the full machine configuration so geometry that
+            // only a component constructor would reject (set counts,
+            // associativity divisibility, fault rates) fails here, named
+            // after the point, and not mid-sweep in a worker thread.
+            try {
+                const core::MachineConfig cfg = point.machineConfig();
+                cfg.validate();
+                mem::CacheParams cache;
+                cache.cacheBytes = cfg.cacheBytes;
+                cache.lineBytes = cfg.lineBytes;
+                cache.assoc = cfg.assoc;
+                cache.validate();
+            } catch (const FatalError &err) {
+                configError(strprintf("point %s: %s",
+                                      point.id().c_str(), err.what()));
+            }
+        }
+    }
+    return grids;
 }
 
 bool
@@ -161,6 +292,36 @@ writeFile(const std::string &path, const std::string &content)
     return true;
 }
 
+int
+runChaosMode(const Options &opt, const std::vector<exp::Grid> &grids)
+{
+    exp::ChaosOptions chaos_opts;
+    chaos_opts.preset = opt.faults.empty() ? "standard" : opt.faults;
+    chaos_opts.threads = opt.threads;
+    chaos_opts.progress = opt.progress;
+
+    bool all_ok = true;
+    exp::Json docs = exp::Json::array();
+    for (const exp::Grid &grid : grids) {
+        std::fprintf(stderr,
+                     "chaos grid %s: %zu point pair(s), preset %s\n",
+                     grid.name.c_str(), grid.points.size(),
+                     chaos_opts.preset.c_str());
+        const exp::ChaosReport report = exp::runChaos(grid, chaos_opts);
+        std::fputs(report.summary().c_str(), stdout);
+        all_ok = all_ok && report.ok();
+        docs.push(report.toJson());
+    }
+    if (!opt.out.empty()) {
+        exp::Json doc = exp::Json::object();
+        doc["schema"] = exp::Json("mcsim-chaos-v1");
+        doc["reports"] = std::move(docs);
+        if (!writeFile(opt.out, doc.dump() + "\n"))
+            return 1;
+    }
+    return all_ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -173,24 +334,20 @@ main(int argc, char **argv)
         return 0;
     }
 
+    const std::vector<exp::Grid> grids = buildGrids(opt);
+    if (opt.chaos)
+        return runChaosMode(opt, grids);
+
     exp::SweepOutcomes outcomes;
-    try {
-        for (const std::string &name : opt.grids) {
-            const exp::Grid grid = exp::namedGrid(name, opt.scale);
-            std::fprintf(stderr, "grid %s: %zu jobs on %u thread(s)\n",
-                         grid.name.c_str(), grid.points.size(),
-                         opt.threads
-                             ? opt.threads
-                             : std::thread::hardware_concurrency());
-            exp::SweepOptions sweep_opts;
-            sweep_opts.threads = opt.threads;
-            sweep_opts.progress = opt.progress;
-            outcomes.add(grid,
-                         exp::SweepRunner(sweep_opts).run(grid));
-        }
-    } catch (const FatalError &err) {
-        std::fprintf(stderr, "%s\n", err.what());
-        return 2;
+    for (const exp::Grid &grid : grids) {
+        std::fprintf(stderr, "grid %s: %zu jobs on %u thread(s)\n",
+                     grid.name.c_str(), grid.points.size(),
+                     opt.threads ? opt.threads
+                                 : std::thread::hardware_concurrency());
+        exp::SweepOptions sweep_opts;
+        sweep_opts.threads = opt.threads;
+        sweep_opts.progress = opt.progress;
+        outcomes.add(grid, exp::SweepRunner(sweep_opts).run(grid));
     }
 
     const exp::Json doc = outcomes.toJson();
@@ -201,12 +358,13 @@ main(int argc, char **argv)
     if (!opt.goldenOut.empty()) {
         // One self-contained document per grid, the format --check
         // consumes.
-        const exp::Json *grids = doc.find("grids");
+        const exp::Json *grid_docs = doc.find("grids");
         for (const std::string &name : outcomes.gridsRun()) {
             exp::Json gdoc = exp::Json::object();
             gdoc["schema"] = exp::Json("mcsim-sweep-v1");
             exp::Json one = exp::Json::object();
-            if (const exp::Json *g = grids ? grids->find(name) : nullptr)
+            if (const exp::Json *g =
+                    grid_docs ? grid_docs->find(name) : nullptr)
                 one[name] = *g;
             else
                 one[name] = exp::Json::array();
