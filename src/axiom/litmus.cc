@@ -254,12 +254,15 @@ litmusConfig(core::Model model)
 
 LitmusRun
 runLitmus(const LitmusTest &test, const core::MachineConfig &config,
-          std::uint64_t seed)
+          std::uint64_t seed,
+          const std::function<void(core::Machine &)> &prepare)
 {
     MCSIM_ASSERT(test.threads.size() <= config.numProcs,
                  "litmus test %s needs %zu procs, config has %u",
                  test.name.c_str(), test.threads.size(), config.numProcs);
     core::Machine machine(config);
+    if (prepare)
+        prepare(machine);
 
     // Spread the variables over distinct lines AND distinct memory
     // modules (module = line index modulo numModules).

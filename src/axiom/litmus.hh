@@ -23,11 +23,17 @@
 #define MCSIM_AXIOM_LITMUS_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "axiom/axiom_checker.hh"
 #include "core/machine_config.hh"
+
+namespace mcsim::core
+{
+class Machine;
+} // namespace mcsim::core
 
 namespace mcsim::axiom
 {
@@ -89,9 +95,12 @@ const std::vector<LitmusTest> &litmusSuite();
 core::MachineConfig litmusConfig(core::Model model);
 
 /** Run @p test once on a machine built from @p config with @p seed
- *  driving the inter-op execution padding. */
+ *  driving the inter-op execution padding. @p prepare, when non-empty,
+ *  is invoked on the freshly built machine before any workload starts
+ *  (the model checker uses it to install test-only weakenings). */
 LitmusRun runLitmus(const LitmusTest &test,
-                    const core::MachineConfig &config, std::uint64_t seed);
+                    const core::MachineConfig &config, std::uint64_t seed,
+                    const std::function<void(core::Machine &)> &prepare = {});
 
 } // namespace mcsim::axiom
 

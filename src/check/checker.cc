@@ -105,6 +105,23 @@ Checker::onProtocolMessage(const mem::CoherenceMsg &msg, bool to_memory)
                          static_cast<unsigned long long>(msg.lineAddr),
                          msg.proc, err));
     }
+    if (!to_memory && (msg.kind == mem::MsgKind::DataReplyShared ||
+                       msg.kind == mem::MsgKind::DataReplyExclusive)) {
+        // Grant-sequence monotonicity: the directory bumps a line's
+        // sequence number before every grant, so the grant stream for a
+        // line must never go backwards (equal = idempotent re-grant).
+        std::uint32_t &high = grantSeqHigh[msg.lineAddr];
+        if (msg.seq < high) {
+            report(&CheckStats::protocolViolations, "protocol",
+                   strprintf("grant sequence regression on line 0x%llx: "
+                             "%s to proc %u carries seq %u after seq %u",
+                             static_cast<unsigned long long>(msg.lineAddr),
+                             mem::msgKindName(msg.kind), msg.proc, msg.seq,
+                             high));
+        } else {
+            high = msg.seq;
+        }
+    }
 }
 
 void

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "check/check_config.hh"
@@ -117,6 +118,11 @@ class Checker
     unsigned lineBytes;
     CheckStats checkStats;
     unsigned warningsEmitted = 0;
+    /** Per-line highest grant sequence number seen on a mem->proc data
+     *  reply; grants must never go backwards (equal is legal: the
+     *  hardened protocol re-grants idempotently to the registered
+     *  owner without bumping the sequence). */
+    std::unordered_map<Addr, std::uint32_t> grantSeqHigh;
 };
 
 } // namespace mcsim::check

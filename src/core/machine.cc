@@ -159,6 +159,37 @@ Machine::Machine(const MachineConfig &config) : cfg(config)
         for (auto &m : modules)
             m->setFaultPlan(planPtr.get());
     }
+
+    if (cfg.choiceScheduler) {
+        // Model checking (src/mc/): both networks switch to logical
+        // scheduler-driven delivery; directory waiter service and retry
+        // backoff become explicit choice points. The label maps each
+        // message to the line address the DPOR dependence relation
+        // reasons about.
+        ChoiceScheduler *mc = cfg.choiceScheduler;
+        auto label = [](const mem::NetMsg &m) {
+            return ChoiceOption{m.payload.lineAddr, 0};
+        };
+        auto probe = [this, mc](bool request_net) {
+            return [this, mc, request_net](const mem::NetMsg &m) {
+                DeliveryRecord rec;
+                rec.tick = queue.now();
+                rec.requestNet = request_net;
+                rec.src = m.src;
+                rec.dst = m.dst;
+                rec.lineAddr = m.payload.lineAddr;
+                rec.kind = static_cast<std::uint8_t>(m.payload.kind);
+                rec.seq = m.payload.seq;
+                mc->onDelivery(rec);
+            };
+        };
+        reqNet->setChoiceScheduler(mc, label, probe(true));
+        respNet->setChoiceScheduler(mc, label, probe(false));
+        for (auto &m : modules)
+            m->setChoiceScheduler(mc);
+        for (auto &c : caches)
+            c->setChoiceScheduler(mc);
+    }
 }
 
 void

@@ -14,6 +14,7 @@
 #include "core/consistency.hh"
 #include "fault/fault_config.hh"
 #include "obs/obs_config.hh"
+#include "sim/choice.hh"
 #include "sim/types.hh"
 
 namespace mcsim::core
@@ -83,6 +84,12 @@ struct MachineConfig
      *  for `model` -- the hook the ablation benches use to toggle single
      *  hardware features (MSHR count, bypassing, the SC store buffer). */
     std::optional<ModelParams> modelOverride;
+
+    /** Model checking (src/mc/): non-owning; when set, the Machine
+     *  switches both networks to logical scheduler-driven delivery and
+     *  exposes directory waiter order and retry backoff as choice
+     *  points (see sim/choice.hh). Null for every normal timed run. */
+    ChoiceScheduler *choiceScheduler = nullptr;
 
     /** fatal() on inconsistent settings. */
     void validate() const;

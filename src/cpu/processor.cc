@@ -13,6 +13,9 @@ namespace mcsim::cpu
 bool
 Processor::traceEnabled()
 {
+    // The simulator is single-threaded and nothing calls setenv; the
+    // one-time read into a function-local static is benign.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     static const bool enabled = std::getenv("MCSIM_TRACE") != nullptr;
     return enabled;
 }

@@ -1,0 +1,308 @@
+#include "mc/explorer.hh"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "core/machine.hh"
+#include "mem/protocol.hh"
+#include "sim/logging.hh"
+
+namespace mcsim::mc
+{
+
+const axiom::LitmusTest *
+findLitmus(const std::string &name)
+{
+    for (const axiom::LitmusTest &t : axiom::litmusSuite()) {
+        if (t.name == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+core::MachineConfig
+mcConfig(const McOptions &opt, const axiom::LitmusTest &test)
+{
+    core::MachineConfig cfg = axiom::litmusConfig(opt.model);
+    // The smallest machine that runs the program: fewer ports means
+    // fewer concurrently pending (src, dst) pools, which is what the
+    // choice tree branches over.
+    cfg.numProcs = static_cast<unsigned>(test.threads.size());
+    cfg.numModules = 2;
+    // Logical delivery moves one message per tick and litmus programs
+    // are a few dozen messages; clamp the runaway guard down hard so a
+    // livelocking schedule aborts (and is reported) quickly.
+    cfg.maxCycles = 100000;
+    if (opt.weaken) {
+        // The runtime ordering linter would fatal on the very first
+        // schedule (sync issued with references outstanding), before
+        // the search ever branches. Demote it: the point of --weaken is
+        // that the *explorer* finds a schedule on which the missing
+        // sync ordering is observable -- as an axiom rejection or a
+        // forbidden outcome -- and shrinks it to a replayable witness.
+        cfg.check.ordering = false;
+    }
+    return cfg;
+}
+
+RunOutcome
+runUnder(const McOptions &opt, ChoiceScheduler &sched)
+{
+    const axiom::LitmusTest *test = findLitmus(opt.litmus);
+    MCSIM_ASSERT(test != nullptr, "unknown litmus test %s",
+                 opt.litmus.c_str());
+    core::MachineConfig cfg = mcConfig(opt, *test);
+    cfg.choiceScheduler = &sched;
+
+    std::function<void(core::Machine &)> prepare;
+    if (opt.weaken) {
+        prepare = [](core::Machine &machine) {
+            for (unsigned p = 0; p < machine.numProcs(); ++p)
+                machine.proc(p).injectDisableSyncOrderingForTest();
+        };
+    }
+
+    RunOutcome out;
+    try {
+        out.run = axiom::runLitmus(*test, cfg, opt.seed, prepare);
+    } catch (const FatalError &err) {
+        // Invariant checker (CheckMode::Fatal), deadlock, watchdog, or
+        // the maxCycles guard.
+        out.violated = true;
+        out.kind = "fatal";
+        out.message = err.what();
+        return out;
+    }
+    if (!out.run.axiom.ok) {
+        out.violated = true;
+        out.kind = "axiom";
+        out.message = out.run.axiom.message;
+        return out;
+    }
+    const core::ModelParams params = cfg.modelParams();
+    if (test->allowed != nullptr &&
+        !test->allowed(params, out.run.hwReads)) {
+        out.violated = true;
+        out.kind = "forbidden-outcome";
+        out.message = strprintf(
+            "hardware outcome (%s) of %s is forbidden under %s",
+            axiom::outcomeString(out.run.hwReads).c_str(),
+            test->name.c_str(), core::modelName(opt.model));
+        return out;
+    }
+    if (test->allowed != nullptr &&
+        !test->allowed(params, out.run.funcReads)) {
+        out.violated = true;
+        out.kind = "forbidden-outcome";
+        out.message = strprintf(
+            "functional outcome (%s) of %s is forbidden under %s",
+            axiom::outcomeString(out.run.funcReads).c_str(),
+            test->name.c_str(), core::modelName(opt.model));
+        return out;
+    }
+    return out;
+}
+
+std::string
+renderTimeline(const std::vector<DeliveryRecord> &timeline)
+{
+    std::string s;
+    for (const DeliveryRecord &d : timeline) {
+        s += strprintf(
+            "  [t=%llu] %s %c%u -> %c%u  %-18s line 0x%llx seq %u\n",
+            static_cast<unsigned long long>(d.tick),
+            d.requestNet ? "req " : "resp", d.requestNet ? 'P' : 'M',
+            d.src, d.requestNet ? 'M' : 'P', d.dst,
+            mem::msgKindName(static_cast<mem::MsgKind>(d.kind)),
+            static_cast<unsigned long long>(d.lineAddr), d.seq);
+    }
+    return s;
+}
+
+namespace
+{
+
+/** One node of the DFS path (a choice point of the current run). */
+struct NodeState
+{
+    ChoiceKind kind = ChoiceKind::NetDeliver;
+    unsigned chosen = 0;
+    unsigned executedCount = 1;  ///< branches taken at this node so far
+    std::vector<ChoiceOption> options;
+    /** Sleep set: on arrival, plus (DPOR) every executed move. */
+    std::vector<ChoiceOption> sleep;
+    std::vector<bool> explored;  ///< naive-enumeration bookkeeping
+};
+
+/** Shrink a violating choice vector to a locally minimal one and
+ *  render the replayable counterexample. */
+McViolation
+minimizeAndRender(const McOptions &opt, McStats &stats,
+                  std::vector<unsigned> vec)
+{
+    auto violates = [&](const std::vector<unsigned> &v) {
+        ReplayScheduler replay(v);
+        stats.minimizationRuns += 1;
+        return runUnder(opt, replay).violated;
+    };
+    auto trim = [](std::vector<unsigned> &v) {
+        while (!v.empty() && v.back() == 0)
+            v.pop_back();
+    };
+
+    // Replay picks index 0 past the vector's end, so a trailing zero
+    // is dead weight by construction.
+    trim(vec);
+    // Shortest violating prefix (everything after it replays as 0).
+    for (std::size_t len = 0; len < vec.size(); ++len) {
+        std::vector<unsigned> t(vec.begin(),
+                                vec.begin() + static_cast<long>(len));
+        if (violates(t)) {
+            vec = std::move(t);
+            break;
+        }
+    }
+    // Greedy per-entry zeroing of what is left.
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+        if (vec[i] == 0)
+            continue;
+        const unsigned saved = vec[i];
+        vec[i] = 0;
+        if (!violates(vec))
+            vec[i] = saved;
+    }
+    trim(vec);
+
+    // Final authoritative replay of the minimal vector.
+    ReplayScheduler replay(vec);
+    RunOutcome out = runUnder(opt, replay);
+    stats.minimizationRuns += 1;
+    MCSIM_ASSERT(out.violated,
+                 "minimized vector no longer violates: replay is "
+                 "nondeterministic");
+
+    McViolation v;
+    v.kind = out.kind;
+    v.message = out.message;
+    v.vector = vec;
+    v.report = strprintf(
+        "counterexample (%s, %s on %s):\n  %s\nreplay vector: %s\n"
+        "message timeline:\n%s",
+        v.kind.c_str(), opt.litmus.c_str(), core::modelName(opt.model),
+        v.message.c_str(), formatVector(vec).c_str(),
+        renderTimeline(replay.timeline()).c_str());
+    return v;
+}
+
+} // namespace
+
+McResult
+explore(const McOptions &opt)
+{
+    MCSIM_ASSERT(findLitmus(opt.litmus) != nullptr,
+                 "unknown litmus test %s", opt.litmus.c_str());
+    McResult res;
+    std::vector<NodeState> path;
+
+    while (true) {
+        if (res.stats.schedulesRun >= opt.maxSchedules) {
+            res.stats.budgetExhausted = true;
+            break;
+        }
+
+        std::vector<PrefixNode> prefix;
+        prefix.reserve(path.size());
+        for (const NodeState &node : path)
+            prefix.push_back(PrefixNode{node.chosen, node.sleep});
+        VectorScheduler sched(std::move(prefix), opt.dpor);
+
+        const RunOutcome out = runUnder(opt, sched);
+        res.stats.schedulesRun += 1;
+        const std::vector<ChoiceRecord> &recs = sched.records();
+        res.stats.choicePoints += recs.size();
+        res.stats.maxDepthSeen =
+            std::max<std::uint64_t>(res.stats.maxDepthSeen, recs.size());
+        if (sched.sleepBlocked())
+            res.stats.sleepBlockedRuns += 1;
+
+        if (out.violated) {
+            std::vector<unsigned> vec;
+            vec.reserve(recs.size());
+            for (const ChoiceRecord &r : recs)
+                vec.push_back(r.chosen);
+            res.violation = minimizeAndRender(opt, res.stats,
+                                              std::move(vec));
+            return res;
+        }
+
+        // Extend the search path with the fresh choice points this run
+        // discovered beyond the forced prefix.
+        for (std::size_t i = path.size(); i < recs.size(); ++i) {
+            NodeState node;
+            node.kind = recs[i].kind;
+            node.chosen = recs[i].chosen;
+            node.options = recs[i].options;
+            node.sleep = recs[i].sleep;
+            if (node.options.size() > 1)
+                res.stats.branchPoints += 1;
+            path.push_back(std::move(node));
+        }
+
+        // Backtrack: deepest node with an unexplored (and, under DPOR,
+        // non-sleeping) alternative becomes the next branch.
+        bool advanced = false;
+        while (!path.empty()) {
+            NodeState &node = path.back();
+            const unsigned n = static_cast<unsigned>(node.options.size());
+            if (path.size() > opt.maxDepth) {
+                if (n > 1)
+                    res.stats.depthClipped = true;
+                path.pop_back();
+                continue;
+            }
+            unsigned next = n;
+            if (opt.dpor) {
+                if (!sleepContains(node.sleep,
+                                   node.options[node.chosen]))
+                    node.sleep.push_back(node.options[node.chosen]);
+                for (unsigned j = 0; j < n; ++j) {
+                    if (!sleepContains(node.sleep, node.options[j])) {
+                        next = j;
+                        break;
+                    }
+                }
+            } else {
+                if (node.explored.empty())
+                    node.explored.assign(n, false);
+                node.explored[node.chosen] = true;
+                for (unsigned j = 0; j < n; ++j) {
+                    if (!node.explored[j]) {
+                        next = j;
+                        break;
+                    }
+                }
+            }
+            if (next < n) {
+                node.chosen = next;
+                node.executedCount += 1;
+                advanced = true;
+                break;
+            }
+            if (opt.dpor && n > node.executedCount) {
+                // Alternatives this node never had to execute: the
+                // sleep-set reduction's measurable savings.
+                res.stats.sleepPruned += n - node.executedCount;
+            }
+            path.pop_back();
+        }
+        if (!advanced) {
+            res.complete =
+                !res.stats.depthClipped && !res.stats.budgetExhausted;
+            break;
+        }
+    }
+    return res;
+}
+
+} // namespace mcsim::mc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Stateless model checker over the real Machine (DESIGN.md section 12).
+ *
+ * The explorer drives litmus programs through every reachable
+ * interleaving of the simulator's nondeterministic choice points
+ * (sim/choice.hh: network delivery order, directory waiter service
+ * order, retry backoff) by depth-first search over the choice tree:
+ * each iteration re-runs the machine from scratch under a
+ * VectorScheduler that forces the path to the current branch node and
+ * records everything beyond it. Sleep-set partial-order reduction
+ * (Godefroid) prunes interleavings that only commute independent moves;
+ * `dpor = false` gives the unreduced enumeration the reduction is
+ * validated against.
+ *
+ * Every run is checked three ways: the machine's own invariant checkers
+ * (src/check/, CheckMode::Fatal) plus deadlock/watchdog aborts surface
+ * as FatalError; the recorded trace must satisfy the model's axiomatic
+ * ordering rules (src/axiom/); and the litmus outcome must be in the
+ * model's allowed set, at both the hardware and functional level. A
+ * violating schedule is minimized (greedy zeroing + shortest-prefix
+ * truncation -- locally minimal) and rendered as a replayable choice
+ * vector plus a message timeline.
+ */
+
+#ifndef MCSIM_MC_EXPLORER_HH
+#define MCSIM_MC_EXPLORER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "axiom/litmus.hh"
+#include "core/consistency.hh"
+#include "core/machine_config.hh"
+#include "mc/schedule.hh"
+
+namespace mcsim::mc
+{
+
+/** One verification job: a model, a litmus test, and search bounds. */
+struct McOptions
+{
+    core::Model model = core::Model::SC1;
+    std::string litmus = "SB";
+    /** Branch horizon: choice points at index >= maxDepth are followed
+     *  but never branched. Large enough by default that small litmus
+     *  configs explore exhaustively. */
+    unsigned maxDepth = 100000;
+    bool dpor = true;
+    /** Schedule budget; the search reports incomplete when it hits it. */
+    std::uint64_t maxSchedules = 200000;
+    /** Workload execution-padding seed (fixed timing skeleton). */
+    std::uint64_t seed = 1;
+    /** Disable the processors' sync-ordering hardware (test hook):
+     *  the checkers must then find a violation. */
+    bool weaken = false;
+};
+
+/** Search counters (CI logs these; tests assert on them). */
+struct McStats
+{
+    std::uint64_t schedulesRun = 0;      ///< full machine runs (search)
+    std::uint64_t minimizationRuns = 0;  ///< replays spent shrinking
+    std::uint64_t choicePoints = 0;      ///< records across all runs
+    std::uint64_t branchPoints = 0;      ///< nodes with >1 option seen
+    std::uint64_t sleepPruned = 0;       ///< alternatives pruned asleep
+    std::uint64_t sleepBlockedRuns = 0;  ///< redundant runs (see schedule.hh)
+    std::uint64_t maxDepthSeen = 0;      ///< longest run, in choice points
+    bool depthClipped = false;           ///< branching hit maxDepth
+    bool budgetExhausted = false;        ///< stopped at maxSchedules
+};
+
+/** A minimized, replayable counterexample. */
+struct McViolation
+{
+    std::string kind;     ///< "fatal" | "axiom" | "forbidden-outcome"
+    std::string message;
+    std::vector<unsigned> vector;  ///< minimal choice vector
+    std::string report;   ///< rendered vector + message timeline
+};
+
+/** Outcome of the whole search. */
+struct McResult
+{
+    McStats stats;
+    /** Whole choice tree explored within depth and budget. */
+    bool complete = false;
+    std::optional<McViolation> violation;
+};
+
+/** Outcome of one run under an arbitrary scheduler (replay, tests). */
+struct RunOutcome
+{
+    bool violated = false;
+    std::string kind;
+    std::string message;
+    axiom::LitmusRun run;
+};
+
+/** Look up a litmus test by name; nullptr when unknown. */
+const axiom::LitmusTest *findLitmus(const std::string &name);
+
+/** The small machine configuration the checker verifies: exactly the
+ *  test's thread count in processors, two memory modules. */
+core::MachineConfig mcConfig(const McOptions &opt,
+                             const axiom::LitmusTest &test);
+
+/** Run @p opt's litmus program once under @p sched and check it. */
+RunOutcome runUnder(const McOptions &opt, ChoiceScheduler &sched);
+
+/** Human-readable message timeline ("[t=12] req P0->M1 GetShared ..."). */
+std::string renderTimeline(const std::vector<DeliveryRecord> &timeline);
+
+/** Exhaustive search (see file header). */
+McResult explore(const McOptions &opt);
+
+} // namespace mcsim::mc
+
+#endif // MCSIM_MC_EXPLORER_HH

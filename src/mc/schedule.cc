@@ -1,0 +1,153 @@
+#include "mc/schedule.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mcsim::mc
+{
+
+bool
+sleepContains(const std::vector<ChoiceOption> &moves,
+              const ChoiceOption &move)
+{
+    return std::find(moves.begin(), moves.end(), move) != moves.end();
+}
+
+std::string
+formatVector(const std::vector<unsigned> &vec)
+{
+    if (vec.empty())
+        return "-";
+    std::string s;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+        if (i > 0)
+            s += ".";
+        s += strprintf("%u", vec[i]);
+    }
+    return s;
+}
+
+bool
+parseVector(const std::string &text, std::vector<unsigned> &out)
+{
+    out.clear();
+    if (text.empty() || text == "-")
+        return true;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t dot = text.find('.', pos);
+        if (dot == std::string::npos)
+            dot = text.size();
+        if (dot == pos)
+            return false;  // empty component ("1..2", leading/trailing dot)
+        unsigned value = 0;
+        for (std::size_t i = pos; i < dot; ++i) {
+            const char c = text[i];
+            if (c < '0' || c > '9')
+                return false;
+            value = value * 10 + static_cast<unsigned>(c - '0');
+        }
+        out.push_back(value);
+        pos = dot + 1;
+        if (dot == text.size())
+            break;
+    }
+    return true;
+}
+
+VectorScheduler::VectorScheduler(std::vector<PrefixNode> pfx,
+                                 bool use_sleep)
+    : prefix(std::move(pfx)), useSleep(use_sleep)
+{}
+
+unsigned
+VectorScheduler::choose(ChoiceKind kind, const ChoiceOption *options,
+                        unsigned n)
+{
+    MCSIM_ASSERT(n >= 1, "choice point with no options");
+    const std::size_t idx = recs.size();
+
+    ChoiceRecord rec;
+    rec.kind = kind;
+    rec.options.assign(options, options + n);
+
+    unsigned pick = 0;
+    if (idx < prefix.size()) {
+        // Forced part of the path: impose the branch node's accumulated
+        // sleep set and take the decision the explorer scheduled.
+        rec.sleep = prefix[idx].sleep;
+        pick = prefix[idx].chosen;
+        MCSIM_ASSERT(pick < n,
+                     "scheduled choice %u of %u at node %zu: the run "
+                     "diverged from its recording",
+                     pick, n, idx);
+    } else {
+        // Fresh territory: inherit the propagated sleep set and take
+        // the first move not sleeping there.
+        rec.sleep = sleepNow;
+        if (useSleep) {
+            unsigned j = 0;
+            while (j < n && sleepContains(rec.sleep, options[j]))
+                ++j;
+            if (j == n) {
+                // Every enabled move sleeps: this execution only
+                // re-derives an explored trace. We cannot abort a
+                // coroutine-driven machine mid-run, so finish it (the
+                // result is valid, just redundant) and let the
+                // explorer count it.
+                blocked = true;
+                j = 0;
+            }
+            pick = j;
+        }
+    }
+
+    rec.chosen = pick;
+    // Child sleep set: sleeping moves that commute with the chosen one
+    // stay asleep (Godefroid's sleep-set rule).
+    sleepNow.clear();
+    for (const ChoiceOption &m : rec.sleep) {
+        if (independent(m, options[pick]))
+            sleepNow.push_back(m);
+    }
+    recs.push_back(std::move(rec));
+    return pick;
+}
+
+void
+VectorScheduler::onDelivery(const DeliveryRecord &record)
+{
+    deliveries.push_back(record);
+}
+
+ReplayScheduler::ReplayScheduler(std::vector<unsigned> v)
+    : vec(std::move(v))
+{}
+
+unsigned
+ReplayScheduler::choose(ChoiceKind kind, const ChoiceOption *options,
+                        unsigned n)
+{
+    (void)kind;
+    (void)options;
+    MCSIM_ASSERT(n >= 1, "choice point with no options");
+    const std::size_t idx = picks.size();
+    unsigned pick = idx < vec.size() ? vec[idx] : 0;
+    if (pick >= n) {
+        diverged += 1;
+        pick = 0;
+    }
+    picks.push_back(pick);
+    return pick;
+}
+
+void
+ReplayScheduler::onDelivery(const DeliveryRecord &record)
+{
+    deliveries.push_back(record);
+}
+
+} // namespace mcsim::mc

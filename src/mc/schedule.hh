@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Choice-vector recording and replay for the model checker
+ * (DESIGN.md section 12).
+ *
+ * A run of the machine under a ChoiceScheduler is a deterministic
+ * function of the sequence of indices the scheduler returns -- the
+ * *choice vector*. Two schedulers live here:
+ *
+ *  - VectorScheduler drives the explorer's depth-first search: it
+ *    replays a prefix of forced decisions (the path to the current
+ *    branch node), picks the first non-sleeping alternative beyond it,
+ *    and records every choice point it passes (options, pick, and the
+ *    sleep set on arrival) so the explorer can extend its search path.
+ *  - ReplayScheduler plays back a bare choice vector ("2.0.1"),
+ *    picking index 0 past its end. It is what `mc_runner --replay`
+ *    and counterexample minimization use: feeding the same vector
+ *    twice must reproduce the identical run.
+ */
+
+#ifndef MCSIM_MC_SCHEDULE_HH
+#define MCSIM_MC_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/choice.hh"
+
+namespace mcsim::mc
+{
+
+/**
+ * The independence relation the sleep-set reduction is built on: moves
+ * touching distinct protocol objects (cache lines) commute. Moves on
+ * the same line are conservatively dependent. `--dpor off` gives the
+ * unreduced ground truth this abstraction is cross-checked against.
+ */
+inline bool
+independent(const ChoiceOption &a, const ChoiceOption &b)
+{
+    return a.object != b.object;
+}
+
+/** True when @p moves contains @p move (full identity: object + aux). */
+bool sleepContains(const std::vector<ChoiceOption> &moves,
+                   const ChoiceOption &move);
+
+/** One resolved choice point of a recorded run. */
+struct ChoiceRecord
+{
+    ChoiceKind kind = ChoiceKind::NetDeliver;
+    unsigned chosen = 0;
+    std::vector<ChoiceOption> options;
+    /** Sleep set on arrival at this node (DPOR bookkeeping). */
+    std::vector<ChoiceOption> sleep;
+};
+
+/** "2.0.1" -- dotted decimal encoding of a choice vector. */
+std::string formatVector(const std::vector<unsigned> &vec);
+
+/** Parse the dotted form; false on malformed input. Empty string and
+ *  the spelling "-" both decode to the empty (all-zeros) vector. */
+bool parseVector(const std::string &text, std::vector<unsigned> &out);
+
+/** Forced decision for one prefix node of a VectorScheduler run. */
+struct PrefixNode
+{
+    unsigned chosen = 0;
+    /** Sleep set to impose on arrival (includes the alternatives
+     *  already explored at the branch node). */
+    std::vector<ChoiceOption> sleep;
+};
+
+/** The explorer's recording scheduler (see file header). */
+class VectorScheduler : public ChoiceScheduler
+{
+  public:
+    /** @param prefix forced decisions for the first nodes
+     *  @param use_sleep apply sleep-set pruning beyond the prefix
+     *  (false = naive enumeration: always pick index 0 there) */
+    explicit VectorScheduler(std::vector<PrefixNode> prefix,
+                             bool use_sleep);
+
+    unsigned choose(ChoiceKind kind, const ChoiceOption *options,
+                    unsigned n) override;
+    void onDelivery(const DeliveryRecord &record) override;
+
+    const std::vector<ChoiceRecord> &records() const { return recs; }
+    const std::vector<DeliveryRecord> &timeline() const
+    {
+        return deliveries;
+    }
+    /** A node past the prefix had every option sleeping (the run is
+     *  redundant with an already-explored Mazurkiewicz trace). */
+    bool sleepBlocked() const { return blocked; }
+
+  private:
+    std::vector<PrefixNode> prefix;
+    bool useSleep;
+    /** Sleep set propagated to the next fresh node. */
+    std::vector<ChoiceOption> sleepNow;
+    std::vector<ChoiceRecord> recs;
+    std::vector<DeliveryRecord> deliveries;
+    bool blocked = false;
+};
+
+/** Bare choice-vector playback (see file header). */
+class ReplayScheduler : public ChoiceScheduler
+{
+  public:
+    explicit ReplayScheduler(std::vector<unsigned> vec);
+
+    unsigned choose(ChoiceKind kind, const ChoiceOption *options,
+                    unsigned n) override;
+    void onDelivery(const DeliveryRecord &record) override;
+
+    const std::vector<DeliveryRecord> &timeline() const
+    {
+        return deliveries;
+    }
+    /** Indices actually executed (vector entries clamped into range). */
+    const std::vector<unsigned> &executed() const { return picks; }
+    /** Vector entries that were out of range for their node and fell
+     *  back to index 0 (a vector recorded on a different config). */
+    std::uint64_t divergences() const { return diverged; }
+
+  private:
+    std::vector<unsigned> vec;
+    std::vector<unsigned> picks;
+    std::vector<DeliveryRecord> deliveries;
+    std::uint64_t diverged = 0;
+};
+
+} // namespace mcsim::mc
+
+#endif // MCSIM_MC_SCHEDULE_HH

@@ -277,7 +277,7 @@ Cache::launchMiss(Line &way_line, std::uint32_t set, Addr line_addr,
     sendRequest(exclusive ? MsgKind::GetExclusive : MsgKind::GetShared,
                 line_addr, bypass_eligible, cfg.missHandleCycles);
     if (plan && plan->config().retryTimeoutCycles > 0)
-        armRetry(*mshr, cfg.missHandleCycles + retryDelay(0));
+        armRetry(*mshr, cfg.missHandleCycles + retryDelay(line_addr, 0));
 }
 
 AccessOutcome
@@ -430,12 +430,23 @@ Cache::notifyRetry()
 }
 
 Tick
-Cache::retryDelay(unsigned attempt)
+Cache::retryDelay(Addr line_addr, unsigned attempt)
 {
     // First re-issue waits the plain timeout; later ones add bounded
     // exponential backoff with seed-derived jitter so colliding
     // retries decohere instead of hammering the directory in lockstep.
     const Tick timeout = plan->config().retryTimeoutCycles;
+    if (chooser) {
+        // RetryDelay choice point: under model checking the stretch is
+        // scheduler-chosen instead of seed-jittered, so prompt and
+        // delayed re-issue orders are both explored.
+        const ChoiceOption options[2] = {ChoiceOption{line_addr, 0},
+                                         ChoiceOption{line_addr, 1}};
+        const unsigned pick =
+            chooser->choose(ChoiceKind::RetryDelay, options, 2);
+        MCSIM_ASSERT(pick < 2, "retry delay choice %u", pick);
+        return timeout * (1 + pick);
+    }
     return attempt == 0
                ? timeout
                : timeout + plan->backoffCycles(procId, attempt);
@@ -470,7 +481,7 @@ Cache::retryFire(Addr line_addr, std::uint64_t gen)
     sendRequest(mshr->exclusive ? MsgKind::GetExclusive
                                 : MsgKind::GetShared,
                 line_addr, false, 0);
-    armRetry(*mshr, retryDelay(mshr->attempts));
+    armRetry(*mshr, retryDelay(line_addr, mshr->attempts));
 }
 
 void

@@ -28,6 +28,7 @@
 #include "mem/outbox.hh"
 #include "obs/tracer.hh"
 #include "mem/protocol.hh"
+#include "sim/choice.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -165,6 +166,12 @@ class Cache
      */
     void setFaultPlan(fault::FaultPlan *p) { plan = p; }
 
+    /** Wire the model checker's choice scheduler (Machine; nullptr =
+     *  seeded-jitter backoff). With a scheduler installed, the stretch
+     *  of each hardened-protocol retry backoff becomes an explicit
+     *  choice point (ChoiceKind::RetryDelay). */
+    void setChoiceScheduler(ChoiceScheduler *s) { chooser = s; }
+
     /**
      * Fault injection (tests only): silently drop the next Invalidate that
      * targets a resident line -- the InvAck is still sent, but the stale
@@ -270,7 +277,7 @@ class Cache
     /** Hardened protocol: timeout-driven re-issue. @{ */
     void armRetry(Mshr &mshr, Tick delay);
     void retryFire(Addr line_addr, std::uint64_t gen);
-    Tick retryDelay(unsigned attempt);
+    Tick retryDelay(Addr line_addr, unsigned attempt);
     /** @} */
 
     /** Fill settle: install line, free MSHR, run deferred coherence. */
@@ -327,6 +334,7 @@ class Cache
     check::Checker *checker = nullptr;
     obs::Tracer *tracer = nullptr;
     fault::FaultPlan *plan = nullptr;  ///< nullptr = legacy protocol
+    ChoiceScheduler *chooser = nullptr;  ///< nullptr = seeded backoff
     std::uint64_t retrySeq = 0;        ///< retry-timer generation counter
     bool ignoreNextInvalidate = false;  ///< fault injection, tests only
 };

@@ -1,5 +1,6 @@
 #include "mem/memory_module.hh"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 #include <vector>
@@ -465,6 +466,27 @@ MemoryModule::finish(Addr line_addr, Tick reply_tick, bool owner_shares)
 
             std::deque<Waiter> waiters = std::move(txn.waiters);
             txns.erase(line_addr);
+            if (chooser && !waiters.empty()) {
+                // DirService choice point: which parked waiter the
+                // reopened line services first. The runners-up re-park
+                // behind the new transaction, where the next reopening
+                // chooses again, so one pick here reaches every order.
+                std::vector<ChoiceOption> options;
+                options.reserve(waiters.size());
+                for (const Waiter &w : waiters)
+                    options.push_back(
+                        ChoiceOption{line_addr, w.msg.payload.proc});
+                const unsigned pick = chooser->choose(
+                    ChoiceKind::DirService, options.data(),
+                    static_cast<unsigned>(options.size()));
+                MCSIM_ASSERT(pick < waiters.size(),
+                             "dir service choice %u of %zu", pick,
+                             waiters.size());
+                if (pick > 0) {
+                    std::rotate(waiters.begin(), waiters.begin() + pick,
+                                waiters.begin() + pick + 1);
+                }
+            }
             for (auto &w : waiters) {
                 // Per-segment delay: a request re-queued behind the next
                 // transaction for the line records each segment separately.

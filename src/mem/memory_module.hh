@@ -27,6 +27,7 @@
 
 #include "fault/fault.hh"
 #include "mem/outbox.hh"
+#include "sim/choice.hh"
 #include "mem/protocol.hh"
 #include "obs/histogram.hh"
 #include "obs/tracer.hh"
@@ -145,6 +146,12 @@ class MemoryModule
      */
     void setFaultPlan(fault::FaultPlan *p) { plan = p; }
 
+    /** Wire the model checker's choice scheduler (Machine; nullptr =
+     *  deterministic arrival-order waiter service). With a scheduler
+     *  installed, the scheduler picks which parked waiter a reopened
+     *  line services first (ChoiceKind::DirService). */
+    void setChoiceScheduler(ChoiceScheduler *s) { chooser = s; }
+
     /**
      * Fault injection (tests only): overwrite a directory entry so it no
      * longer reflects the caches, which the coherence auditor must catch.
@@ -211,6 +218,7 @@ class MemoryModule
     check::Checker *checker = nullptr;
     obs::Tracer *tracer = nullptr;
     fault::FaultPlan *plan = nullptr;  ///< nullptr = legacy protocol
+    ChoiceScheduler *chooser = nullptr;  ///< nullptr = arrival order
 };
 
 } // namespace mcsim::mem

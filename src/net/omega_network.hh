@@ -16,7 +16,9 @@
 #define MCSIM_NET_OMEGA_NETWORK_HH
 
 #include <algorithm>
+#include <deque>
 #include <functional>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "net/net_stats.hh"
 #include "net/topology.hh"
 #include "obs/tracer.hh"
+#include "sim/choice.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -99,6 +102,36 @@ class OmegaNetwork
      *  switch fabric and are not counted in NetStats. */
     void setFaultFilter(FaultFilterFn fn) { faultFilter = std::move(fn); }
 
+    /** Maps a payload to the (object, aux-tiebreak) pair the model
+     *  checker's dependence relation reasons about; wired by the
+     *  Machine, which knows the payload type. */
+    using ChoiceLabelFn = std::function<ChoiceOption(const Message &)>;
+    /** Called at each logical delivery (model checking only). */
+    using DeliveryProbeFn = std::function<void(const Message &)>;
+
+    /**
+     * Switch this network into logical (model-checking) delivery: the
+     * timed switch fabric is bypassed, injected messages park in
+     * per-(src, dst) FIFO pools, and @p scheduler picks which pool head
+     * is delivered next, one delivery per @p hold cycles. Per-pair FIFO
+     * order -- the guarantee the real fabric provides via per-path FIFO
+     * output ports -- is preserved; every cross-pair interleaving
+     * becomes reachable. The hold window exists to create races: it is
+     * longer than the workload's per-op issue jitter, so messages from
+     * different processors accumulate in the pools and genuinely
+     * compete at each choice point instead of draining one by one in
+     * issue order. Passing nullptr restores timed delivery.
+     */
+    void
+    setChoiceScheduler(ChoiceScheduler *scheduler, ChoiceLabelFn label,
+                       DeliveryProbeFn probe = nullptr, Tick hold = 64)
+    {
+        chooser = scheduler;
+        labelFn = std::move(label);
+        probeFn = std::move(probe);
+        holdCycles = hold;
+    }
+
     /**
      * Inject a message whose head flit is at the stage-0 switch input at
      * the current tick. Caller (the interface buffer) is responsible for
@@ -142,7 +175,61 @@ class OmegaNetwork
     {
         netStats.messages += 1;
         netStats.flits += msg.flits();
+        if (chooser) {
+            pools[{msg.src, msg.dst}].push_back(std::move(msg));
+            pumpChoices();
+            return;
+        }
         hop(std::move(msg), 0, msg.src, queue.now(), queue.now());
+    }
+
+    /** Logical delivery: schedule one scheduler-driven delivery per
+     *  hold window while any pool is non-empty. */
+    void
+    pumpChoices()
+    {
+        if (choicePumping)
+            return;
+        choicePumping = true;
+        queue.schedule(
+            queue.now() + holdCycles, [this]() { deliverChosen(); },
+            EventQueue::prioDeliver);
+    }
+
+    void
+    deliverChosen()
+    {
+        choicePumping = false;
+        if (pools.empty())
+            return;
+        // Candidates: the head of every non-empty pool, in the
+        // deterministic (src, dst) order std::map provides.
+        std::vector<ChoiceOption> options;
+        std::vector<typename PoolMap::iterator> heads;
+        for (auto it = pools.begin(); it != pools.end(); ++it) {
+            ChoiceOption opt = labelFn ? labelFn(it->second.front())
+                                       : ChoiceOption{};
+            opt.aux = (static_cast<std::uint64_t>(it->first.first) << 32) |
+                      it->first.second;
+            options.push_back(opt);
+            heads.push_back(it);
+        }
+        const unsigned n = static_cast<unsigned>(heads.size());
+        unsigned pick = chooser->choose(ChoiceKind::NetDeliver,
+                                        options.data(), n);
+        MCSIM_ASSERT(pick < n, "net delivery choice %u of %u", pick, n);
+        auto it = heads[pick];
+        Message msg = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty())
+            pools.erase(it);
+        if (!pools.empty())
+            pumpChoices();
+        netStats.latencyCycles += queue.now() - msg.createdAt;
+        netStats.transitHist.record(queue.now() - msg.createdAt);
+        if (probeFn)
+            probeFn(msg);
+        deliverFn(std::move(msg));
     }
     /**
      * Process arrival of @p msg at stage @p stage on link @p link at tick
@@ -202,6 +289,18 @@ class OmegaNetwork
     FaultFilterFn faultFilter;
     obs::Tracer *tracer = nullptr;
     obs::Track tracerTrack = obs::Track::ReqSwitch;
+
+    /** Model-checking (logical) delivery state; inert when chooser is
+     *  null. std::map keeps candidate enumeration deterministic. @{ */
+    using PoolMap = std::map<std::pair<std::uint32_t, std::uint32_t>,
+                             std::deque<Message>>;
+    ChoiceScheduler *chooser = nullptr;
+    ChoiceLabelFn labelFn;
+    DeliveryProbeFn probeFn;
+    PoolMap pools;
+    bool choicePumping = false;
+    Tick holdCycles = 64;
+    /** @} */
 };
 
 } // namespace mcsim::net

@@ -1,0 +1,20 @@
+#include "sim/choice.hh"
+
+namespace mcsim
+{
+
+const char *
+choiceKindName(ChoiceKind kind)
+{
+    switch (kind) {
+      case ChoiceKind::NetDeliver:
+        return "net";
+      case ChoiceKind::DirService:
+        return "dir";
+      case ChoiceKind::RetryDelay:
+        return "retry";
+    }
+    return "?";
+}
+
+} // namespace mcsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared command-line helpers for the tools/ executables.
+ *
+ * Every tool follows the same validation contract: bad configuration
+ * fails up front with one actionable line on stderr and exit status 2,
+ * before any real work starts. These helpers cover the numeric half of
+ * that contract -- std::atoi silently turns "16x" into 16 and "bogus"
+ * into 0, which then surfaces as a confusing mid-run failure (or, worse,
+ * a silently different experiment).
+ */
+
+#ifndef MCSIM_TOOLS_COMMON_CLI_HH
+#define MCSIM_TOOLS_COMMON_CLI_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace mcsim::tools
+{
+
+/**
+ * Strict non-negative integer parse: the whole token must be one
+ * number (decimal, 0x-hex, or 0-octal). Rejects trailing garbage,
+ * negatives (strtoull would silently wrap them), and overflow.
+ */
+inline bool
+parseU64(const char *text, std::uint64_t &out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    if (std::strchr(text, '-') != nullptr)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 0);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+/** parseU64 constrained to the unsigned range. */
+inline bool
+parseUnsigned(const char *text, unsigned &out)
+{
+    std::uint64_t value = 0;
+    if (!parseU64(text, value) || value > 0xffffffffull)
+        return false;
+    out = static_cast<unsigned>(value);
+    return true;
+}
+
+} // namespace mcsim::tools
+
+#endif // MCSIM_TOOLS_COMMON_CLI_HH

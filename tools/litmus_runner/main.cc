@@ -27,6 +27,8 @@
 #include "core/consistency.hh"
 #include "sim/logging.hh"
 
+#include "../common/cli.hh"
+
 using namespace mcsim;
 using namespace mcsim::axiom;
 
@@ -76,7 +78,14 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--test") {
             opt.test = next();
         } else if (arg == "--seeds") {
-            opt.seeds = static_cast<unsigned>(std::atoi(next()));
+            if (!tools::parseUnsigned(next(), opt.seeds) ||
+                opt.seeds == 0) {
+                std::fprintf(stderr,
+                             "litmus_runner: --seeds expects a positive "
+                             "integer\n");
+                usage(argv[0]);
+                std::exit(2);
+            }
         } else if (arg == "--store-buffer") {
             opt.storeBuffer = true;
         } else if (arg == "--verbose") {
@@ -90,8 +99,6 @@ parseArgs(int argc, char **argv)
             std::exit(2);
         }
     }
-    if (opt.seeds == 0)
-        opt.seeds = 1;
     return opt;
 }
 

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * mc_runner: exhaustive protocol verification of the simulated machines
+ * via the src/mc/ state-space explorer (DESIGN.md section 12).
+ *
+ * Without --replay, every selected (model, litmus) pair is explored
+ * through all reachable interleavings of the simulator's
+ * nondeterministic choice points and checked against the invariant
+ * checkers, the axiomatic ordering rules, and the litmus outcome sets.
+ * A violation is minimized and printed as a replayable choice vector
+ * plus a message timeline. With --replay VEC, the single schedule VEC
+ * encodes is re-executed and its verdict printed -- the way a
+ * counterexample from CI is reproduced locally.
+ *
+ * Usage:
+ *   mc_runner [--model NAME|all] [--litmus NAME|all] [--max-depth N]
+ *             [--dpor on|off] [--max-schedules N] [--seed N]
+ *             [--replay VEC] [--weaken] [--stats]
+ *
+ * Exit status: 0 all selected jobs verified (or the replayed schedule
+ * is clean), 1 when any violation is found, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/consistency.hh"
+#include "mc/explorer.hh"
+#include "mc/schedule.hh"
+#include "sim/logging.hh"
+
+#include "../common/cli.hh"
+
+using namespace mcsim;
+
+namespace
+{
+
+struct Options
+{
+    std::string model = "all";
+    std::string litmus = "all";
+    mc::McOptions mc;
+    bool replay = false;
+    std::vector<unsigned> replayVec;
+    bool stats = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::string models;
+    for (core::Model model : core::allModels)
+        models += std::string(models.empty() ? "" : " ") +
+                  core::modelName(model);
+    std::string tests;
+    for (const axiom::LitmusTest &t : axiom::litmusSuite())
+        tests += (tests.empty() ? "" : ", ") + t.name;
+    std::fprintf(
+        stderr,
+        "usage: %s [--model NAME|all] [--litmus NAME|all] [--max-depth N]\n"
+        "          [--dpor on|off] [--max-schedules N] [--seed N]\n"
+        "          [--replay VEC] [--weaken] [--stats]\n"
+        "  --model          %s, or all (default all)\n"
+        "  --litmus         %s,\n"
+        "                   or all (default all)\n"
+        "  --max-depth      branch horizon in choice points (default "
+        "100000)\n"
+        "  --dpor           sleep-set partial-order reduction (default "
+        "on)\n"
+        "  --max-schedules  schedule budget per (model, litmus) pair\n"
+        "                   (default 200000)\n"
+        "  --seed           workload execution-padding seed (default 1)\n"
+        "  --replay         re-execute one schedule: a dotted choice\n"
+        "                   vector like 2.0.1 (\"-\" = all-zeros); needs\n"
+        "                   a single --model and --litmus\n"
+        "  --weaken         disable the processors' sync-ordering\n"
+        "                   hardware (the verifier must then find a\n"
+        "                   counterexample)\n"
+        "  --stats          print per-pair search statistics\n",
+        argv0, models.c_str(), tests.c_str());
+}
+
+[[noreturn]] void
+argError(const char *argv0, const std::string &message)
+{
+    std::fprintf(stderr, "mc_runner: %s\n", message.c_str());
+    usage(argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                argError(argv[0], arg + " expects a value");
+            return argv[++i];
+        };
+        if (arg == "--model") {
+            opt.model = next();
+        } else if (arg == "--litmus") {
+            opt.litmus = next();
+        } else if (arg == "--max-depth") {
+            if (!tools::parseUnsigned(next(), opt.mc.maxDepth) ||
+                opt.mc.maxDepth == 0)
+                argError(argv[0], "--max-depth expects a positive integer");
+        } else if (arg == "--dpor") {
+            const std::string v = next();
+            if (v == "on")
+                opt.mc.dpor = true;
+            else if (v == "off")
+                opt.mc.dpor = false;
+            else
+                argError(argv[0], "--dpor expects on or off, got '" + v +
+                                      "'");
+        } else if (arg == "--max-schedules") {
+            if (!tools::parseU64(next(), opt.mc.maxSchedules) ||
+                opt.mc.maxSchedules == 0)
+                argError(argv[0],
+                         "--max-schedules expects a positive integer");
+        } else if (arg == "--seed") {
+            if (!tools::parseU64(next(), opt.mc.seed))
+                argError(argv[0], "--seed expects an integer");
+        } else if (arg == "--replay") {
+            opt.replay = true;
+            const std::string v = next();
+            if (!mc::parseVector(v, opt.replayVec))
+                argError(argv[0], "--replay expects a dotted choice "
+                                  "vector like 2.0.1, got '" +
+                                      v + "'");
+        } else if (arg == "--weaken") {
+            opt.mc.weaken = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            argError(argv[0], "unknown argument: " + arg);
+        }
+    }
+    return opt;
+}
+
+/** Fail fast on bad names, before any machine is built. */
+void
+validateOptions(const char *argv0, const Options &opt)
+{
+    if (opt.model != "all") {
+        bool known = false;
+        for (core::Model model : core::allModels)
+            known = known || opt.model == core::modelName(model);
+        if (!known)
+            argError(argv0, "unknown model '" + opt.model + "'");
+    }
+    if (opt.litmus != "all" && mc::findLitmus(opt.litmus) == nullptr)
+        argError(argv0, "unknown litmus test '" + opt.litmus + "'");
+    if (opt.replay && (opt.model == "all" || opt.litmus == "all"))
+        argError(argv0,
+                 "--replay reruns one schedule: give a single --model "
+                 "and --litmus");
+}
+
+int
+replayOne(const Options &opt)
+{
+    mc::McOptions job = opt.mc;
+    job.model = core::modelFromName(opt.model);
+    job.litmus = opt.litmus;
+
+    mc::ReplayScheduler sched(opt.replayVec);
+    const mc::RunOutcome out = mc::runUnder(job, sched);
+    std::printf("replay %s / %s vector %s: %s\n", opt.model.c_str(),
+                opt.litmus.c_str(),
+                mc::formatVector(opt.replayVec).c_str(),
+                out.violated ? "VIOLATION" : "clean");
+    if (sched.divergences() > 0)
+        std::printf("  %llu vector entr%s out of range (recorded on a "
+                    "different config?)\n",
+                    static_cast<unsigned long long>(sched.divergences()),
+                    sched.divergences() == 1 ? "y" : "ies");
+    if (out.violated)
+        std::printf("  %s: %s\n", out.kind.c_str(), out.message.c_str());
+    std::printf("message timeline:\n%s",
+                mc::renderTimeline(sched.timeline()).c_str());
+    return out.violated ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    validateOptions(argv[0], opt);
+
+    if (opt.replay)
+        return replayOne(opt);
+
+    unsigned pairs = 0;
+    unsigned violated = 0;
+    unsigned incomplete = 0;
+    for (core::Model model : core::allModels) {
+        if (opt.model != "all" && opt.model != core::modelName(model))
+            continue;
+        for (const axiom::LitmusTest &test : axiom::litmusSuite()) {
+            if (opt.litmus != "all" && opt.litmus != test.name)
+                continue;
+            pairs += 1;
+
+            mc::McOptions job = opt.mc;
+            job.model = model;
+            job.litmus = test.name;
+            const mc::McResult res = mc::explore(job);
+
+            const char *verdict =
+                res.violation ? "VIOLATION"
+                : res.complete ? "verified"
+                                : "incomplete";
+            violated += res.violation ? 1 : 0;
+            incomplete += !res.violation && !res.complete ? 1 : 0;
+            std::printf("%-8s %-9s %-10s %llu schedule(s)\n",
+                        core::modelName(model), test.name.c_str(),
+                        verdict,
+                        static_cast<unsigned long long>(
+                            res.stats.schedulesRun));
+            if (opt.stats) {
+                std::printf(
+                    "    choice points %llu, branch points %llu, "
+                    "pruned %llu, max depth %llu%s%s\n",
+                    static_cast<unsigned long long>(
+                        res.stats.choicePoints),
+                    static_cast<unsigned long long>(
+                        res.stats.branchPoints),
+                    static_cast<unsigned long long>(
+                        res.stats.sleepPruned),
+                    static_cast<unsigned long long>(
+                        res.stats.maxDepthSeen),
+                    res.stats.budgetExhausted ? ", budget exhausted" : "",
+                    res.stats.depthClipped ? ", depth clipped" : "");
+            }
+            if (res.violation)
+                std::printf("%s", res.violation->report.c_str());
+        }
+    }
+
+    if (pairs == 0) {
+        std::fprintf(stderr, "mc_runner: nothing matched the selection\n");
+        return 2;
+    }
+    std::printf("mc_runner: %u/%u pair(s) verified%s\n",
+                pairs - violated - incomplete, pairs,
+                incomplete ? " (some incomplete: raise --max-schedules)"
+                           : "");
+    return violated == 0 ? 0 : 1;
+}

@@ -36,6 +36,8 @@
 #include "sim/logging.hh"
 #include "workloads/workload.hh"
 
+#include "../common/cli.hh"
+
 using namespace mcsim;
 
 namespace
@@ -97,28 +99,53 @@ parseArgs(int argc, char **argv)
             }
             return argv[++i];
         };
+        auto argError = [&](const std::string &message) {
+            std::fprintf(stderr, "obs_report: %s\n", message.c_str());
+            usage(argv[0]);
+            std::exit(2);
+        };
+        auto nextUnsigned = [&]() -> unsigned {
+            unsigned value = 0;
+            if (!tools::parseUnsigned(next(), value))
+                argError(arg + " expects a non-negative integer, got '" +
+                         argv[i] + "'");
+            return value;
+        };
         if (arg == "--benchmark") {
             opt.point.benchmark = next();
         } else if (arg == "--model") {
-            opt.point.model = core::modelFromName(next());
+            // modelFromName throws on an unknown name; keep the usage
+            // contract (one line + exit 2) instead of std::terminate.
+            try {
+                opt.point.model = core::modelFromName(next());
+            } catch (const FatalError &err) {
+                argError(err.what());
+            }
         } else if (arg == "--procs") {
-            opt.point.numProcs = static_cast<unsigned>(std::atoi(next()));
+            opt.point.numProcs = nextUnsigned();
         } else if (arg == "--cache") {
-            opt.point.cacheBytes = static_cast<unsigned>(std::atoi(next()));
+            opt.point.cacheBytes = nextUnsigned();
         } else if (arg == "--line") {
-            opt.point.lineBytes = static_cast<unsigned>(std::atoi(next()));
+            opt.point.lineBytes = nextUnsigned();
         } else if (arg == "--delay") {
-            opt.point.delay = static_cast<unsigned>(std::atoi(next()));
+            opt.point.delay = nextUnsigned();
         } else if (arg == "--scale") {
-            opt.point.scale = exp::scaleFromName(next());
+            try {
+                opt.point.scale = exp::scaleFromName(next());
+            } catch (const FatalError &err) {
+                argError(err.what());
+            }
         } else if (arg == "--seed") {
-            opt.point.seed = std::strtoull(next(), nullptr, 0);
+            if (!tools::parseU64(next(), opt.point.seed))
+                argError("--seed expects an integer");
             seed_given = true;
         } else if (arg == "--trace") {
             opt.tracePath = next();
         } else if (arg == "--trace-capacity") {
-            opt.traceCapacity =
-                static_cast<std::size_t>(std::strtoull(next(), nullptr, 0));
+            std::uint64_t capacity = 0;
+            if (!tools::parseU64(next(), capacity) || capacity == 0)
+                argError("--trace-capacity expects a positive integer");
+            opt.traceCapacity = static_cast<std::size_t>(capacity);
         } else if (arg == "--assert-identity") {
             opt.assertIdentity = true;
         } else if (arg == "--json") {

@@ -49,6 +49,8 @@
 #include "mem/cache.hh"
 #include "sim/logging.hh"
 
+#include "../common/cli.hh"
+
 using namespace mcsim;
 
 namespace
@@ -147,12 +149,28 @@ parseArgs(int argc, char **argv)
             }
             return argv[++i];
         };
+        auto argError = [&](const std::string &message) {
+            std::fprintf(stderr, "sweep_runner: %s\n", message.c_str());
+            usage(argv[0]);
+            std::exit(2);
+        };
+        auto nextUnsigned = [&]() -> unsigned {
+            unsigned value = 0;
+            if (!tools::parseUnsigned(next(), value))
+                argError(arg + " expects a non-negative integer, got '" +
+                         argv[i] + "'");
+            return value;
+        };
         if (arg == "--grid") {
             splitGrids(next(), opt.grids);
         } else if (arg == "--scale") {
-            opt.scale = exp::scaleFromName(next());
+            try {
+                opt.scale = exp::scaleFromName(next());
+            } catch (const FatalError &err) {
+                argError(err.what());
+            }
         } else if (arg == "--threads") {
-            opt.threads = static_cast<unsigned>(std::atoi(next()));
+            opt.threads = nextUnsigned();
         } else if (arg == "--out") {
             opt.out = next();
             opt.outExplicit = true;
@@ -163,11 +181,11 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--golden-out") {
             opt.goldenOut = next();
         } else if (arg == "--procs") {
-            opt.procs = static_cast<unsigned>(std::atoi(next()));
+            opt.procs = nextUnsigned();
         } else if (arg == "--cache-bytes") {
-            opt.cacheBytes = static_cast<unsigned>(std::atoi(next()));
+            opt.cacheBytes = nextUnsigned();
         } else if (arg == "--line-bytes") {
-            opt.lineBytes = static_cast<unsigned>(std::atoi(next()));
+            opt.lineBytes = nextUnsigned();
         } else if (arg == "--faults") {
             opt.faults = next();
         } else if (arg == "--chaos") {
@@ -201,12 +219,12 @@ configError(const std::string &message)
 }
 
 /**
- * Fail fast on bad configuration: every grid name, the fault preset, the
- * geometry overrides, and each resulting per-point MachineConfig are
- * checked before a single job is launched.
+ * Name and geometry validation: every grid name, the fault preset, and
+ * the geometry overrides. Runs before the --list early exit too, so
+ * `--list --faults bogus` fails the same way a real run would.
  */
-std::vector<exp::Grid>
-buildGrids(const Options &opt)
+void
+validateConfig(const Options &opt)
 {
     for (const std::string &name : opt.grids) {
         bool known = false;
@@ -245,7 +263,16 @@ buildGrids(const Options &opt)
         configError(strprintf(
             "--cache-bytes %u: cache would hold zero lines of %u bytes",
             opt.cacheBytes, line));
+}
 
+/**
+ * Fail fast on bad configuration: after validateConfig, each resulting
+ * per-point MachineConfig is dry-built and checked before a single job
+ * is launched.
+ */
+std::vector<exp::Grid>
+buildGrids(const Options &opt)
+{
     std::vector<exp::Grid> grids;
     for (const std::string &name : opt.grids)
         grids.push_back(exp::namedGrid(name, opt.scale));
@@ -328,6 +355,7 @@ int
 main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
+    validateConfig(opt);
     if (opt.list) {
         for (const std::string &name : exp::gridNames())
             std::printf("%s\n", name.c_str());
