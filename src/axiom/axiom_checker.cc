@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -223,8 +224,18 @@ CheckerRun::buildWriteHistory()
             gw.byVersion[e.tag[i] - 1] = e.id;
         }
     }
-    // Coherence order: consecutive versions of each granule.
-    for (auto &[granule, gw] : writes) {
+    // Coherence order: consecutive versions of each granule. Sorted
+    // drain: Co edges are inserted in granule order regardless of the
+    // hash table's layout, so cycle/witness search sees one canonical
+    // edge order on every platform.
+    std::vector<Addr> granules;
+    granules.reserve(writes.size());
+    // mcsim-lint: order-insensitive(keys collected then sorted below)
+    for (const auto &kv : writes)
+        granules.push_back(kv.first);
+    std::sort(granules.begin(), granules.end());
+    for (const Addr granule : granules) {
+        const GranuleWrites &gw = writes[granule];
         for (std::size_t k = 1; k < gw.byVersion.size(); ++k) {
             MCSIM_ASSERT(gw.byVersion[k] != kNoSource &&
                              gw.byVersion[k - 1] != kNoSource,

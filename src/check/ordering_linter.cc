@@ -19,6 +19,7 @@ OrderingLinter::issueCheck(ProcId p, bool is_sync, bool is_release)
     if (is_release) {
         // RC release issue: everything outstanding at the defer point
         // must have completed (the deferred-release contract).
+        // mcsim-lint: order-insensitive(verdict equivalent for any hit)
         for (std::uint64_t cookie : st.releaseSnapshot) {
             if (st.outstanding.count(cookie) || st.background.count(cookie)) {
                 return strprintf(

@@ -138,9 +138,17 @@ Machine::Machine(const MachineConfig &config) : cfg(config)
               case mem::MsgKind::DataReplyExclusive:
               case mem::MsgKind::Nack:
                 return true;
-              default:
+              case mem::MsgKind::Writeback:
+              case mem::MsgKind::InvAck:
+              case mem::MsgKind::RecallStale:
+              case mem::MsgKind::FlushData:
+              case mem::MsgKind::Invalidate:
+              case mem::MsgKind::RecallShared:
+              case mem::MsgKind::RecallExclusive:
+              case mem::MsgKind::WbAck:
                 return false;
             }
+            return false;  // not reached: all kinds enumerated above
         };
         reqNet->setFaultFilter([this, droppable](const mem::NetMsg &m) {
             const fault::FaultAction a = planPtr->onNetMessage(

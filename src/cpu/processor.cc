@@ -10,6 +10,25 @@
 namespace mcsim::cpu
 {
 
+namespace
+{
+
+/**
+ * Terminate on an op kind that reached a stage which, by construction,
+ * never handles it (e.g. an Exec op in the memory pipeline). Op-kind
+ * switches list every enumerator explicitly and route the impossible
+ * ones here, so adding an OpKind makes -Wswitch (and mcsim-lint)
+ * force every stage to be revisited.
+ */
+[[noreturn]] void
+unreachableOp(const char *stage, Processor::OpKind kind)
+{
+    panic("[unreachable-op] %s cannot handle op kind %d", stage,
+          static_cast<int>(kind));
+}
+
+} // namespace
+
 bool
 Processor::traceEnabled()
 {
@@ -97,9 +116,13 @@ Processor::accessTypeFor(OpKind kind) const
         return mem::AccessType::SyncRmw;
       case OpKind::SyncStore:
         return mem::AccessType::SyncStore;
-      default:
-        panic("no access type for op kind %d", static_cast<int>(kind));
+      case OpKind::Exec:
+      case OpKind::Use:
+      case OpKind::Fence:
+        // Never reach the cache: no memory access type exists for them.
+        unreachableOp("accessTypeFor", kind);
     }
+    unreachableOp("accessTypeFor", kind);
 }
 
 void
@@ -176,12 +199,20 @@ Processor::beginOp(const Op &op, std::coroutine_handle<> h)
         return true;
       }
 
-      default: {
+      case OpKind::Load:
+      case OpKind::LoadUse:
+      case OpKind::Store:
+      case OpKind::SyncLoad:
+      case OpKind::SyncRmw:
+      case OpKind::SyncStore:
+      case OpKind::Fence: {
+        // Every memory-pipeline kind funnels into the issue logic.
         active = Active{op, h, now};
         attemptMem();
         return true;
       }
     }
+    unreachableOp("beginOp", op.kind);
 }
 
 void
@@ -225,6 +256,7 @@ Processor::gateCauseFor(Gate gate) const
         // Charge the wait to the reference actually outstanding; under
         // the SC rule there is exactly one (early-released SC store
         // requests no longer count as outstanding).
+        // mcsim-lint: order-insensitive(at most one live entry under SC)
         for (const auto &[cookie, rec] : inFlight) {
             (void)cookie;
             if (rec.earlyReleased)
@@ -245,7 +277,10 @@ Processor::gateCauseFor(Gate gate) const
                 return obs::StallCause::Acquire;
               case OpKind::SyncStore:
                 return obs::StallCause::Release;
-              default:
+              case OpKind::Exec:
+              case OpKind::Use:
+              case OpKind::Fence:
+                // Never enter inFlight; keep scanning.
                 break;
             }
         }
@@ -489,9 +524,13 @@ Processor::handleHit()
         chargeBusy(1);
         finishAt(now + 1, 0);
         return;
-      default:
-        panic("unexpected hit op kind");
+      case OpKind::Exec:
+      case OpKind::Use:
+      case OpKind::Fence:
+        // Non-memory kinds: no cache access can ever hit for them.
+        unreachableOp("hit path", op.kind);
     }
+    unreachableOp("hit path", op.kind);
 }
 
 void
@@ -620,9 +659,13 @@ Processor::handleIssued(std::uint64_t cookie)
         active->waitStart = now;
         active->waitCookie = cookie;
         return;
-      default:
-        panic("unexpected issued op kind");
+      case OpKind::Exec:
+      case OpKind::Use:
+      case OpKind::Fence:
+        // Exec/Use never issue to memory; Fence drains before issue.
+        unreachableOp("issue path", op.kind);
     }
+    unreachableOp("issue path", op.kind);
 }
 
 void
@@ -644,6 +687,7 @@ Processor::deferRelease(const Op &op)
     if (outstanding > 0 && !syncOrderingDisabled) {
         procStats.releasesDeferred += 1;
         releaseCounter = outstanding;
+        // mcsim-lint: order-insensitive(uniform flag set on every entry)
         for (auto &[cookie, rec] : inFlight)
             rec.releaseTagged = true;
     } else {
@@ -806,8 +850,11 @@ Processor::onCompletion(std::uint64_t cookie)
         }
         break;
 
-      default:
-        panic("completion for unexpected op kind");
+      case OpKind::Exec:
+      case OpKind::Use:
+      case OpKind::Fence:
+        // Never tracked in inFlight, so no completion can name them.
+        unreachableOp("completion", rec.kind);
     }
 
     onRetry();

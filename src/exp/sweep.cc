@@ -68,6 +68,10 @@ SweepRunner::run(const Grid &grid) const
     if (total == 0)
         return results;
 
+    // Wall-clock is display-only: it feeds the stderr progress line and
+    // never any result. Canonical output stays a pure function of the
+    // grid (test_determinism pins this).
+    // mcsim-lint: no-entropy(stderr progress/ETA display only)
     const auto t0 = std::chrono::steady_clock::now();
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
@@ -95,6 +99,7 @@ SweepRunner::run(const Grid &grid) const
                 continue;
             const double elapsed =
                 std::chrono::duration<double>(
+                    // mcsim-lint: no-entropy(stderr progress display only)
                     std::chrono::steady_clock::now() - t0)
                     .count();
             const double eta =

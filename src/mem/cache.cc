@@ -307,7 +307,9 @@ Cache::access(Addr addr, AccessType type, std::uint64_t cookie)
             cacheStats.stores += 1;
             cacheStats.storeHits += hit ? 1 : 0;
             break;
-          default:
+          case AccessType::SyncLoad:
+          case AccessType::SyncRmw:
+          case AccessType::SyncStore:
             cacheStats.syncAccesses += 1;
             cacheStats.syncHits += hit ? 1 : 0;
             break;
@@ -687,9 +689,15 @@ Cache::handleResponse(NetMsg &&msg)
         break;
       }
 
-      default:
-        panic("cache %u received unexpected message kind %s", procId,
-              msgKindName(cm.kind));
+      case MsgKind::GetShared:
+      case MsgKind::GetExclusive:
+      case MsgKind::Writeback:
+      case MsgKind::InvAck:
+      case MsgKind::RecallStale:
+      case MsgKind::FlushData:
+        // Request-network kinds; the response network never carries them
+        // (validateMessage rejects them at injection).
+        unreachableMessage("cache", procId, cm.kind);
     }
 }
 

@@ -58,8 +58,13 @@ std::vector<std::pair<Addr, MemoryModule::DirState>>
 MemoryModule::knownLines() const
 {
     std::vector<std::pair<Addr, DirState>> out;
+    out.reserve(dir.size());
+    // mcsim-lint: order-insensitive(sorted drain below canonicalizes)
     for (const auto &[addr, entry] : dir)
         out.emplace_back(addr, entry.state);
+    // Sorted drain: callers (coherence auditor, tests) see a canonical
+    // order independent of hash-table layout.
+    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -294,9 +299,16 @@ MemoryModule::dispatchRequest(NetMsg &&msg)
         handleInvAck(cm.lineAddr, cm.proc);
         return;
 
-      default:
-        panic("memory module %u received unexpected message kind %s",
-              moduleId, msgKindName(cm.kind));
+      case MsgKind::DataReplyShared:
+      case MsgKind::DataReplyExclusive:
+      case MsgKind::Invalidate:
+      case MsgKind::RecallShared:
+      case MsgKind::RecallExclusive:
+      case MsgKind::Nack:
+      case MsgKind::WbAck:
+        // Response-network kinds; the request network never carries them
+        // (validateMessage rejects them at injection).
+        unreachableMessage("memory module", moduleId, cm.kind);
     }
 }
 

@@ -1,5 +1,7 @@
 #include "mem/protocol.hh"
 
+#include "sim/logging.hh"
+
 namespace mcsim::mem
 {
 
@@ -22,6 +24,13 @@ msgKindName(MsgKind kind)
       case MsgKind::WbAck: return "WbAck";
     }
     return "<unknown>";
+}
+
+void
+unreachableMessage(const char *component, unsigned id, MsgKind kind)
+{
+    panic("[unreachable-message] %s %u received impossible message kind %s",
+          component, id, msgKindName(kind));
 }
 
 const char *

@@ -108,6 +108,22 @@ const char *validateMessage(const CoherenceMsg &msg, bool to_memory,
                             unsigned num_procs, unsigned line_bytes);
 
 /**
+ * Terminate on a protocol message that reached a handler which, by
+ * construction, can never receive it (wrong network direction, or a
+ * kind the dispatch above it already consumed). Protocol switches list
+ * every MsgKind explicitly and route the impossible ones here -- so
+ * adding a message kind makes -Wswitch (and mcsim-lint's
+ * protocol-switch-exhaustiveness check) force every handler to be
+ * revisited instead of silently falling into a default arm.
+ *
+ * @param component handler description ("cache", "memory module")
+ * @param id component instance (processor or module id)
+ * @param kind the impossible message kind
+ */
+[[noreturn]] void unreachableMessage(const char *component, unsigned id,
+                                     MsgKind kind);
+
+/**
  * Network size in bytes of a protocol message: one flit of header/address,
  * plus the line data when present.
  */

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Canary suite for mcsim-lint (tools/lint/). Three guarantees:
+ *
+ *  - every intentional violation in the tools/lint/canary/ fixtures is
+ *    reported with the expected check name -- if a check goes silent,
+ *    this suite turns red (the --weaken pattern from src/mc/ applied
+ *    to the linter itself);
+ *  - the real src/ tree is clean: zero unsuppressed findings over the
+ *    full compile database;
+ *  - every in-tree suppression names a real check and carries a
+ *    non-empty written reason (the audit trail stays honest).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace
+{
+
+struct ToolResult
+{
+    int exit = -1;
+    std::string output;  ///< stdout + stderr, interleaved
+};
+
+/** Run mcsim-lint with @p args; capture combined output and status. */
+ToolResult
+runLint(const std::string &args)
+{
+    const std::string cmd =
+        std::string(MCSIM_LINT_BIN) + " " + args + " 2>&1";
+    ToolResult r;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return r;
+    std::array<char, 4096> buf;
+    std::size_t n = 0;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        r.output.append(buf.data(), n);
+    const int status = pclose(pipe);
+    r.exit = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+std::string
+canary(const char *name)
+{
+    return std::string(MCSIM_LINT_SOURCE_DIR) + "/tools/lint/canary/" +
+           name;
+}
+
+/** Occurrences of @p needle in @p haystack. */
+unsigned
+countOf(const std::string &haystack, const std::string &needle)
+{
+    unsigned count = 0;
+    for (std::size_t at = haystack.find(needle);
+         at != std::string::npos; at = haystack.find(needle, at + 1))
+        ++count;
+    return count;
+}
+
+TEST(LintCanary, ListChecksNamesTheCatalog)
+{
+    const ToolResult r = runLint("--list-checks");
+    EXPECT_EQ(r.exit, 0) << r.output;
+    for (const char *check :
+         {"no-entropy", "no-unordered-iteration", "no-pointer-ordering",
+          "protocol-switch-exhaustiveness", "choice-seam",
+          "suppression-audit"})
+        EXPECT_NE(r.output.find(check), std::string::npos) << check;
+}
+
+TEST(LintCanary, EntropyFixtureFullyReported)
+{
+    const ToolResult r = runLint(canary("entropy.cc"));
+    EXPECT_EQ(r.exit, 1) << r.output;
+    // time(), system_clock, random_device, rand(), pointer-to-integer.
+    EXPECT_EQ(countOf(r.output, "[no-entropy]"), 5u) << r.output;
+    EXPECT_NE(r.output.find("'system_clock'"), std::string::npos);
+    EXPECT_NE(r.output.find("'random_device'"), std::string::npos);
+    EXPECT_NE(r.output.find("allocator layout"), std::string::npos);
+}
+
+TEST(LintCanary, UnorderedIterationFixtureReportedSuppressionHonored)
+{
+    const ToolResult r = runLint(canary("unordered_iteration.cc"));
+    EXPECT_EQ(r.exit, 1) << r.output;
+    // The unsuppressed range-for and the begin() walk -- and only
+    // those: the order-insensitive(reason) walk must stay silent.
+    EXPECT_EQ(countOf(r.output, "[no-unordered-iteration]"), 2u)
+        << r.output;
+    EXPECT_NE(r.output.find("'lines'"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("'pending'"), std::string::npos) << r.output;
+    EXPECT_EQ(countOf(r.output, "[suppression-audit]"), 0u) << r.output;
+}
+
+TEST(LintCanary, PointerOrderingFixtureFullyReported)
+{
+    const ToolResult r = runLint(canary("pointer_ordering.cc"));
+    EXPECT_EQ(r.exit, 1) << r.output;
+    // map-on-pointer, set-of-pointers, &a < &b, get() < get().
+    EXPECT_EQ(countOf(r.output, "[no-pointer-ordering]"), 4u) << r.output;
+}
+
+TEST(LintCanary, SwitchDefaultFixtureReported)
+{
+    const ToolResult r = runLint(canary("switch_default.cc"));
+    EXPECT_EQ(r.exit, 1) << r.output;
+    EXPECT_EQ(countOf(r.output, "[protocol-switch-exhaustiveness]"), 1u)
+        << r.output;
+    EXPECT_NE(r.output.find("'Kind'"), std::string::npos) << r.output;
+}
+
+TEST(LintCanary, ChoiceSeamFixtureReportedUnderTimingPath)
+{
+    const ToolResult r = runLint(
+        "--treat-as src/mem/rogue_component.cc " + canary("choice_seam.cc"));
+    EXPECT_EQ(r.exit, 1) << r.output;
+    // splitmix64 definition + use, and the unregistered choose() call.
+    EXPECT_EQ(countOf(r.output, "[choice-seam]"), 3u) << r.output;
+}
+
+TEST(LintCanary, ChoiceSeamFixtureSilentOutsideTimingLayers)
+{
+    // The same file classified as non-timing code: entropy primitives
+    // are legal there (workload data generation uses them), and no
+    // registered-seam rule applies.
+    const ToolResult r = runLint(
+        "--treat-as src/workloads/datagen.cc " + canary("choice_seam.cc"));
+    EXPECT_EQ(countOf(r.output, "[choice-seam]"), 1u) << r.output;
+    EXPECT_NE(r.output.find("choose"), std::string::npos) << r.output;
+}
+
+TEST(LintCanary, SuppressionAuditFixtureFullyReported)
+{
+    const ToolResult r = runLint(canary("suppression_audit.cc"));
+    EXPECT_EQ(r.exit, 1) << r.output;
+    // Empty reason, unknown check, unparsable annotation.
+    EXPECT_EQ(countOf(r.output, "[suppression-audit]"), 3u) << r.output;
+    // The empty-reason annotation must NOT suppress its walk.
+    EXPECT_EQ(countOf(r.output, "[no-unordered-iteration]"), 1u)
+        << r.output;
+}
+
+TEST(LintCanary, RealSrcTreeIsClean)
+{
+    const ToolResult r =
+        runLint(std::string("-p ") + MCSIM_LINT_BUILD_DIR + " " +
+                MCSIM_LINT_SOURCE_DIR + "/src");
+    EXPECT_EQ(r.exit, 0) << r.output;
+    EXPECT_NE(r.output.find("mcsim-lint: clean"), std::string::npos)
+        << r.output;
+}
+
+TEST(LintCanary, EverySuppressionInTreeCarriesAReason)
+{
+    const ToolResult r =
+        runLint(std::string("--list-suppressions -p ") +
+                MCSIM_LINT_BUILD_DIR + " " + MCSIM_LINT_SOURCE_DIR +
+                "/src");
+    EXPECT_EQ(r.exit, 0) << r.output;
+    EXPECT_EQ(r.output.find("<malformed>"), std::string::npos) << r.output;
+
+    // Parse `path:line: check(reason)` lines; reasons must be non-empty.
+    unsigned suppressions = 0;
+    std::size_t pos = 0;
+    while (pos < r.output.size()) {
+        std::size_t eol = r.output.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = r.output.size();
+        const std::string line = r.output.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.rfind("mcsim-lint:", 0) == 0)
+            continue;  // summary line
+        const std::size_t open = line.find('(');
+        const std::size_t close = line.rfind(')');
+        if (open == std::string::npos || close == std::string::npos)
+            continue;
+        ++suppressions;
+        EXPECT_GT(close, open + 1) << "empty reason: " << line;
+    }
+    // The known waivers: processor x2, ordering_linter, axiom_checker,
+    // memory_module, sweep x2. More may be added; never fewer silently.
+    EXPECT_GE(suppressions, 7u) << r.output;
+}
+
+} // namespace

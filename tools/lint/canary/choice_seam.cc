@@ -1,0 +1,29 @@
+// Canary fixture for mcsim-lint's choice-seam check. Run with
+//   mcsim-lint --treat-as src/mem/rogue_component.cc <this file>
+// so the linter classifies it as timing-layer code: ad-hoc entropy and
+// unregistered ChoiceScheduler::choose() calls must then be reported.
+// NOT compiled into any target.
+
+#include <cstdint>
+
+struct FakeScheduler
+{
+    unsigned choose(int kind, const void *options, unsigned n);
+};
+
+// violation (timing layer): splitmix64 outside the choice seam
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    return x ^ (x >> 31);
+}
+
+unsigned
+pickDeliveryOrder(FakeScheduler *sched, std::uint64_t salt)
+{
+    // violation (timing layer): Rng-style hash chain deciding order
+    const std::uint64_t h = splitmix64(salt);
+    // violation: choose() call outside the registered seam sites
+    return sched->choose(0, nullptr, static_cast<unsigned>(h % 4 + 1));
+}

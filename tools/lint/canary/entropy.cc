@@ -1,0 +1,46 @@
+// Canary fixture for mcsim-lint's no-entropy check. NOT compiled into
+// any target: test_lint_canary runs the linter over this file and
+// asserts every violation below is reported. If the check ever goes
+// silent, the canary suite turns red (the --weaken pattern from
+// src/mc/ applied to the linter itself).
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long long
+wallClockSeed()
+{
+    // violation: wall clock as a seed
+    return static_cast<unsigned long long>(time(nullptr));
+}
+
+unsigned long long
+systemClockSeed()
+{
+    // violation: std::chrono::system_clock
+    return static_cast<unsigned long long>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+unsigned
+hardwareEntropy()
+{
+    std::random_device rd;  // violation: std::random_device
+    return rd();
+}
+
+int
+libcRand()
+{
+    return rand();  // violation: rand()
+}
+
+unsigned long long
+addressAsId(const int *object)
+{
+    // violation: pointer-to-integer cast (allocator-layout entropy)
+    return reinterpret_cast<unsigned long long>(
+        reinterpret_cast<std::uintptr_t>(object));
+}

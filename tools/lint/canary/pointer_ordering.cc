@@ -1,0 +1,32 @@
+// Canary fixture for mcsim-lint's no-pointer-ordering check: ordered
+// containers keyed on pointers and relational comparisons between
+// unrelated pointers, all of which order behavior by allocator layout.
+// NOT compiled into any target.
+
+#include <map>
+#include <memory>
+#include <set>
+
+struct Waiter
+{
+    int priority = 0;
+};
+
+// violation: std::map keyed on a pointer
+std::map<Waiter *, int> waiterRank;
+
+// violation: std::set of pointers
+std::set<const Waiter *> parked;
+
+bool
+lowerAddress(const Waiter &a, const Waiter &b)
+{
+    return &a < &b;  // violation: relational compare of addresses
+}
+
+bool
+smartPointerOrder(const std::unique_ptr<Waiter> &a,
+                  const std::unique_ptr<Waiter> &b)
+{
+    return a.get() < b.get();  // violation: .get() address ordering
+}

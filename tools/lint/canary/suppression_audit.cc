@@ -1,0 +1,27 @@
+// Canary fixture for mcsim-lint's suppression-audit check: an empty
+// reason, an unknown check name, and an unparsable annotation must all
+// be reported -- the suppression table is the reviewed registry of
+// every waiver, so it has to stay well-formed. NOT compiled into any
+// target.
+
+#include <unordered_map>
+
+std::unordered_map<int, int> table;
+
+int
+auditedSum()
+{
+    int total = 0;
+    // mcsim-lint: order-insensitive()
+    for (const auto &kv : table)  // violation: empty suppression reason
+        total += kv.second;
+    return total;
+}
+
+// violation: suppression naming an unknown check
+// mcsim-lint: no-such-check(this check does not exist)
+int stray = 0;
+
+// violation: marker present but unparsable
+// mcsim-lint: ???
+int malformed = 0;

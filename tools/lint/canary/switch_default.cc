@@ -1,0 +1,26 @@
+// Canary fixture for mcsim-lint's protocol-switch-exhaustiveness
+// check: a switch over a closed protocol enum hiding unhandled kinds
+// behind a default arm. Adding a Kind would compile silently -- which
+// is exactly what the check exists to prevent. NOT compiled into any
+// target.
+
+enum class Kind
+{
+    Get,
+    Put,
+    Ack,
+    Retry,
+};
+
+int
+cost(Kind k)
+{
+    switch (k) {
+      case Kind::Get:
+        return 2;
+      case Kind::Put:
+        return 3;
+      default:  // violation: default arm over a closed enum
+        return 1;
+    }
+}

@@ -1,0 +1,40 @@
+// Canary fixture for mcsim-lint's no-unordered-iteration check: two
+// unsuppressed walks that must be reported, and one correctly
+// suppressed walk that must stay silent. NOT compiled into any target.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Directory
+{
+    std::unordered_map<std::uint64_t, unsigned> lines;
+    std::unordered_set<std::uint64_t> pending;
+};
+
+unsigned
+sumStates(const Directory &d)
+{
+    unsigned total = 0;
+    for (const auto &kv : d.lines)  // violation: range-for, unsuppressed
+        total += kv.second;
+    return total;
+}
+
+std::uint64_t
+firstPending(const Directory &d)
+{
+    // violation: iterator walk over an unordered container
+    auto it = d.pending.begin();
+    return it == d.pending.end() ? 0 : *it;
+}
+
+unsigned
+suppressedSum(const Directory &d)
+{
+    unsigned total = 0;
+    // mcsim-lint: order-insensitive(commutative sum over all entries)
+    for (const auto &kv : d.lines)
+        total += kv.second;
+    return total;
+}

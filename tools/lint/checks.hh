@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The mcsim-lint check catalog (DESIGN.md section 13).
+ *
+ * Every check enforces one clause of the repo's determinism contract:
+ * a run is a pure function of its configuration and seed. The checks
+ * are listed in checkInfos[]; suppression uses
+ * `// mcsim-lint: <name>(<non-empty reason>)` on the flagged line or
+ * the line directly above, and an empty or unknown suppression is
+ * itself a finding (suppression-audit), so the audit trail stays
+ * greppable and honest.
+ */
+
+#ifndef MCSIM_TOOLS_LINT_CHECKS_HH
+#define MCSIM_TOOLS_LINT_CHECKS_HH
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hh"
+#include "lint/symbols.hh"
+
+namespace mcsim::lint
+{
+
+/** One reported violation. */
+struct Finding
+{
+    std::string file;
+    unsigned line = 0;
+    std::string check;
+    std::string message;
+};
+
+/** Catalog entry (for --list-checks and --check filtering). */
+struct CheckInfo
+{
+    const char *name;
+    const char *summary;
+};
+
+/** The catalog: five determinism checks plus the suppression audit. */
+const std::vector<CheckInfo> &checkInfos();
+
+/** True when @p name names a catalog check (or a suppression alias). */
+bool isKnownCheck(const std::string &name);
+
+/**
+ * Run every check (or only @p only, when non-empty) on @p file.
+ * Suppressions consumed by a finding are honored; leftover malformed,
+ * unknown, or empty-reason annotations surface as suppression-audit
+ * findings. Appends to @p findings.
+ */
+void runChecks(const LexedFile &file, const SymbolIndex &index,
+               const std::string &only, std::vector<Finding> &findings);
+
+} // namespace mcsim::lint
+
+#endif // MCSIM_TOOLS_LINT_CHECKS_HH

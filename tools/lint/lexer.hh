@@ -1,0 +1,84 @@
+/**
+ * @file
+ * C++ lexer for mcsim-lint (tools/lint/README in DESIGN.md section 13).
+ *
+ * mcsim-lint's checks are syntactic-plus-symbol-table: they need a
+ * faithful token stream (comments, string literals, raw strings, and
+ * preprocessor lines must never leak identifiers into the checks) but
+ * not a full semantic AST. The container ships no clang development
+ * headers, so the linter carries this small self-contained lexer
+ * instead of LibTooling; the trade-off is recorded in DESIGN.md.
+ *
+ * Two outputs per file:
+ *  - the token stream (identifiers, numbers, literals, punctuation),
+ *    each token tagged with its line and whether it sits inside a
+ *    preprocessor directive, and
+ *  - the suppression table parsed from `// mcsim-lint: check(reason)`
+ *    comments, keyed by comment line.
+ */
+
+#ifndef MCSIM_TOOLS_LINT_LEXER_HH
+#define MCSIM_TOOLS_LINT_LEXER_HH
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcsim::lint
+{
+
+/** Token classification; checks mostly dispatch on Ident vs Punct. */
+enum class Tok : unsigned char
+{
+    Ident,    ///< identifier or keyword
+    Number,   ///< numeric literal (incl. digit separators, suffixes)
+    String,   ///< string literal (ordinary or raw), text excluded
+    CharLit,  ///< character literal
+    Punct,    ///< operator/punctuator (multi-char units, see lexer.cc)
+};
+
+/** One lexed token. `text` views into the owning LexedFile's buffer. */
+struct Token
+{
+    Tok kind{Tok::Punct};
+    std::string_view text;
+    unsigned line = 0;
+    /** True when the token is part of a preprocessor directive. */
+    bool pp = false;
+
+    bool is(std::string_view t) const { return text == t; }
+    bool isIdent(std::string_view t) const
+    {
+        return kind == Tok::Ident && text == t;
+    }
+};
+
+/** One parsed `// mcsim-lint: check(reason)` annotation. */
+struct Suppression
+{
+    std::string check;   ///< check name as written (e.g. order-insensitive)
+    std::string reason;  ///< text between the parentheses, trimmed
+    unsigned line = 0;   ///< line the comment sits on
+    bool malformed = false;  ///< marker present but unparsable
+};
+
+/** A lexed source file. Owns the text the tokens view into. */
+struct LexedFile
+{
+    std::string path;    ///< effective (classification/report) path
+    std::string source;  ///< file contents
+    std::vector<Token> tokens;
+    /** Suppressions keyed by the line their comment appears on. */
+    std::map<unsigned, std::vector<Suppression>> suppressions;
+};
+
+/**
+ * Lex @p source (reported as @p path) into tokens + suppressions.
+ * Never fails: unterminated constructs lex to end-of-file.
+ */
+LexedFile lex(std::string path, std::string source);
+
+} // namespace mcsim::lint
+
+#endif // MCSIM_TOOLS_LINT_LEXER_HH

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * mcsim-lint -- the repo's determinism & protocol-hygiene linter.
+ *
+ * Runs the check catalog (lint/checks.hh, DESIGN.md section 13) over
+ * the translation units listed in compile_commands.json plus every
+ * header under the requested roots. Exit status: 0 clean, 1 findings,
+ * 2 bad invocation (the tools/ exit-2 contract).
+ *
+ *   mcsim-lint -p build src                 # enforce the tree
+ *   mcsim-lint --list-checks                # catalog
+ *   mcsim-lint --check no-entropy file.cc   # one check, explicit file
+ *   mcsim-lint --treat-as src/mem/x.cc f.cc # classify f.cc as that path
+ *   mcsim-lint --list-suppressions src      # audit trail
+ *   mcsim-lint --json out.json ...          # machine-readable findings
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "lint/checks.hh"
+#include "lint/lexer.hh"
+#include "lint/symbols.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using namespace mcsim;
+
+int
+usage(const char *msg)
+{
+    if (msg != nullptr)
+        std::fprintf(stderr, "mcsim-lint: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage: mcsim-lint [-p <builddir>] [--check <name>] "
+                 "[--json <out>] [--treat-as <path>] [--list-checks] "
+                 "[--list-suppressions] [paths...]\n");
+    return 2;
+}
+
+/** Read a whole file; false when unreadable. */
+bool
+slurp(const fs::path &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Repo-relative-ish display path: strip a leading prefix when present. */
+std::string
+displayPath(const fs::path &path, const fs::path &base)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(path, base, ec);
+    if (ec || rel.empty() || rel.native().rfind("..", 0) == 0)
+        return path.generic_string();
+    return rel.generic_string();
+}
+
+/**
+ * Gather the files to lint: for directory roots, the compile-database
+ * TUs under the root plus every header beneath it (headers are not
+ * TUs but hold the declarations and suppressions); explicit file
+ * arguments are taken as-is.
+ */
+std::vector<fs::path>
+gatherFiles(const std::vector<fs::path> &roots,
+            const std::vector<fs::path> &dbFiles)
+{
+    std::set<std::string> seen;
+    std::vector<fs::path> out;
+    auto add = [&](const fs::path &p) {
+        std::error_code ec;
+        fs::path canon = fs::weakly_canonical(p, ec);
+        if (ec)
+            canon = p;
+        if (seen.insert(canon.generic_string()).second)
+            out.push_back(canon);
+    };
+
+    for (const fs::path &root : roots) {
+        if (fs::is_regular_file(root)) {
+            add(root);
+            continue;
+        }
+        std::error_code ec;
+        const fs::path canonRoot = fs::weakly_canonical(root, ec);
+        const std::string prefix =
+            (ec ? root : canonRoot).generic_string() + "/";
+        for (const fs::path &tu : dbFiles) {
+            if (tu.generic_string().rfind(prefix, 0) == 0)
+                add(tu);
+        }
+        for (auto it = fs::recursive_directory_iterator(
+                 root, fs::directory_options::skip_permission_denied, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it) {
+            const fs::path &p = it->path();
+            const std::string ext = p.extension().string();
+            if (it->is_regular_file() && (ext == ".hh" || ext == ".h"))
+                add(p);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** TU list from <builddir>/compile_commands.json (empty when absent). */
+std::vector<fs::path>
+loadCompileDb(const fs::path &builddir, bool &found)
+{
+    std::vector<fs::path> out;
+    std::string text;
+    found = slurp(builddir / "compile_commands.json", text);
+    if (!found)
+        return out;
+    std::string error;
+    const exp::Json db = exp::Json::parse(text, &error);
+    if (!db.isArray()) {
+        std::fprintf(stderr,
+                     "mcsim-lint: warning: unparsable compile database "
+                     "(%s); falling back to directory scan\n",
+                     error.c_str());
+        found = false;
+        return out;
+    }
+    for (const exp::Json &entry : db.elements()) {
+        const exp::Json *file = entry.find("file");
+        if (file == nullptr || !file->isString())
+            continue;
+        fs::path p(file->asString());
+        if (p.is_relative()) {
+            if (const exp::Json *dir = entry.find("directory");
+                dir != nullptr && dir->isString())
+                p = fs::path(dir->asString()) / p;
+        }
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path builddir = "build";
+    std::string only;
+    std::string jsonOut;
+    std::string treatAs;
+    bool listChecks = false;
+    bool listSuppressions = false;
+    std::vector<fs::path> roots;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "mcsim-lint: %s expects a value\n",
+                             what);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "-p") {
+            builddir = next("-p");
+        } else if (arg == "--check") {
+            only = next("--check");
+            if (!lint::isKnownCheck(only))
+                return usage(("unknown check '" + only + "'").c_str());
+        } else if (arg == "--json") {
+            jsonOut = next("--json");
+        } else if (arg == "--treat-as") {
+            treatAs = next("--treat-as");
+        } else if (arg == "--list-checks") {
+            listChecks = true;
+        } else if (arg == "--list-suppressions") {
+            listSuppressions = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(nullptr);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(("unknown option '" + arg + "'").c_str());
+        } else {
+            roots.emplace_back(arg);
+        }
+    }
+
+    if (listChecks) {
+        for (const lint::CheckInfo &c : lint::checkInfos())
+            std::printf("%-32s %s\n", c.name, c.summary);
+        return 0;
+    }
+    if (roots.empty())
+        roots.emplace_back("src");
+    if (!treatAs.empty() &&
+        (roots.size() != 1 || !fs::is_regular_file(roots[0])))
+        return usage("--treat-as requires exactly one input file");
+
+    bool dbFound = false;
+    const std::vector<fs::path> dbFiles = loadCompileDb(builddir, dbFound);
+    std::vector<fs::path> files;
+    if (dbFound) {
+        files = gatherFiles(roots, dbFiles);
+    } else {
+        // Graceful degradation: no compile database (unconfigured tree
+        // or single-file canary run) -> lint .cc files found by scan.
+        std::vector<fs::path> scanned;
+        for (const fs::path &root : roots) {
+            if (fs::is_regular_file(root)) {
+                scanned.push_back(root);
+                continue;
+            }
+            std::error_code ec;
+            for (auto it = fs::recursive_directory_iterator(root, ec);
+                 !ec && it != fs::recursive_directory_iterator(); ++it) {
+                if (it->is_regular_file() &&
+                    it->path().extension() == ".cc")
+                    scanned.push_back(it->path());
+            }
+        }
+        files = gatherFiles(scanned, {});
+    }
+    if (files.empty())
+        return usage("nothing to lint (no inputs found)");
+
+    const fs::path cwd = fs::current_path();
+    std::vector<lint::LexedFile> lexed;
+    lint::SymbolIndex index;
+    for (const fs::path &p : files) {
+        std::string text;
+        if (!slurp(p, text)) {
+            std::fprintf(stderr, "mcsim-lint: cannot read %s\n",
+                         p.generic_string().c_str());
+            return 2;
+        }
+        std::string effective =
+            treatAs.empty() ? displayPath(p, cwd) : treatAs;
+        lexed.push_back(lint::lex(std::move(effective), std::move(text)));
+        lint::harvestSymbols(lexed.back(), index);
+    }
+
+    if (listSuppressions) {
+        unsigned count = 0;
+        for (const lint::LexedFile &f : lexed) {
+            for (const auto &[line, entries] : f.suppressions) {
+                for (const lint::Suppression &s : entries) {
+                    std::printf("%s:%u: %s(%s)\n", f.path.c_str(), line,
+                                s.malformed ? "<malformed>"
+                                            : s.check.c_str(),
+                                s.reason.c_str());
+                    ++count;
+                }
+            }
+        }
+        std::printf("mcsim-lint: %u suppression(s) in %zu file(s)\n",
+                    count, lexed.size());
+        return 0;
+    }
+
+    std::vector<lint::Finding> findings;
+    for (const lint::LexedFile &f : lexed)
+        lint::runChecks(f, index, only, findings);
+
+    for (const lint::Finding &f : findings) {
+        std::printf("%s:%u: [%s] %s\n", f.file.c_str(), f.line,
+                    f.check.c_str(), f.message.c_str());
+    }
+
+    if (!jsonOut.empty()) {
+        exp::Json doc = exp::Json::object();
+        doc["files"] = static_cast<unsigned>(lexed.size());
+        doc["findings"] = exp::Json::array();
+        for (const lint::Finding &f : findings) {
+            exp::Json j = exp::Json::object();
+            j["file"] = f.file;
+            j["line"] = f.line;
+            j["check"] = f.check;
+            j["message"] = f.message;
+            doc["findings"].push(std::move(j));
+        }
+        std::ofstream out(jsonOut, std::ios::binary);
+        out << doc.dump() << "\n";
+        if (!out) {
+            std::fprintf(stderr, "mcsim-lint: cannot write %s\n",
+                         jsonOut.c_str());
+            return 2;
+        }
+    }
+
+    if (findings.empty()) {
+        std::fprintf(stderr, "mcsim-lint: clean (%zu files)\n",
+                     lexed.size());
+        return 0;
+    }
+    std::fprintf(stderr, "mcsim-lint: %zu finding(s) in %zu file(s)\n",
+                 findings.size(), lexed.size());
+    return 1;
+}

@@ -1,0 +1,130 @@
+#include "lint/symbols.hh"
+
+namespace mcsim::lint
+{
+
+namespace
+{
+
+/**
+ * Starting at an opening `<` (index of the `<` token), return the index
+ * one past the matching `>`. `>` is always lexed as a single token, so
+ * nested template argument lists count cleanly. Returns @p n when
+ * unbalanced (the harvest then abandons the declaration).
+ */
+std::size_t
+skipTemplateArgs(const std::vector<Token> &toks, std::size_t at,
+                 std::size_t n)
+{
+    int depth = 0;
+    for (std::size_t i = at; i < n; ++i) {
+        if (toks[i].is("<")) {
+            ++depth;
+        } else if (toks[i].is(">")) {
+            if (--depth == 0)
+                return i + 1;
+        } else if (toks[i].is(";") || toks[i].is("{")) {
+            return n;  // not a template argument list after all
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+void
+harvestSymbols(const LexedFile &file, SymbolIndex &index)
+{
+    const auto &toks = file.tokens;
+    const std::size_t n = toks.size();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (toks[i].pp || toks[i].kind != Tok::Ident)
+            continue;
+
+        // enum [class|struct] Name [: underlying] { A, B = x, C };
+        if (toks[i].is("enum")) {
+            std::size_t j = i + 1;
+            if (j < n && (toks[j].is("class") || toks[j].is("struct")))
+                ++j;
+            if (j >= n || toks[j].kind != Tok::Ident)
+                continue;
+            const std::string name(toks[j].text);
+            ++j;
+            while (j < n && !toks[j].is("{") && !toks[j].is(";"))
+                ++j;
+            if (j >= n || toks[j].is(";"))
+                continue;  // forward declaration / opaque enum
+            unsigned count = 0;
+            int depth = 0;
+            bool atEnumeratorStart = true;
+            for (; j < n; ++j) {
+                if (toks[j].is("{")) {
+                    ++depth;
+                    atEnumeratorStart = true;
+                    continue;
+                }
+                if (toks[j].is("}")) {
+                    if (--depth == 0)
+                        break;
+                    continue;
+                }
+                if (depth != 1)
+                    continue;
+                if (toks[j].is(",")) {
+                    atEnumeratorStart = true;
+                    continue;
+                }
+                if (atEnumeratorStart && toks[j].kind == Tok::Ident)
+                    ++count;
+                atEnumeratorStart = false;
+            }
+            index.enums[name] = count;
+            continue;
+        }
+
+        // using Alias = [std::]unordered_map<...>;
+        if (toks[i].is("using") && i + 2 < n &&
+            toks[i + 1].kind == Tok::Ident && toks[i + 2].is("=")) {
+            for (std::size_t j = i + 3; j < n && !toks[j].is(";"); ++j) {
+                if (toks[j].isIdent("unordered_map") ||
+                    toks[j].isIdent("unordered_set") ||
+                    toks[j].isIdent("unordered_multimap") ||
+                    toks[j].isIdent("unordered_multiset")) {
+                    index.unorderedTypes.insert(std::string(toks[i + 1].text));
+                    break;
+                }
+            }
+            continue;
+        }
+
+        // [std::]unordered_map<...> name   (variable, member, or function
+        // returning one -- all of which make iteration order-sensitive),
+        // or AliasType name for a harvested alias.
+        const bool direct = toks[i].is("unordered_map") ||
+                            toks[i].is("unordered_set") ||
+                            toks[i].is("unordered_multimap") ||
+                            toks[i].is("unordered_multiset");
+        const bool viaAlias =
+            index.unorderedTypes.count(std::string(toks[i].text)) > 0;
+        if (!direct && !viaAlias)
+            continue;
+
+        std::size_t j = i + 1;
+        if (direct) {
+            if (j >= n || !toks[j].is("<"))
+                continue;  // bare mention (e.g. in a comment-free doc)
+            j = skipTemplateArgs(toks, j, n);
+            if (j >= n)
+                continue;
+        }
+        // Skip reference/pointer declarators and const.
+        while (j < n &&
+               (toks[j].is("&") || toks[j].is("*") || toks[j].is("const")))
+            ++j;
+        if (j < n && toks[j].kind == Tok::Ident)
+            index.unorderedNames.insert(std::string(toks[j].text));
+    }
+}
+
+} // namespace mcsim::lint

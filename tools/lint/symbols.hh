@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cross-file symbol harvest for mcsim-lint.
+ *
+ * The checks need three pieces of repo-wide knowledge that a single
+ * token stream cannot provide:
+ *
+ *  - which names are declared with std::unordered_map/unordered_set
+ *    type (variables, data members, and functions returning one), so
+ *    iteration over them can be recognized at use sites in other files;
+ *  - which scoped enums are defined in the linted tree (name and
+ *    enumerator count), so a `switch` whose case labels are qualified
+ *    with one of them is known to range over a closed protocol enum;
+ *  - type aliases that resolve to unordered containers.
+ *
+ * The harvest runs over every gathered file (headers included) before
+ * any check runs. It is name-based, not scope-resolved: a std::vector
+ * that shares its identifier with an unordered member elsewhere would
+ * be over-approximated. The repo-wide zero-findings gate keeps that
+ * honest -- a collision either gets renamed or suppressed with a
+ * written reason.
+ */
+
+#ifndef MCSIM_TOOLS_LINT_SYMBOLS_HH
+#define MCSIM_TOOLS_LINT_SYMBOLS_HH
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "lint/lexer.hh"
+
+namespace mcsim::lint
+{
+
+/** Accumulated declarations across all linted files. */
+struct SymbolIndex
+{
+    /** Names declared with an unordered container type. */
+    std::set<std::string, std::less<>> unorderedNames;
+    /** Type aliases (`using X = std::unordered_map<...>`) to unordered
+     *  containers; declarations of these types feed unorderedNames. */
+    std::set<std::string, std::less<>> unorderedTypes;
+    /** Scoped enums defined in the linted tree -> enumerator count. */
+    std::map<std::string, unsigned, std::less<>> enums;
+};
+
+/** Harvest declarations from one lexed file into @p index. */
+void harvestSymbols(const LexedFile &file, SymbolIndex &index);
+
+} // namespace mcsim::lint
+
+#endif // MCSIM_TOOLS_LINT_SYMBOLS_HH
