@@ -162,6 +162,8 @@ Processor::beginOp(const Op &op, std::coroutine_handle<> h)
 {
     MCSIM_ASSERT(!active, "processor %u began op with one active", cfg.id);
     const Tick now = queue.now();
+    if (issueSink)
+        issueSink->onIssue(op);
     countOp(op);
 
     switch (op.kind) {

@@ -159,6 +159,19 @@ class Processor
         bool own = false;
     };
 
+    /**
+     * Observer of the workload's instruction stream at the issue
+     * boundary (src/trace/ capture). Sees every op exactly once, in
+     * program order, before any stall rule applies; purely
+     * observational, so wiring one can never change timing.
+     */
+    class IssueSink
+    {
+      public:
+        virtual ~IssueSink() = default;
+        virtual void onIssue(const Op &op) = 0;
+    };
+
     /** Awaitable returned by all instruction factories. */
     class [[nodiscard]] Awaiter
     {
@@ -238,6 +251,9 @@ class Processor
 
     /** Wire the event tracer (Machine; nullptr = no tracing). */
     void setTracer(obs::Tracer *t) { tracer = t; }
+
+    /** Wire the issue-boundary observer (trace capture; nullptr = off). */
+    void setIssueSink(IssueSink *s) { issueSink = s; }
 
     /**
      * Fault injection (tests only): ignore the drain gate at the next sync
@@ -395,6 +411,7 @@ class Processor
     check::Checker *checker = nullptr;
     axiom::TraceRecorder *recorder = nullptr;
     obs::Tracer *tracer = nullptr;
+    IssueSink *issueSink = nullptr;
     /** Trace id of the deferred RC release (at most one pending). */
     std::uint32_t releaseTraceId = noTraceId;
     bool skipNextDrain = false;  ///< fault injection, tests only

@@ -1,0 +1,78 @@
+#include "trace/capture.hh"
+
+#include "sim/logging.hh"
+
+namespace mcsim::trace
+{
+
+namespace
+{
+
+/** Project a processor op onto its stored form. */
+Record
+recordFor(const cpu::Processor::Op &op)
+{
+    Record rec;
+    rec.kind = op.kind;
+    switch (op.kind) {
+      case OpKind::Exec:
+        rec.cycles = op.cycles;
+        break;
+      case OpKind::Use:
+        // The only field a Use carries. Tokens are assigned by the
+        // processor sequentially per Load, so the same values reappear
+        // under replay without being stored for Loads.
+        rec.token = op.token;
+        break;
+      case OpKind::Load:
+      case OpKind::LoadUse:
+        rec.addr = op.addr;
+        rec.width = op.width;
+        rec.own = op.own;
+        break;
+      case OpKind::Store:
+        rec.addr = op.addr;
+        rec.value = op.value;
+        rec.width = op.width;
+        break;
+      case OpKind::SyncLoad:
+      case OpKind::SyncRmw:
+        rec.addr = op.addr;
+        break;
+      case OpKind::SyncStore:
+        rec.addr = op.addr;
+        rec.value = op.value;
+        break;
+      case OpKind::Fence:
+        break;
+    }
+    return rec;
+}
+
+} // namespace
+
+TraceCapture::TraceCapture(const TraceHeader &header, ByteSink &sink)
+    : writer(header, sink), procCount(header.procCount)
+{}
+
+void
+TraceCapture::attach(core::Machine &machine)
+{
+    MCSIM_ASSERT(taps.empty(), "trace capture attached twice");
+    if (machine.numProcs() != procCount) {
+        fatal("trace: capture header declares %u procs but the machine "
+              "has %u", procCount, machine.numProcs());
+    }
+    for (unsigned p = 0; p < machine.numProcs(); ++p) {
+        taps.push_back(std::make_unique<ProcTap>(writer, p));
+        machine.proc(p).setIssueSink(taps.back().get());
+    }
+}
+
+void
+TraceCapture::ProcTap::onIssue(const cpu::Processor::Op &op)
+{
+    writer.append(proc, recordFor(op));
+}
+
+} // namespace mcsim::trace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Trace capture: record any workload run to a trace by observing every
+ * processor's issue boundary (cpu::Processor::IssueSink).
+ *
+ * Usage: build the capture, then run the workload with the afterSetup
+ * hook attaching it --
+ *
+ *     trace::MemorySink sink;
+ *     trace::TraceCapture capture(header, sink);
+ *     workloads::runWorkload(w, cfg, [&](core::Machine &m) {
+ *         capture.attach(m);
+ *     });
+ *     capture.finish();
+ *
+ * The sink is purely observational (it sees ops before any stall rule
+ * applies and simulates nothing), so a captured run's cycle counts are
+ * identical to the same run without capture.
+ */
+
+#ifndef MCSIM_TRACE_CAPTURE_HH
+#define MCSIM_TRACE_CAPTURE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/machine.hh"
+#include "trace/writer.hh"
+
+namespace mcsim::trace
+{
+
+/** Records one machine's workload issue stream through a TraceWriter. */
+class TraceCapture
+{
+  public:
+    /**
+     * @p header describes the trace being recorded; its procCount must
+     * match the machine later attached. totalRecords is counted by the
+     * writer.
+     */
+    TraceCapture(const TraceHeader &header, ByteSink &sink);
+
+    /** Install one issue tap per processor of @p machine. */
+    void attach(core::Machine &machine);
+
+    /** Flush the trace (call after the run; safe once per capture). */
+    void finish() { writer.finish(); }
+
+    std::uint64_t recordCount() const { return writer.recordCount(); }
+
+  private:
+    /** Per-processor tap: forwards ops tagged with the proc id. */
+    class ProcTap : public cpu::Processor::IssueSink
+    {
+      public:
+        ProcTap(TraceWriter &w, unsigned p) : writer(w), proc(p) {}
+        void onIssue(const cpu::Processor::Op &op) override;
+
+      private:
+        TraceWriter &writer;
+        unsigned proc;
+    };
+
+    TraceWriter writer;
+    unsigned procCount;
+    std::vector<std::unique_ptr<ProcTap>> taps;
+};
+
+} // namespace mcsim::trace
+
+#endif // MCSIM_TRACE_CAPTURE_HH

@@ -1,0 +1,346 @@
+#include "trace/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace mcsim::trace
+{
+
+namespace
+{
+
+/** Shared-data region base; keeps address 0 free as a null-ish hole. */
+constexpr Addr dataBase = 4096;
+
+/** Record constructors. @{ */
+Record
+execRec(std::uint32_t cycles)
+{
+    Record r;
+    r.kind = OpKind::Exec;
+    r.cycles = cycles;
+    return r;
+}
+
+Record
+loadRec(Addr addr)
+{
+    Record r;
+    r.kind = OpKind::Load;
+    r.addr = addr;
+    return r;
+}
+
+Record
+useRec(std::uint64_t token)
+{
+    Record r;
+    r.kind = OpKind::Use;
+    r.token = token;
+    return r;
+}
+
+Record
+loadUseRec(Addr addr)
+{
+    Record r;
+    r.kind = OpKind::LoadUse;
+    r.addr = addr;
+    return r;
+}
+
+Record
+storeRec(Addr addr, std::uint64_t value)
+{
+    Record r;
+    r.kind = OpKind::Store;
+    r.addr = addr;
+    r.value = value;
+    return r;
+}
+
+Record
+syncRec(OpKind kind, Addr addr, std::uint64_t value = 0)
+{
+    Record r;
+    r.kind = kind;
+    r.addr = addr;
+    r.value = value;
+    return r;
+}
+/** @} */
+
+/**
+ * One processor's emission context: the writer plus the load-token
+ * counter mirroring the replaying processor's sequential numbering.
+ */
+struct ProcEmit
+{
+    TraceWriter &writer;
+    unsigned proc;
+    std::uint64_t emitted = 0;
+    std::uint64_t nextToken = 1;
+
+    void
+    put(const Record &rec)
+    {
+        writer.append(proc, rec);
+        emitted += 1;
+    }
+
+    /** Issue a non-blocking load; returns its replay-time token. */
+    std::uint64_t
+    load(Addr addr)
+    {
+        put(loadRec(addr));
+        return nextToken++;
+    }
+};
+
+/** Per-proc deterministic rng stream, decorrelated from neighbours. */
+Rng
+procRng(std::uint64_t seed, unsigned proc)
+{
+    return Rng(splitmix64(seed ^ (0x9e3779b97f4a7c15ull * (proc + 1))));
+}
+
+/**
+ * Cumulative zipfian weights over n keys (weight of key i proportional
+ * to 1/(i+1)^skew), scaled to uint64 fixed point for exact sampling.
+ */
+std::vector<std::uint64_t>
+zipfCumulative(unsigned n, double skew)
+{
+    std::vector<double> weights(n);
+    double total = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), skew);
+        total += weights[i];
+    }
+    std::vector<std::uint64_t> cumulative(n);
+    double run = 0.0;
+    const double scale =
+        static_cast<double>(std::uint64_t(1) << 62) / total;
+    for (unsigned i = 0; i < n; ++i) {
+        run += weights[i];
+        cumulative[i] = static_cast<std::uint64_t>(run * scale);
+    }
+    cumulative[n - 1] = std::uint64_t(1) << 62;
+    return cumulative;
+}
+
+unsigned
+zipfSample(const std::vector<std::uint64_t> &cumulative, Rng &rng)
+{
+    const std::uint64_t u = rng.next() >> 2;  // uniform in [0, 2^62)
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), u);
+    return static_cast<unsigned>(it - cumulative.begin());
+}
+
+void
+emitZipf(const GeneratorParams &p, ProcEmit &out, Rng &rng,
+         const std::vector<std::uint64_t> &cumulative)
+{
+    while (out.emitted < p.opsPerProc) {
+        // A small train of overlapped references, then their uses: the
+        // non-blocking-load overlap is where relaxed models pull ahead.
+        const unsigned train = 1 + static_cast<unsigned>(rng.below(4));
+        std::vector<std::uint64_t> trainTokens;
+        for (unsigned i = 0; i < train; ++i) {
+            const Addr addr =
+                dataBase + Addr(zipfSample(cumulative, rng)) * 8;
+            if (rng.chance(p.storeFraction))
+                out.put(storeRec(addr, rng.next() & 0xFFFFu));
+            else
+                trainTokens.push_back(out.load(addr));
+        }
+        out.put(execRec(1 + static_cast<std::uint32_t>(rng.below(4))));
+        for (std::uint64_t token : trainTokens)
+            out.put(useRec(token));
+        if (rng.chance(0.02))
+            out.put(syncRec(OpKind::Fence, 0));
+    }
+}
+
+void
+emitBurst(const GeneratorParams &p, ProcEmit &out, Rng &rng)
+{
+    constexpr unsigned objectCount = 256;
+    while (out.emitted < p.opsPerProc) {
+        out.put(execRec(1 + static_cast<std::uint32_t>(
+                                rng.below(p.idleMax))));
+        const unsigned burst =
+            1 + static_cast<unsigned>(rng.below(p.burstMax));
+        for (unsigned r = 0; r < burst && out.emitted < p.opsPerProc;
+             ++r) {
+            const Addr object = dataBase + rng.below(objectCount) * 64;
+            std::vector<std::uint64_t> objectTokens;
+            objectTokens.reserve(p.objectWords);
+            for (unsigned w = 0; w < p.objectWords; ++w)
+                objectTokens.push_back(out.load(object + Addr(w) * 8));
+            out.put(execRec(2));
+            for (std::uint64_t token : objectTokens)
+                out.put(useRec(token));
+            if (rng.chance(0.3))
+                out.put(storeRec(object, rng.next() & 0xFFFFu));
+        }
+    }
+}
+
+void
+emitRing(const GeneratorParams &p, ProcEmit &out, Rng &rng)
+{
+    // Ring r is filled by proc r and drained by its right neighbour.
+    const auto ringBase = [](unsigned ring) {
+        return dataBase + Addr(ring) * 8192;
+    };
+    const auto flagAddr = [&](unsigned ring, unsigned slot) {
+        return ringBase(ring) + Addr(slot) * 64;
+    };
+    const auto payloadAddr = [&](unsigned ring, unsigned slot,
+                                 unsigned word) {
+        return ringBase(ring) + 4096 + Addr(slot) * 64 + Addr(word) * 8;
+    };
+    const unsigned self = out.proc;
+    const unsigned upstream = (self + p.procs - 1) % p.procs;
+    std::uint64_t iteration = 0;
+    while (out.emitted < p.opsPerProc) {
+        const unsigned slot =
+            static_cast<unsigned>(iteration % p.ringSlots);
+        // Produce: payload first, then publish through the sync flag
+        // (release-shaped; RC can overlap the payload stores).
+        for (unsigned w = 0; w < p.payloadWords; ++w) {
+            out.put(storeRec(payloadAddr(self, slot, w),
+                             iteration * 8 + w));
+        }
+        out.put(syncRec(OpKind::SyncStore, flagAddr(self, slot),
+                        iteration + 1));
+        // Consume the matching slot of the upstream ring: sync flag
+        // read (acquire-shaped), then the payload words.
+        out.put(syncRec(OpKind::SyncLoad, flagAddr(upstream, slot)));
+        for (unsigned w = 0; w < p.payloadWords; ++w)
+            out.put(loadUseRec(payloadAddr(upstream, slot, w)));
+        out.put(execRec(1 + static_cast<std::uint32_t>(rng.below(8))));
+        iteration += 1;
+    }
+}
+
+void
+emitLockStorm(const GeneratorParams &p, ProcEmit &out, Rng &rng)
+{
+    const auto lockAddr = [](unsigned lock) {
+        return dataBase + Addr(lock) * 64;
+    };
+    const auto dataAddr = [&](unsigned lock, unsigned word) {
+        return dataBase + 16384 + Addr(lock) * 64 + Addr(word) * 8;
+    };
+    while (out.emitted < p.opsPerProc) {
+        const unsigned lock = static_cast<unsigned>(rng.below(p.locks));
+        // Test-and-test&set acquire shape (cpu/sync.hh) without the
+        // data-dependent retry loop: one test read, one rmw.
+        out.put(syncRec(OpKind::SyncLoad, lockAddr(lock)));
+        out.put(syncRec(OpKind::SyncRmw, lockAddr(lock)));
+        for (unsigned h = 0; h < p.holdOps; ++h) {
+            const Addr addr = dataAddr(lock, h % 8);
+            if (rng.chance(0.5))
+                out.put(loadUseRec(addr));
+            else
+                out.put(storeRec(addr, rng.next() & 0xFFFFu));
+        }
+        out.put(syncRec(OpKind::SyncStore, lockAddr(lock), 0));
+        out.put(execRec(1 + static_cast<std::uint32_t>(rng.below(16))));
+    }
+}
+
+void
+validateParams(const GeneratorParams &p)
+{
+    if (p.procs == 0 || (p.procs & (p.procs - 1)) != 0)
+        fatal("generator procs must be a power of two (got %u)", p.procs);
+    if (p.opsPerProc == 0)
+        fatal("generator ops-per-proc must be positive");
+    if (p.hotKeys == 0 || p.hotKeys > 65536)
+        fatal("zipf hot-keys must be in [1, 65536] (got %u)", p.hotKeys);
+    if (p.zipfSkew < 0.0 || p.zipfSkew > 4.0)
+        fatal("zipf skew must be in [0, 4] (got %g)", p.zipfSkew);
+    if (p.storeFraction < 0.0 || p.storeFraction > 1.0)
+        fatal("store fraction must be in [0, 1] (got %g)",
+              p.storeFraction);
+    if (p.burstMax == 0 || p.idleMax == 0)
+        fatal("burst/idle maxima must be positive");
+    if (p.objectWords == 0 || p.objectWords > 8)
+        fatal("object words must be in [1, 8] (got %u)", p.objectWords);
+    if (p.ringSlots == 0 || p.ringSlots > 64)
+        fatal("ring slots must be in [1, 64] (got %u)", p.ringSlots);
+    if (p.payloadWords == 0 || p.payloadWords > 8)
+        fatal("payload words must be in [1, 8] (got %u)",
+              p.payloadWords);
+    if (p.kind == Generator::Ring && p.procs < 2)
+        fatal("ring generator needs at least 2 procs");
+    if (p.locks == 0 || p.locks > 64)
+        fatal("lock count must be in [1, 64] (got %u)", p.locks);
+    if (p.holdOps == 0 || p.holdOps > 16)
+        fatal("hold ops must be in [1, 16] (got %u)", p.holdOps);
+    if (p.kind == Generator::Captured)
+        fatal("'captured' is not a generator (use trace_runner record)");
+}
+
+} // namespace
+
+TraceHeader
+generatorHeader(const GeneratorParams &params)
+{
+    TraceHeader header;
+    header.procCount = params.procs;
+    header.seed = params.seed;
+    header.generator = params.kind;
+    header.source = generatorName(params.kind);
+    return header;
+}
+
+void
+generateTrace(const GeneratorParams &params, ByteSink &sink)
+{
+    validateParams(params);
+    TraceWriter writer(generatorHeader(params), sink);
+
+    std::vector<std::uint64_t> cumulative;
+    if (params.kind == Generator::Zipfian)
+        cumulative = zipfCumulative(params.hotKeys, params.zipfSkew);
+
+    for (unsigned p = 0; p < params.procs; ++p) {
+        ProcEmit out{writer, p};
+        Rng rng = procRng(params.seed, p);
+        switch (params.kind) {
+          case Generator::Zipfian:
+            emitZipf(params, out, rng, cumulative);
+            break;
+          case Generator::Bursty:
+            emitBurst(params, out, rng);
+            break;
+          case Generator::Ring:
+            emitRing(params, out, rng);
+            break;
+          case Generator::LockStorm:
+            emitLockStorm(params, out, rng);
+            break;
+          case Generator::Captured:
+            panic("captured traces are not generated");
+        }
+    }
+    writer.finish();
+}
+
+std::vector<std::uint8_t>
+generateTraceBytes(const GeneratorParams &params)
+{
+    MemorySink sink;
+    generateTrace(params, sink);
+    return sink.take();
+}
+
+} // namespace mcsim::trace

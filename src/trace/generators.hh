@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic datacenter traffic generators (DESIGN.md section 14.4).
+ *
+ * Each generator derives every choice from the seed through the house
+ * Rng (sim/random.hh), so one (generator, knobs, seed) tuple always
+ * produces the identical byte stream -- traces are reproducible
+ * artifacts, never captured entropy. Four shapes:
+ *
+ *  - zipf:  zipfian hot-key key-value traffic; overlapped non-blocking
+ *           loads with occasional stores and rare fences.
+ *  - burst: bursty open-loop request arrivals; idle gaps then trains of
+ *           multi-word object reads with trailing updates.
+ *  - ring:  neighbour producer/consumer rings; payload stores published
+ *           by a sync flag store, consumed via sync load + reads.
+ *  - lock:  lock-contention storm on a few hot locks; test-and-test&set
+ *           acquires around short critical sections.
+ *
+ * Traces are machine-geometry independent (addresses are 64-byte
+ * separated where false sharing is not the point), so one trace sweeps
+ * across every model and cache shape unchanged.
+ */
+
+#ifndef MCSIM_TRACE_GENERATORS_HH
+#define MCSIM_TRACE_GENERATORS_HH
+
+#include <vector>
+
+#include "trace/writer.hh"
+
+namespace mcsim::trace
+{
+
+/** Knobs for all generators; each shape reads its own subset. */
+struct GeneratorParams
+{
+    Generator kind = Generator::Zipfian;
+    unsigned procs = 8;
+    /** Approximate record budget per processor (patterns complete, so
+     *  the actual count can slightly exceed it). */
+    unsigned opsPerProc = 1024;
+    std::uint64_t seed = 1;
+
+    /** zipf: number of hot keys, skew exponent, update fraction. @{ */
+    unsigned hotKeys = 256;
+    double zipfSkew = 0.9;
+    double storeFraction = 0.25;
+    /** @} */
+
+    /** burst: arrival/burst shape and object footprint. @{ */
+    unsigned burstMax = 24;
+    unsigned idleMax = 160;
+    unsigned objectWords = 4;
+    /** @} */
+
+    /** ring: slots per ring and payload words per slot. @{ */
+    unsigned ringSlots = 8;
+    unsigned payloadWords = 4;
+    /** @} */
+
+    /** lock: hot-lock count and critical-section length. @{ */
+    unsigned locks = 2;
+    unsigned holdOps = 4;
+    /** @} */
+};
+
+/** The header a generated trace carries for @p params. */
+TraceHeader generatorHeader(const GeneratorParams &params);
+
+/**
+ * Emit the trace described by @p params into @p sink. fatal() on
+ * out-of-range knobs (strict up-front validation, CLI contract).
+ */
+void generateTrace(const GeneratorParams &params, ByteSink &sink);
+
+/** Convenience: generate into a memory buffer (grids, tests). */
+std::vector<std::uint8_t> generateTraceBytes(const GeneratorParams &params);
+
+} // namespace mcsim::trace
+
+#endif // MCSIM_TRACE_GENERATORS_HH

@@ -1,0 +1,129 @@
+#include "trace/writer.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace mcsim::trace
+{
+
+void
+MemorySink::write(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buffer.insert(buffer.end(), p, p + size);
+}
+
+void
+MemorySink::patch(std::uint64_t offset, const void *data, std::size_t size)
+{
+    MCSIM_ASSERT(offset + size <= buffer.size(),
+                 "memory sink patch out of range");
+    std::memcpy(buffer.data() + offset, data, size);
+}
+
+FileSink::FileSink(const std::string &p) : path(p)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("trace: cannot open '%s' for writing", path.c_str());
+}
+
+FileSink::~FileSink()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+FileSink::write(const void *data, std::size_t size)
+{
+    if (std::fwrite(data, 1, size, file) != size)
+        fatal("trace: short write to '%s'", path.c_str());
+    cursor += size;
+}
+
+void
+FileSink::patch(std::uint64_t offset, const void *data, std::size_t size)
+{
+    if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0 ||
+        std::fwrite(data, 1, size, file) != size ||
+        std::fseek(file, static_cast<long>(cursor), SEEK_SET) != 0) {
+        fatal("trace: patch write to '%s' failed", path.c_str());
+    }
+}
+
+void
+FileSink::close()
+{
+    if (!file)
+        return;
+    const int status = std::fclose(file);
+    file = nullptr;
+    if (status != 0)
+        fatal("trace: error closing '%s'", path.c_str());
+}
+
+TraceWriter::TraceWriter(const TraceHeader &hdr, ByteSink &out)
+    : header(hdr), sink(out)
+{
+    MCSIM_ASSERT(header.procCount > 0, "trace writer needs >= 1 proc");
+    pending.resize(header.procCount);
+    header.totalRecords = 0;
+    const std::vector<std::uint8_t> bytes = encodeHeader(header);
+    sink.write(bytes.data(), bytes.size());
+}
+
+void
+TraceWriter::append(unsigned proc, const Record &rec)
+{
+    MCSIM_ASSERT(!finished, "append to a finished trace writer");
+    MCSIM_ASSERT(proc < header.procCount,
+                 "trace writer: proc %u out of range", proc);
+    pending[proc].push_back(rec);
+    total += 1;
+    if (pending[proc].size() >= blockRecordLimit)
+        flushProc(proc);
+}
+
+void
+TraceWriter::flushProc(unsigned proc)
+{
+    std::vector<Record> &run = pending[proc];
+    if (run.empty())
+        return;
+
+    std::vector<std::uint8_t> payload;
+    payload.reserve(run.size() * 4);
+    CodecState state;
+    for (const Record &rec : run)
+        encodeRecord(payload, state, rec);
+    MCSIM_ASSERT(payload.size() <= maxBlockPayload,
+                 "trace block payload overflow");
+
+    std::vector<std::uint8_t> head;
+    head.reserve(blockHeaderBytes);
+    putU32(head, blockMagic);
+    putU32(head, proc);
+    putU32(head, static_cast<std::uint32_t>(run.size()));
+    putU32(head, static_cast<std::uint32_t>(payload.size()));
+    putU32(head, crc32(payload.data(), payload.size()));
+    sink.write(head.data(), head.size());
+    sink.write(payload.data(), payload.size());
+    run.clear();
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    for (unsigned p = 0; p < header.procCount; ++p)
+        flushProc(p);
+    header.totalRecords = total;
+    const std::vector<std::uint8_t> bytes = encodeHeader(header);
+    sink.patch(0, bytes.data(), bytes.size());
+}
+
+} // namespace mcsim::trace

@@ -6,11 +6,20 @@ namespace mcsim::workloads
 RunResult
 runWorkload(Workload &workload, const core::MachineConfig &config)
 {
+    return runWorkload(workload, config, {});
+}
+
+RunResult
+runWorkload(Workload &workload, const core::MachineConfig &config,
+            const std::function<void(core::Machine &)> &afterSetup)
+{
     core::MachineConfig cfg = config;
     if (!workload.dataRaceFree())
         cfg.check.races = false;
     core::Machine machine(cfg);
     workload.setup(machine);
+    if (afterSetup)
+        afterSetup(machine);
     const Tick last = machine.run();
     workload.verify(machine);
 

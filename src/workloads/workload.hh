@@ -12,6 +12,7 @@
 #ifndef MCSIM_WORKLOADS_WORKLOAD_HH
 #define MCSIM_WORKLOADS_WORKLOAD_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -84,6 +85,15 @@ struct RunResult
  * verify the answer, and collect metrics.
  */
 RunResult runWorkload(Workload &workload, const core::MachineConfig &config);
+
+/**
+ * As above, but invoke @p afterSetup on the machine between
+ * Workload::setup and the run -- the attach point for observers that
+ * need the built machine (trace capture hooks processor issue sinks
+ * here). Pass an empty function for a plain run.
+ */
+RunResult runWorkload(Workload &workload, const core::MachineConfig &config,
+                      const std::function<void(core::Machine &)> &afterSetup);
 
 } // namespace mcsim::workloads
 
