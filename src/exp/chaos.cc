@@ -235,6 +235,51 @@ ChaosReport::summary() const
 }
 
 Json
+chaosPointToJson(const ChaosPointResult &result)
+{
+    Json job = Json::object();
+    job["id"] = Json(result.id);
+    job["status"] = Json(result.ok ? "ok" : "failed");
+    if (!result.ok)
+        job["error"] = Json(result.error);
+    job["faultsInjected"] = Json(result.faultsInjected);
+    job["retries"] = Json(result.retries);
+    job["nacks"] = Json(result.nacks);
+    job["staleMessages"] = Json(result.staleMessages);
+    job["baselineCycles"] = Json(result.baselineCycles);
+    job["faultedCycles"] = Json(result.faultedCycles);
+    return job;
+}
+
+ChaosPointResult
+chaosPointFromJson(const Json &doc)
+{
+    ChaosPointResult result;
+    auto number = [&](const char *name) -> std::uint64_t {
+        const Json *value = doc.find(name);
+        if (value == nullptr || !value->isNumber())
+            fatal("chaos record lacks numeric field '%s'", name);
+        return static_cast<std::uint64_t>(value->asNumber());
+    };
+    const Json *id = doc.find("id");
+    const Json *status = doc.find("status");
+    if (id == nullptr || !id->isString() || status == nullptr ||
+        !status->isString())
+        fatal("chaos record lacks id/status");
+    result.id = id->asString();
+    result.ok = status->asString() == "ok";
+    if (const Json *error = doc.find("error"))
+        result.error = error->asString();
+    result.faultsInjected = number("faultsInjected");
+    result.retries = number("retries");
+    result.nacks = number("nacks");
+    result.staleMessages = number("staleMessages");
+    result.baselineCycles = number("baselineCycles");
+    result.faultedCycles = number("faultedCycles");
+    return result;
+}
+
+Json
 ChaosReport::toJson() const
 {
     Json doc = Json::object();
@@ -243,20 +288,8 @@ ChaosReport::toJson() const
     doc["preset"] = Json(preset);
     doc["ok"] = Json(ok() ? 1.0 : 0.0);
     Json jobs = Json::array();
-    for (const ChaosPointResult &r : points) {
-        Json job = Json::object();
-        job["id"] = Json(r.id);
-        job["status"] = Json(r.ok ? "ok" : "failed");
-        if (!r.ok)
-            job["error"] = Json(r.error);
-        job["faultsInjected"] = Json(r.faultsInjected);
-        job["retries"] = Json(r.retries);
-        job["nacks"] = Json(r.nacks);
-        job["staleMessages"] = Json(r.staleMessages);
-        job["baselineCycles"] = Json(r.baselineCycles);
-        job["faultedCycles"] = Json(r.faultedCycles);
-        jobs.push(std::move(job));
-    }
+    for (const ChaosPointResult &r : points)
+        jobs.push(chaosPointToJson(r));
     doc["points"] = std::move(jobs);
     return doc;
 }

@@ -63,10 +63,28 @@ SweepRunner::runPoint(const SweepPoint &point)
 std::vector<JobResult>
 SweepRunner::run(const Grid &grid) const
 {
-    const std::size_t total = grid.points.size();
+    std::vector<std::size_t> all(grid.points.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    return runIndices(grid, all);
+}
+
+std::vector<JobResult>
+SweepRunner::runIndices(const Grid &grid,
+                        const std::vector<std::size_t> &indices,
+                        const JobSink &on_complete) const
+{
+    const std::size_t gridTotal = grid.points.size();
+    const std::size_t total = indices.size();
     std::vector<JobResult> results(total);
     if (total == 0)
         return results;
+    for (std::size_t index : indices) {
+        if (index >= gridTotal) {
+            fatal("sweep: index %zu out of range for grid '%s' (%zu "
+                  "points)", index, grid.name.c_str(), gridTotal);
+        }
+    }
 
     // Wall-clock is display-only: it feeds the stderr progress line and
     // never any result. Canonical output stays a pure function of the
@@ -75,26 +93,39 @@ SweepRunner::run(const Grid &grid) const
     const auto t0 = std::chrono::steady_clock::now();
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
+    std::atomic<bool> stop{false};
     std::mutex reportMutex;
 
     auto worker = [&]() {
         for (;;) {
+            if (stop.load(std::memory_order_relaxed))
+                return;
             const std::size_t i = next.fetch_add(1);
             if (i >= total)
                 return;
-            results[i] = runPoint(grid.points[i]);
+            const std::size_t index = indices[i];
+            results[i] = runPoint(grid.points[index]);
             if (!results[i].ok) {
                 // Locate the failure for whoever reads the results
                 // document: a timeout/watchdog message alone does not say
                 // which job died (the machine knows nothing of the grid).
+                // The annotation uses the grid-global index and total, so
+                // a sharded run reports identically to a whole-grid run.
                 results[i].error = strprintf(
                     "grid '%s' point %zu of %zu (%s, seed %llu): %s",
-                    grid.name.c_str(), i, total,
-                    grid.points[i].id().c_str(),
-                    static_cast<unsigned long long>(grid.points[i].seed),
+                    grid.name.c_str(), index, gridTotal,
+                    grid.points[index].id().c_str(),
+                    static_cast<unsigned long long>(
+                        grid.points[index].seed),
                     results[i].error.c_str());
             }
             const std::size_t done = completed.fetch_add(1) + 1;
+            if (on_complete) {
+                // Serialized: journal-style sinks append without locking.
+                std::lock_guard<std::mutex> lock(reportMutex);
+                if (!on_complete(index, results[i]))
+                    stop.store(true, std::memory_order_relaxed);
+            }
             if (!opts.progress)
                 continue;
             const double elapsed =
@@ -109,7 +140,7 @@ SweepRunner::run(const Grid &grid) const
             std::fprintf(stderr,
                          "[%zu/%zu] %-44s %-6s %6.1fs elapsed, ETA "
                          "%.1fs\n",
-                         done, total, grid.points[i].id().c_str(),
+                         done, total, grid.points[index].id().c_str(),
                          results[i].ok ? "ok" : "FAILED", elapsed, eta);
         }
     };
@@ -178,9 +209,6 @@ SweepOutcomes::failedJobs() const
     return n;
 }
 
-namespace
-{
-
 Json
 jobToJson(const JobResult &job)
 {
@@ -214,8 +242,6 @@ jobToJson(const JobResult &job)
     return out;
 }
 
-} // namespace
-
 Json
 SweepOutcomes::toJson() const
 {
@@ -233,7 +259,7 @@ SweepOutcomes::toJson() const
 }
 
 std::string
-SweepOutcomes::toCsv() const
+csvHeader()
 {
     // Fixed column set: point identity, status, then the RunMetrics
     // export in its canonical (alphabetical) order, taken from a default
@@ -248,27 +274,54 @@ SweepOutcomes::toCsv() const
         out += name;
     }
     out += "\n";
-    for (std::size_t i = 0; i < order.size(); ++i) {
-        for (const JobResult &job : perGrid[i]) {
-            const SweepPoint &p = job.point;
-            out += strprintf(
-                "%s,%s,%s,%s,%s,%u,%u,%u,%u,%s,%llu,%s",
-                order[i].c_str(), p.id().c_str(), p.benchmark.c_str(),
-                core::modelName(p.model), scaleName(p.scale), p.numProcs,
-                p.cacheBytes, p.lineBytes, p.delay,
-                workloads::relaxScheduleName(p.schedule),
-                static_cast<unsigned long long>(p.seed),
-                job.ok ? "ok" : "failed");
-            const StatSet stats = job.metrics.toStatSet();
-            for (const auto &[name, value] : reference) {
-                (void)value;
-                out += ',';
-                // Reuse the canonical number formatting.
-                out += Json(stats.get(name)).dump();
-            }
-            out += "\n";
-        }
+    return out;
+}
+
+std::string
+csvRowFromJson(const std::string &grid_name, const Json &job)
+{
+    auto field = [&](const char *name) -> const Json & {
+        const Json *value = job.find(name);
+        if (value == nullptr)
+            fatal("csv: job record lacks field '%s'", name);
+        return *value;
+    };
+    auto text = [&](const char *name) {
+        const Json &value = field(name);
+        // Numbers reuse the canonical writer, so a row rebuilt from a
+        // journaled payload matches one serialized from live results.
+        return value.isString() ? value.asString() : value.dump();
+    };
+    std::string out;
+    out += grid_name;
+    for (const char *name :
+         {"id", "benchmark", "model", "scale", "procs", "cacheBytes",
+          "lineBytes", "delay", "schedule", "seed", "status"}) {
+        out += ',';
+        out += text(name);
     }
+    const Json &metrics = field("metrics");
+    const StatSet reference = core::RunMetrics().toStatSet();
+    for (const auto &[name, value] : reference) {
+        (void)value;
+        const Json *metric = metrics.find(name);
+        if (metric == nullptr)
+            fatal("csv: job '%s' lacks metric '%s'",
+                  text("id").c_str(), name.c_str());
+        out += ',';
+        out += metric->dump();
+    }
+    out += "\n";
+    return out;
+}
+
+std::string
+SweepOutcomes::toCsv() const
+{
+    std::string out = csvHeader();
+    for (std::size_t i = 0; i < order.size(); ++i)
+        for (const JobResult &job : perGrid[i])
+            out += csvRowFromJson(order[i], jobToJson(job));
     return out;
 }
 

@@ -23,6 +23,8 @@
 #ifndef MCSIM_EXP_SWEEP_HH
 #define MCSIM_EXP_SWEEP_HH
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -60,6 +62,17 @@ struct SweepOptions
     bool progress = true;
 };
 
+/**
+ * Per-job completion sink: called once per finished job with the job's
+ * grid-global point index. Calls are serialized (one at a time, under a
+ * lock), so a sink may append to a checkpoint journal without its own
+ * synchronization; completion ORDER is scheduling-dependent, so a sink
+ * must never bake it into canonical output (the svc merge step orders by
+ * index). Return false to stop scheduling new jobs -- jobs already in
+ * flight still complete and are still reported.
+ */
+using JobSink = std::function<bool(std::size_t, const JobResult &)>;
+
 /** Thread-pool sweep runner. */
 class SweepRunner
 {
@@ -68,6 +81,17 @@ class SweepRunner
 
     /** Run every point of @p grid; results in grid order. */
     std::vector<JobResult> run(const Grid &grid) const;
+
+    /**
+     * Run only the points of @p grid named by @p indices (the shard-aware
+     * entry point: a shard is a subset of grid-global indices). Results
+     * come back in @p indices order; failure annotations name the
+     * grid-global index out of the full grid size, so a sharded run's
+     * error strings are byte-identical to a whole-grid run's.
+     */
+    std::vector<JobResult>
+    runIndices(const Grid &grid, const std::vector<std::size_t> &indices,
+               const JobSink &on_complete = {}) const;
 
     /** Run one point in isolation (what each worker executes). */
     static JobResult runPoint(const SweepPoint &point);
@@ -111,6 +135,26 @@ class SweepOutcomes
  * benches use this to replace their serial config loops.
  */
 SweepOutcomes runGrid(const Grid &grid, SweepOptions options = {});
+
+/**
+ * Canonical serialization of one job, exactly the element the
+ * "mcsim-sweep-v1" document's grid arrays hold. Public so the svc
+ * checkpoint journal can store -- and the merge step can splice --
+ * byte-identical payloads. @{
+ */
+Json jobToJson(const JobResult &job);
+
+/** The fixed CSV header row (trailing newline included). */
+std::string csvHeader();
+
+/**
+ * One CSV row (trailing newline included) rebuilt from a job's canonical
+ * JSON, so rows serialized from live results and rows merged from
+ * journaled payloads are byte-identical by construction. fatal() if
+ * @p job lacks a point field or a reference metric.
+ */
+std::string csvRowFromJson(const std::string &grid_name, const Json &job);
+/** @} */
 
 } // namespace mcsim::exp
 

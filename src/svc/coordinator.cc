@@ -1,0 +1,227 @@
+#include "svc/coordinator.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <thread>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/logging.hh"
+
+namespace mcsim::svc
+{
+
+namespace
+{
+
+/** Relaunch delay ceiling. */
+constexpr unsigned maxBackoffMs = 5000;
+
+/**
+ * Points currently journaled for a shard. Only called while the shard
+ * has no live worker (before its first launch or after waitpid reaped
+ * it), so the scan never races a writer.
+ */
+std::size_t
+journaledPoints(const std::string &path)
+{
+    if (!journalExists(path))
+        return 0;
+    const JournalScan scan = scanJournal(path);
+    return scan.headerTorn ? 0 : scan.frames.size();
+}
+
+/** fork + execv; fatal() if the coordinator itself cannot spawn. */
+pid_t
+spawnWorker(const std::vector<std::string> &argv)
+{
+    if (argv.empty())
+        fatal("svc: worker argv is empty");
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &arg : argv)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0)
+        fatal("svc: fork failed");
+    if (pid == 0) {
+        execv(cargv[0], cargv.data());
+        std::fprintf(stderr, "svc: cannot exec '%s'\n", cargv[0]);
+        _exit(127);
+    }
+    return pid;
+}
+
+std::string
+describeDeath(int wstatus)
+{
+    if (WIFSIGNALED(wstatus))
+        return strprintf("killed by signal %d", WTERMSIG(wstatus));
+    if (WIFEXITED(wstatus))
+        return strprintf("exited with status %d", WEXITSTATUS(wstatus));
+    return "vanished";
+}
+
+} // namespace
+
+CoordinatorReport
+runCoordinator(const ShardPlan &plan,
+               const std::vector<std::string> &journal_paths,
+               const WorkerArgv &worker_argv,
+               const CoordinatorOptions &options)
+{
+    const std::uint32_t shards = plan.shardCount;
+    if (journal_paths.size() != shards)
+        fatal("svc: coordinator got %zu journal path(s) for %u shard(s)",
+              journal_paths.size(), shards);
+    unsigned workers = options.workers == 0
+                           ? shards
+                           : std::min<unsigned>(options.workers, shards);
+    if (workers == 0)
+        workers = 1;
+
+    CoordinatorReport report;
+    report.shards.resize(shards);
+
+    /** Per-shard watchdog state. */
+    struct Supervision
+    {
+        unsigned strikes = 0;  ///< consecutive no-progress deaths
+        std::size_t last = 0;  ///< journaled points at last look
+    };
+    std::vector<Supervision> sup(shards);
+
+    /** A scheduled (re)launch: which shard, after what delay. */
+    struct Launch
+    {
+        std::uint32_t shard;
+        unsigned delayMs;
+    };
+    std::deque<Launch> pending;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        ShardStatus &status = report.shards[s];
+        status.shard = s;
+        sup[s].last = journaledPoints(journal_paths[s]);
+        status.journaledPoints = sup[s].last;
+        if (sup[s].last == plan.shardPoints(s)) {
+            // Resume found a finished journal: nothing to supervise.
+            status.done = true;
+            if (options.progress)
+                std::fprintf(stderr,
+                             "svc: shard %u/%u already complete\n", s,
+                             shards);
+            continue;
+        }
+        pending.push_back(Launch{s, 0});
+    }
+
+    std::map<pid_t, std::uint32_t> running;
+    while (!pending.empty() || !running.empty()) {
+        while (!pending.empty() && running.size() < workers) {
+            const Launch launch = pending.front();
+            pending.pop_front();
+            if (launch.delayMs > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(launch.delayMs));
+            }
+            ShardStatus &status = report.shards[launch.shard];
+            ++status.attempts;
+            const pid_t pid = spawnWorker(worker_argv(launch.shard));
+            running[pid] = launch.shard;
+            if (options.progress) {
+                std::fprintf(stderr,
+                             "svc: shard %u/%u attempt %u -> pid %d\n",
+                             launch.shard, shards, status.attempts,
+                             static_cast<int>(pid));
+            }
+        }
+        if (running.empty())
+            continue;
+
+        int wstatus = 0;
+        const pid_t pid = waitpid(-1, &wstatus, 0);
+        if (pid < 0)
+            fatal("svc: waitpid failed");
+        const auto it = running.find(pid);
+        if (it == running.end())
+            continue;
+        const std::uint32_t shard = it->second;
+        running.erase(it);
+
+        ShardStatus &status = report.shards[shard];
+        Supervision &watch = sup[shard];
+        const std::size_t count = journaledPoints(journal_paths[shard]);
+        const std::size_t fresh = count > watch.last ? count - watch.last : 0;
+        status.journaledPoints = count;
+        const bool progressed = fresh > 0;
+        watch.last = count;
+
+        const bool clean =
+            WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+        if (clean && count == plan.shardPoints(shard)) {
+            status.done = true;
+            if (options.progress)
+                std::fprintf(stderr, "svc: shard %u/%u complete (%zu "
+                                     "point(s))\n",
+                             shard, shards, count);
+            continue;
+        }
+
+        // From here the attempt is a death: by signal, by nonzero
+        // exit, or -- a worker bug -- a clean exit with an incomplete
+        // journal. The journal keeps whatever the attempt achieved.
+        const std::string death = clean
+                                      ? "exited 0 with an incomplete "
+                                        "journal"
+                                      : describeDeath(wstatus);
+        if (options.maxRetries == 0) {
+            status.error = strprintf(
+                "%s; relaunching disabled (--max-retries 0), journal "
+                "kept for --resume",
+                death.c_str());
+            if (options.progress)
+                std::fprintf(stderr, "svc: shard %u/%u %s\n", shard,
+                             shards, status.error.c_str());
+            continue;
+        }
+        // The watchdog judges forward progress, not survival: a death
+        // after new points is normal churn (a --kill-after worker dies
+        // every attempt and still converges); only consecutive barren
+        // attempts consume retries.
+        watch.strikes = progressed ? 0 : watch.strikes + 1;
+        if (watch.strikes > options.maxRetries) {
+            status.error = strprintf(
+                "%s after %u consecutive attempt(s) with no new "
+                "points; giving up",
+                death.c_str(), watch.strikes);
+            if (options.progress)
+                std::fprintf(stderr, "svc: shard %u/%u %s\n", shard,
+                             shards, status.error.c_str());
+            continue;
+        }
+        unsigned delay = options.backoffMs;
+        for (unsigned i = 0; i < watch.strikes && delay < maxBackoffMs;
+             ++i)
+            delay *= 2;
+        delay = std::min(delay, maxBackoffMs);
+        if (options.progress) {
+            std::fprintf(stderr,
+                         "svc: shard %u/%u %s after %zu new point(s); "
+                         "retrying in %u ms\n",
+                         shard, shards, death.c_str(), fresh, delay);
+        }
+        pending.push_back(Launch{shard, delay});
+    }
+
+    report.ok = true;
+    for (const ShardStatus &status : report.shards)
+        report.ok = report.ok && status.done;
+    return report;
+}
+
+} // namespace mcsim::svc

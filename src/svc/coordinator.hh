@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Local coordinator: spawns one OS process per shard, supervises them,
+ * and relaunches the ones that die (DESIGN.md section 15).
+ *
+ * Failure model: a worker process may disappear at any instant (crash,
+ * SIGKILL, OOM). Its journal is the only state that matters; the
+ * coordinator never holds results, it only schedules processes and
+ * reads journal sizes to judge progress. Relaunching is governed by a
+ * forward-progress watchdog: an attempt that journals at least one new
+ * point resets the shard's strike count, so a run that keeps making
+ * progress is relaunched indefinitely (this is what lets a --kill-after
+ * worker converge), while a shard that dies repeatedly with NO new
+ * points exhausts its retries and fails the run. Relaunches back off
+ * exponentially. --max-retries 0 disables relaunching entirely: the
+ * first death fails the shard, leaving its journal for a later
+ * `run --resume` -- the two-phase kill/resume gate CI exercises.
+ */
+
+#ifndef MCSIM_SVC_COORDINATOR_HH
+#define MCSIM_SVC_COORDINATOR_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "svc/shard.hh"
+
+namespace mcsim::svc
+{
+
+/** Coordinator knobs. */
+struct CoordinatorOptions
+{
+    /** Concurrent worker processes; 0 = one per shard. */
+    unsigned workers = 0;
+    /** Consecutive no-progress deaths a shard may suffer before the
+     *  run gives up on it; 0 = never relaunch (first death is final,
+     *  journals are kept for a --resume). */
+    unsigned maxRetries = 3;
+    /** First relaunch delay; doubles per consecutive no-progress death
+     *  of that shard, capped at 5000 ms. */
+    unsigned backoffMs = 200;
+    /** Narrate launches, deaths, and retries to stderr. */
+    bool progress = true;
+};
+
+/** Supervision outcome for one shard. */
+struct ShardStatus
+{
+    std::uint32_t shard = 0;
+    unsigned attempts = 0;
+    /** Journaled points at the last scan (resumed + new). */
+    std::size_t journaledPoints = 0;
+    bool done = false;
+    /** Why the coordinator gave up; empty while healthy. */
+    std::string error;
+};
+
+/** Outcome of a supervised run. */
+struct CoordinatorReport
+{
+    /** Every shard finished its journal completely. */
+    bool ok = false;
+    std::vector<ShardStatus> shards;
+};
+
+/**
+ * Builds the argv for one shard's worker process (the CLI layer owns
+ * the flag syntax; the coordinator only owns scheduling).
+ */
+using WorkerArgv =
+    std::function<std::vector<std::string>(std::uint32_t shard)>;
+
+/**
+ * Supervise one worker process per shard of @p plan until every shard's
+ * journal (at @p journal_paths[shard]) is complete or its retries are
+ * exhausted. fatal() only on coordinator-side failures (fork or exec
+ * impossible); worker deaths are policy, not errors.
+ */
+CoordinatorReport runCoordinator(
+    const ShardPlan &plan,
+    const std::vector<std::string> &journal_paths,
+    const WorkerArgv &worker_argv, const CoordinatorOptions &options);
+
+} // namespace mcsim::svc
+
+#endif // MCSIM_SVC_COORDINATOR_HH

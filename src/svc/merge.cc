@@ -1,0 +1,129 @@
+#include "svc/merge.hh"
+
+#include <utility>
+
+#include "exp/chaos.hh"
+#include "exp/sweep.hh"
+#include "sim/logging.hh"
+
+namespace mcsim::svc
+{
+
+namespace
+{
+
+/** Parse one journaled payload; fatal() names the point on failure. */
+exp::Json
+parsePayload(const std::string &payload, const std::string &path,
+             std::uint32_t index)
+{
+    std::string error;
+    exp::Json doc = exp::Json::parse(payload, &error);
+    if (!error.empty())
+        fatal("svc: journal '%s' point %u payload is not JSON: %s",
+              path.c_str(), index, error.c_str());
+    return doc;
+}
+
+} // namespace
+
+MergeResult
+mergeJournals(const ShardPlan &plan,
+              const std::vector<std::string> &journal_paths)
+{
+    if (journal_paths.size() != plan.shardCount) {
+        fatal("svc: merge got %zu journal(s) for %u shard(s)",
+              journal_paths.size(), plan.shardCount);
+    }
+
+    const std::size_t total = plan.grid.points.size();
+    std::vector<std::string> payloads(total);
+    std::vector<bool> covered(total, false);
+
+    for (std::uint32_t shard = 0; shard < plan.shardCount; ++shard) {
+        const std::string &path = journal_paths[shard];
+        if (!journalExists(path))
+            fatal("svc: shard %u journal '%s' does not exist (did the "
+                  "shard ever run?)",
+                  shard, path.c_str());
+        const JournalScan scan = scanJournal(path);
+        if (scan.headerTorn)
+            fatal("svc: shard %u journal '%s' has a torn header (the "
+                  "worker died during creation; resume the run)",
+                  shard, path.c_str());
+        requireMatchingHeader(scan.header, plan.journalHeader(shard),
+                              path);
+        // The scan already guarantees in-range, shard-owned, unique
+        // indices, so shards can never collide with one another here.
+        for (const JournalFrame &frame : scan.frames) {
+            payloads[frame.index] = frame.payload;
+            covered[frame.index] = true;
+        }
+        if (scan.frames.size() < scan.header.shardPoints) {
+            fatal("svc: shard %u journal '%s' holds %zu of %u points; "
+                  "the shard is incomplete (resume the run before "
+                  "merging)",
+                  shard, path.c_str(), scan.frames.size(),
+                  scan.header.shardPoints);
+        }
+    }
+    for (std::size_t i = 0; i < total; ++i) {
+        if (!covered[i])
+            fatal("svc: no journal covers point %zu (%s)", i,
+                  plan.grid.points[i].id().c_str());
+    }
+
+    MergeResult result;
+    result.totalJobs = total;
+
+    if (plan.mode == RunMode::Sweep) {
+        // Splice the journaled canonical payloads, in grid order, into
+        // exactly the document SweepOutcomes::toJson() builds.
+        exp::Json jobs = exp::Json::array();
+        result.csv = exp::csvHeader();
+        for (std::size_t i = 0; i < total; ++i) {
+            exp::Json job = parsePayload(
+                payloads[i], journal_paths[i % plan.shardCount],
+                static_cast<std::uint32_t>(i));
+            const exp::Json *status = job.find("status");
+            if (status == nullptr || !status->isString())
+                fatal("svc: point %zu payload lacks a status field", i);
+            if (status->asString() != "ok")
+                ++result.failedJobs;
+            result.csv += exp::csvRowFromJson(plan.grid.name, job);
+            jobs.push(std::move(job));
+        }
+        exp::Json grids = exp::Json::object();
+        grids[plan.grid.name] = std::move(jobs);
+        exp::Json doc = exp::Json::object();
+        doc["schema"] = exp::Json("mcsim-sweep-v1");
+        doc["grids"] = std::move(grids);
+        result.document = std::move(doc);
+        return result;
+    }
+
+    // Chaos: rebuild the report object and let ITS serialization and
+    // verdict logic speak, so the merged document and the exit status
+    // match a single-process `sweep_runner --chaos` run exactly.
+    exp::ChaosReport report;
+    report.grid = plan.grid.name;
+    report.preset = plan.preset;
+    report.points.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        report.points.push_back(exp::chaosPointFromJson(parsePayload(
+            payloads[i], journal_paths[i % plan.shardCount],
+            static_cast<std::uint32_t>(i))));
+    }
+    result.failedJobs = report.failures();
+    result.chaosOk = report.ok();
+    result.chaosSummary = report.summary();
+    exp::Json reports = exp::Json::array();
+    reports.push(report.toJson());
+    exp::Json doc = exp::Json::object();
+    doc["schema"] = exp::Json("mcsim-chaos-v1");
+    doc["reports"] = std::move(reports);
+    result.document = std::move(doc);
+    return result;
+}
+
+} // namespace mcsim::svc

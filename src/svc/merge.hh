@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Journal merge: fold N shard journals into the canonical results
+ * document (DESIGN.md section 15).
+ *
+ * Byte-identity contract: the merged JSON (and CSV) for a plan is
+ * byte-for-byte the document a single-process sweep_runner run over the
+ * same grid emits, for ANY shard count and ANY worker thread count.
+ * This works because journal frames store the canonical per-point JSON
+ * (exp::jobToJson / exp::chaosPointToJson dumps), the canonical writer
+ * is round-trip stable (parse then dump reproduces the bytes), and the
+ * merge orders points strictly by grid-global index -- completion order
+ * never leaks into the output.
+ *
+ * The merge refuses partial inputs loudly: a missing journal, a plan
+ * mismatch, a torn header, or an uncovered point is fatal with the
+ * first missing point named, never a silently shorter document.
+ */
+
+#ifndef MCSIM_SVC_MERGE_HH
+#define MCSIM_SVC_MERGE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "svc/shard.hh"
+
+namespace mcsim::svc
+{
+
+/** The merged canonical outputs of one completed plan. */
+struct MergeResult
+{
+    /** "mcsim-sweep-v1" or "mcsim-chaos-v1", exactly as sweep_runner
+     *  would have written it (newline appended by the caller). */
+    exp::Json document;
+    /** Flat CSV, sweep mode only (exp::csvHeader + one row per job). */
+    std::string csv;
+
+    std::size_t totalJobs = 0;
+    std::size_t failedJobs = 0;
+
+    /** Chaos mode only: the rebuilt report's verdict and summary. @{ */
+    bool chaosOk = false;
+    std::string chaosSummary;
+    /** @} */
+};
+
+/**
+ * Merge the journals of @p plan, one path per shard in shard order
+ * (journal_paths.size() == plan.shardCount). fatal() on any missing,
+ * foreign, corrupt, or incomplete journal.
+ */
+MergeResult mergeJournals(const ShardPlan &plan,
+                          const std::vector<std::string> &journal_paths);
+
+} // namespace mcsim::svc
+
+#endif // MCSIM_SVC_MERGE_HH

@@ -1,0 +1,118 @@
+#include "svc/shard.hh"
+
+#include "core/machine_config.hh"
+#include "fault/fault_config.hh"
+#include "mem/cache.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace mcsim::svc
+{
+
+std::uint64_t
+ShardPlan::fingerprint() const
+{
+    // A canonical self-describing string, hashed: cheap, stable across
+    // processes, and any change to what a shard would execute -- point
+    // set, order, seeds, mode, preset, partition width -- changes it.
+    std::string canon = strprintf(
+        "mcsim-svc-plan-v1|%s|%s|%s|%s|%u|%zu", runModeName(mode),
+        preset.c_str(), grid.name.c_str(), exp::scaleName(scale),
+        shardCount, grid.points.size());
+    for (const exp::SweepPoint &point : grid.points) {
+        canon += '|';
+        canon += point.id();
+    }
+    return splitmix64(fnv1a(canon));
+}
+
+std::vector<std::size_t>
+ShardPlan::shardIndices(std::uint32_t shard) const
+{
+    std::vector<std::size_t> indices;
+    for (std::size_t i = shard; i < grid.points.size(); i += shardCount)
+        indices.push_back(i);
+    return indices;
+}
+
+std::uint32_t
+ShardPlan::shardPoints(std::uint32_t shard) const
+{
+    const std::size_t total = grid.points.size();
+    return static_cast<std::uint32_t>(
+        total / shardCount + (total % shardCount > shard ? 1 : 0));
+}
+
+JournalHeader
+ShardPlan::journalHeader(std::uint32_t shard) const
+{
+    JournalHeader header;
+    header.mode = mode;
+    header.shardIndex = shard;
+    header.shardCount = shardCount;
+    header.gridPoints = static_cast<std::uint32_t>(grid.points.size());
+    header.shardPoints = shardPoints(shard);
+    header.planFingerprint = fingerprint();
+    header.grid = grid.name;
+    return header;
+}
+
+std::string
+ShardPlan::journalFileName(std::uint32_t shard) const
+{
+    return strprintf("%s.s%03u-of-%03u.mcsj", grid.name.c_str(), shard,
+                     shardCount);
+}
+
+std::string
+ShardPlan::journalPath(const std::string &dir, std::uint32_t shard) const
+{
+    return dir + "/" + journalFileName(shard);
+}
+
+ShardPlan
+buildShardPlan(const PlanOptions &options)
+{
+    if (options.shards == 0)
+        fatal("svc: a plan needs at least one shard");
+    if (options.mode == RunMode::Chaos && options.preset.empty())
+        fatal("svc: chaos mode needs a fault preset");
+    if (!options.preset.empty())
+        (void)fault::faultPreset(options.preset); // name check, fatal()s
+
+    ShardPlan plan;
+    plan.grid = exp::namedGrid(options.grid, options.scale);
+    plan.scale = options.scale;
+    plan.mode = options.mode;
+    plan.shardCount = options.shards;
+    if (options.mode == RunMode::Chaos)
+        plan.preset = options.preset;
+
+    for (exp::SweepPoint &point : plan.grid.points) {
+        if (options.procs)
+            point.numProcs = options.procs;
+        if (options.cacheBytes)
+            point.cacheBytes = options.cacheBytes;
+        if (options.lineBytes)
+            point.lineBytes = options.lineBytes;
+        if (options.mode == RunMode::Sweep && !options.preset.empty())
+            point.faultPreset = options.preset;
+        // sweep_runner's fail-fast discipline: dry-build the machine
+        // configuration so a bad geometry fails before any fork, named
+        // after its point, never mid-shard inside a worker process.
+        try {
+            const core::MachineConfig cfg = point.machineConfig();
+            cfg.validate();
+            mem::CacheParams cache;
+            cache.cacheBytes = cfg.cacheBytes;
+            cache.lineBytes = cfg.lineBytes;
+            cache.assoc = cfg.assoc;
+            cache.validate();
+        } catch (const FatalError &err) {
+            fatal("svc: point %s: %s", point.id().c_str(), err.what());
+        }
+    }
+    return plan;
+}
+
+} // namespace mcsim::svc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic shard planner: partitions a named grid into
+ * location-independent shards (DESIGN.md section 15).
+ *
+ * A plan is a pure function of its options -- grid name, scale,
+ * geometry overrides, mode, preset, shard count -- so every
+ * participant (coordinator, each worker, the merge step, a re-run on a
+ * different machine) derives the identical point list, the identical
+ * round-robin shard membership, and the identical plan fingerprint from
+ * the CLI flags alone. Nothing about the partition depends on where or
+ * when a shard runs; seeds stay the point-derived seeds the grid
+ * builder assigned (sim/random.hh fnv1a + splitmix64 over the point
+ * id), exactly as in a single-process sweep.
+ */
+
+#ifndef MCSIM_SVC_SHARD_HH
+#define MCSIM_SVC_SHARD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/grid.hh"
+#include "svc/journal.hh"
+
+namespace mcsim::svc
+{
+
+/** Everything that determines a plan (the svc_runner CLI surface). */
+struct PlanOptions
+{
+    std::string grid = "quick";
+    exp::Scale scale = exp::Scale::Scaled;
+    std::uint32_t shards = 1;
+    RunMode mode = RunMode::Sweep;
+    /** Sweep mode: fault preset applied to every point (empty = perfect
+     *  hardware). Chaos mode: the harness preset (never empty). */
+    std::string preset;
+    /** Geometry overrides, 0 = keep the grid's values. @{ */
+    unsigned procs = 0;
+    unsigned cacheBytes = 0;
+    unsigned lineBytes = 0;
+    /** @} */
+};
+
+/** A fully built, validated partition of one grid. */
+struct ShardPlan
+{
+    /** The grid with all overrides applied (point ids are final). */
+    exp::Grid grid;
+    exp::Scale scale = exp::Scale::Scaled;
+    RunMode mode = RunMode::Sweep;
+    /** Chaos harness preset; empty in sweep mode (a sweep preset is
+     *  already inside each point and therefore inside each id). */
+    std::string preset;
+    std::uint32_t shardCount = 1;
+
+    /**
+     * Identity of this plan: fnv1a over mode, preset, scale, shard
+     * count, and every final point id (ids encode benchmark, model,
+     * geometry, schedule, seed, and fault preset). Journals carry it,
+     * and resume/merge refuse any journal whose fingerprint differs.
+     */
+    std::uint64_t fingerprint() const;
+
+    /** Grid-global indices owned by @p shard: round-robin, i.e. all i
+     *  with i %% shardCount == shard, in grid order. */
+    std::vector<std::size_t> shardIndices(std::uint32_t shard) const;
+
+    std::uint32_t shardPoints(std::uint32_t shard) const;
+
+    /** The header every journal of this plan must carry. */
+    JournalHeader journalHeader(std::uint32_t shard) const;
+
+    /** Canonical journal file name, e.g. "quick.s003-of-008.mcsj"
+     *  (fixed-width so a directory listing sorts in shard order). */
+    std::string journalFileName(std::uint32_t shard) const;
+
+    /** @p dir + "/" + journalFileName(shard). */
+    std::string journalPath(const std::string &dir,
+                            std::uint32_t shard) const;
+};
+
+/**
+ * Build and validate a plan: resolve the named grid, apply overrides,
+ * dry-build every point's machine configuration (the sweep_runner
+ * fail-fast discipline: a bad geometry fails here, named after its
+ * point, before any process forks). fatal() on unknown grid or preset
+ * names, zero shards, or invalid geometry.
+ */
+ShardPlan buildShardPlan(const PlanOptions &options);
+
+} // namespace mcsim::svc
+
+#endif // MCSIM_SVC_SHARD_HH

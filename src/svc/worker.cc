@@ -1,0 +1,164 @@
+#include "svc/worker.hh"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exp/chaos.hh"
+#include "exp/sweep.hh"
+#include "sim/logging.hh"
+
+namespace mcsim::svc
+{
+
+WorkerResult
+runShardWorker(const ShardPlan &plan, std::uint32_t shard,
+               const std::string &journal_path,
+               const WorkerOptions &options)
+{
+    if (shard >= plan.shardCount)
+        fatal("svc: worker asked for shard %u of %u", shard,
+              plan.shardCount);
+    const JournalHeader want = plan.journalHeader(shard);
+
+    // Open-or-create: a valid existing journal is the resume state, a
+    // torn header (killed during creation) is recreated from scratch.
+    std::vector<bool> journaled(plan.grid.points.size(), false);
+    std::size_t resumed = 0;
+    std::uint64_t valid_bytes = 0;
+    bool resuming = false;
+    if (journalExists(journal_path)) {
+        const JournalScan scan = scanJournal(journal_path);
+        if (!scan.headerTorn) {
+            requireMatchingHeader(scan.header, want, journal_path);
+            for (const JournalFrame &frame : scan.frames)
+                journaled[frame.index] = true;
+            resumed = scan.frames.size();
+            valid_bytes = scan.validBytes;
+            resuming = true;
+            if (options.progress && scan.tornBytes > 0) {
+                std::fprintf(stderr,
+                             "svc: shard %u/%u: dropping %llu torn "
+                             "byte(s) from '%s'\n",
+                             shard, plan.shardCount,
+                             static_cast<unsigned long long>(
+                                 scan.tornBytes),
+                             journal_path.c_str());
+            }
+        }
+    }
+    JournalWriter writer =
+        resuming ? JournalWriter::resume(journal_path, valid_bytes)
+                 : JournalWriter::create(journal_path, want);
+
+    std::vector<std::size_t> remaining;
+    for (const std::size_t index : plan.shardIndices(shard))
+        if (!journaled[index])
+            remaining.push_back(index);
+
+    WorkerResult result;
+    result.resumedPoints = resumed;
+    if (options.progress) {
+        std::fprintf(stderr,
+                     "svc: shard %u/%u: %zu journaled, %zu to run\n",
+                     shard, plan.shardCount, resumed, remaining.size());
+    }
+    if (remaining.empty()) {
+        writer.close();
+        result.done = true;
+        return result;
+    }
+
+    // Checkpoint one completed point. Callers serialize calls (the
+    // sweep engine's sink lock / the chaos pool's mutex), so the plain
+    // counters are safe. Returning false stops new scheduling.
+    std::size_t fresh = 0;
+    bool stopped = false;
+    auto checkpoint = [&](std::size_t index, const std::string &payload,
+                          bool job_ok) -> bool {
+        writer.append(static_cast<std::uint32_t>(index), payload);
+        ++fresh;
+        if (!job_ok)
+            ++result.failedJobs;
+        // The frame is flushed; dying exactly here is the strongest
+        // crash the journal must absorb, so the test hook dies here.
+        if (options.killAfter != 0 && fresh >= options.killAfter)
+            raise(SIGKILL);
+        if (options.stopAfter != 0 && fresh >= options.stopAfter) {
+            stopped = true;
+            return false;
+        }
+        return true;
+    };
+
+    if (plan.mode == RunMode::Sweep) {
+        exp::SweepOptions sweep_opts;
+        sweep_opts.threads = options.threads;
+        sweep_opts.progress = options.progress;
+        exp::SweepRunner(sweep_opts)
+            .runIndices(plan.grid, remaining,
+                        [&](std::size_t index, const exp::JobResult &job) {
+                            return checkpoint(
+                                index, exp::jobToJson(job).dump(),
+                                job.ok);
+                        });
+    } else {
+        // Chaos pairs run in a local pool mirroring exp::runChaos, with
+        // the checkpoint spliced in under the same report mutex.
+        const std::size_t total = remaining.size();
+        unsigned threads = options.threads;
+        if (threads == 0) {
+            threads = std::thread::hardware_concurrency();
+            if (threads == 0)
+                threads = 1;
+        }
+        std::atomic<std::size_t> next{0};
+        std::atomic<bool> stop{false};
+        std::mutex sink_mutex;
+        std::size_t done_count = 0;
+        auto chaos_worker = [&]() {
+            for (;;) {
+                if (stop.load())
+                    return;
+                const std::size_t slot = next.fetch_add(1);
+                if (slot >= total)
+                    return;
+                const std::size_t index = remaining[slot];
+                const exp::ChaosPointResult r = exp::runChaosPoint(
+                    plan.grid.points[index], plan.preset);
+                std::lock_guard<std::mutex> lock(sink_mutex);
+                if (!checkpoint(index,
+                                exp::chaosPointToJson(r).dump(), r.ok))
+                    stop.store(true);
+                ++done_count;
+                if (options.progress) {
+                    std::fprintf(
+                        stderr, "[%zu/%zu] %-52s %-6s %llu faults\n",
+                        done_count, total, r.id.c_str(),
+                        r.ok ? "ok" : "FAILED",
+                        static_cast<unsigned long long>(
+                            r.faultsInjected));
+                }
+            }
+        };
+        const unsigned n = static_cast<unsigned>(
+            std::min<std::size_t>(threads, total));
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned t = 0; t < n; ++t)
+            pool.emplace_back(chaos_worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    writer.close();
+    result.completedPoints = fresh;
+    result.stopped = stopped;
+    result.done = resumed + fresh == plan.shardPoints(shard);
+    return result;
+}
+
+} // namespace mcsim::svc

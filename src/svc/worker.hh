@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shard worker: executes one shard of a plan, checkpointing every
+ * completed point into the shard's journal (DESIGN.md section 15).
+ *
+ * The worker is crash-oblivious by design: it opens (or creates) its
+ * journal, re-derives the shard's point list from the plan, skips every
+ * point that already has a valid frame, and runs the rest, appending a
+ * flushed frame per completion. Being SIGKILLed at any instant and
+ * relaunched with the same arguments therefore always makes forward
+ * progress, and finishing twice is idempotent. A journal written by a
+ * different plan (fingerprint mismatch) is refused, never overwritten.
+ */
+
+#ifndef MCSIM_SVC_WORKER_HH
+#define MCSIM_SVC_WORKER_HH
+
+#include <cstddef>
+#include <string>
+
+#include "svc/shard.hh"
+
+namespace mcsim::svc
+{
+
+/** Worker knobs (threads within the worker process, test hooks). */
+struct WorkerOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+    /** Print per-point progress to stderr. */
+    bool progress = true;
+    /**
+     * Chaos-engineering hook: raise(SIGKILL) immediately after
+     * journaling this many NEW points (0 = never). The kill lands after
+     * the frame flush, so exactly the journaled work survives -- this is
+     * how the CI kill/resume gate makes crashes reproducible.
+     */
+    std::size_t killAfter = 0;
+    /** Stop scheduling new points after journaling this many new ones
+     *  (0 = run to completion). A clean in-process variant of killAfter
+     *  for tests; in-flight points still complete and journal. */
+    std::size_t stopAfter = 0;
+};
+
+/** What one worker attempt accomplished. */
+struct WorkerResult
+{
+    /** Points already journaled when the attempt started. */
+    std::size_t resumedPoints = 0;
+    /** New points journaled by this attempt. */
+    std::size_t completedPoints = 0;
+    /** Journaled points whose job/pair FAILED (recorded, not fatal:
+     *  merge reproduces the failure byte-for-byte). */
+    std::size_t failedJobs = 0;
+    /** Every shard point is journaled. */
+    bool done = false;
+    /** Cut short by stopAfter (never set together with done). */
+    bool stopped = false;
+};
+
+/**
+ * Run shard @p shard of @p plan against the journal at @p journal_path.
+ * fatal() on I/O failure, a corrupt journal, or a plan mismatch.
+ */
+WorkerResult runShardWorker(const ShardPlan &plan, std::uint32_t shard,
+                            const std::string &journal_path,
+                            const WorkerOptions &options = {});
+
+} // namespace mcsim::svc
+
+#endif // MCSIM_SVC_WORKER_HH

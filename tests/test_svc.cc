@@ -1,0 +1,543 @@
+/**
+ * @file
+ * Suite for src/svc/: shard planning, checkpoint journals, crash/resume
+ * determinism, and the byte-identical merge contract.
+ *
+ * The core property under test: for ANY shard count, ANY interruption
+ * pattern (clean stops, torn tails, SIGKILLed worker processes), the
+ * merged results document is byte-for-byte the document a single
+ * uninterrupted SweepRunner run emits. Interruptions are driven by a
+ * seeded Rng so failures replay exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "exp/chaos.hh"
+#include "exp/grid.hh"
+#include "exp/sweep.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "svc/atomic_file.hh"
+#include "svc/journal.hh"
+#include "svc/merge.hh"
+#include "svc/shard.hh"
+#include "svc/worker.hh"
+
+namespace
+{
+
+using namespace mcsim;
+
+/** Fresh scratch directory (tests only; src/ stays entropy-free). */
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/mcsim_svc_XXXXXX";
+    const char *dir = mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir == nullptr ? "/tmp" : dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(file, nullptr) << path;
+    if (file == nullptr)
+        return {};
+    std::string out;
+    char buf[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        out.append(buf, got);
+    std::fclose(file);
+    return out;
+}
+
+void
+appendBytes(const std::string &path, const std::string &bytes)
+{
+    std::FILE *file = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(file, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), file);
+    std::fclose(file);
+}
+
+/**
+ * A six-point slice of the quick grid: real workloads, real metrics,
+ * small enough that several full runs stay cheap. Built directly (not
+ * via buildShardPlan) so tests control the plan exactly.
+ */
+svc::ShardPlan
+miniPlan(std::uint32_t shards)
+{
+    svc::ShardPlan plan;
+    plan.grid = exp::namedGrid("quick", exp::Scale::Quick);
+    plan.grid.points.resize(6);
+    plan.scale = exp::Scale::Quick;
+    plan.mode = svc::RunMode::Sweep;
+    plan.shardCount = shards;
+    return plan;
+}
+
+/** Canonical single-process reference for a plan's grid. @{ */
+std::string
+referenceJson(const exp::Grid &grid)
+{
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.progress = false;
+    exp::SweepOutcomes outcomes;
+    outcomes.add(grid, exp::SweepRunner(opts).run(grid));
+    return outcomes.toJson().dump();
+}
+
+std::string
+referenceCsv(const exp::Grid &grid)
+{
+    exp::SweepOptions opts;
+    opts.threads = 1;
+    opts.progress = false;
+    exp::SweepOutcomes outcomes;
+    outcomes.add(grid, exp::SweepRunner(opts).run(grid));
+    return outcomes.toCsv();
+}
+/** @} */
+
+TEST(SvcShard, RoundRobinPartitionCoversEveryPointOnce)
+{
+    svc::PlanOptions options;
+    options.grid = "quick";
+    options.scale = exp::Scale::Quick;
+    options.shards = 5;
+    const svc::ShardPlan plan = svc::buildShardPlan(options);
+    ASSERT_EQ(plan.grid.points.size(), 28u);
+
+    std::vector<unsigned> hits(plan.grid.points.size(), 0);
+    std::uint32_t total = 0;
+    for (std::uint32_t s = 0; s < plan.shardCount; ++s) {
+        const std::vector<std::size_t> indices = plan.shardIndices(s);
+        EXPECT_EQ(indices.size(), plan.shardPoints(s));
+        total += plan.shardPoints(s);
+        for (const std::size_t i : indices) {
+            ASSERT_LT(i, hits.size());
+            hits[i] += 1;
+            EXPECT_EQ(i % plan.shardCount, s);
+        }
+    }
+    EXPECT_EQ(total, plan.grid.points.size());
+    for (const unsigned h : hits)
+        EXPECT_EQ(h, 1u);
+}
+
+TEST(SvcShard, FingerprintIsStableAndSensitive)
+{
+    svc::PlanOptions options;
+    options.grid = "quick";
+    options.scale = exp::Scale::Quick;
+    options.shards = 4;
+    const std::uint64_t base = svc::buildShardPlan(options).fingerprint();
+    // Pure function of the options: rebuild and match.
+    EXPECT_EQ(svc::buildShardPlan(options).fingerprint(), base);
+
+    svc::PlanOptions other = options;
+    other.shards = 5;
+    EXPECT_NE(svc::buildShardPlan(other).fingerprint(), base);
+    other = options;
+    other.mode = svc::RunMode::Chaos;
+    other.preset = "light";
+    EXPECT_NE(svc::buildShardPlan(other).fingerprint(), base);
+    other = options;
+    other.preset = "light"; // sweep fault preset lands in point ids
+    EXPECT_NE(svc::buildShardPlan(other).fingerprint(), base);
+    other = options;
+    other.lineBytes = 32;
+    EXPECT_NE(svc::buildShardPlan(other).fingerprint(), base);
+}
+
+TEST(SvcJournal, HeaderAndFramesRoundTrip)
+{
+    const std::string dir = makeTempDir();
+    const std::string path = dir + "/round.mcsj";
+
+    svc::JournalHeader header;
+    header.mode = svc::RunMode::Sweep;
+    header.shardIndex = 1;
+    header.shardCount = 3;
+    header.gridPoints = 10;
+    header.shardPoints = 3;
+    header.planFingerprint = 0xDEADBEEFCAFEF00Dull;
+    header.grid = "quick";
+
+    {
+        svc::JournalWriter writer = svc::JournalWriter::create(path, header);
+        writer.append(1, "{\"a\":1}");
+        writer.append(4, std::string(1000, 'x'));
+        writer.append(7, "");
+        writer.close();
+    }
+
+    const svc::JournalScan scan = svc::scanJournal(path);
+    EXPECT_FALSE(scan.headerTorn);
+    EXPECT_EQ(scan.tornBytes, 0u);
+    EXPECT_EQ(scan.header.mode, svc::RunMode::Sweep);
+    EXPECT_EQ(scan.header.shardIndex, 1u);
+    EXPECT_EQ(scan.header.shardCount, 3u);
+    EXPECT_EQ(scan.header.gridPoints, 10u);
+    EXPECT_EQ(scan.header.shardPoints, 3u);
+    EXPECT_EQ(scan.header.planFingerprint, 0xDEADBEEFCAFEF00Dull);
+    EXPECT_EQ(scan.header.grid, "quick");
+    ASSERT_EQ(scan.frames.size(), 3u);
+    EXPECT_EQ(scan.frames[0].index, 1u);
+    EXPECT_EQ(scan.frames[0].payload, "{\"a\":1}");
+    EXPECT_EQ(scan.frames[1].payload, std::string(1000, 'x'));
+    EXPECT_EQ(scan.frames[2].index, 7u);
+    EXPECT_EQ(scan.validBytes, slurp(path).size());
+}
+
+TEST(SvcJournal, DuplicateAndForeignIndicesAreStructuralCorruption)
+{
+    const std::string dir = makeTempDir();
+    svc::JournalHeader header;
+    header.shardIndex = 0;
+    header.shardCount = 2;
+    header.gridPoints = 6;
+    header.shardPoints = 3;
+    header.grid = "g";
+
+    const std::string dup = dir + "/dup.mcsj";
+    {
+        svc::JournalWriter writer = svc::JournalWriter::create(dup, header);
+        writer.append(2, "x");
+        writer.append(2, "y");
+        writer.close();
+    }
+    EXPECT_THROW(svc::scanJournal(dup), FatalError);
+
+    const std::string foreign = dir + "/foreign.mcsj";
+    {
+        svc::JournalWriter writer =
+            svc::JournalWriter::create(foreign, header);
+        writer.append(3, "odd index in an even shard");
+        writer.close();
+    }
+    EXPECT_THROW(svc::scanJournal(foreign), FatalError);
+}
+
+TEST(SvcJournal, TornTailsRecoverAtEveryCut)
+{
+    const std::string dir = makeTempDir();
+    const std::string path = dir + "/full.mcsj";
+
+    svc::JournalHeader header;
+    header.shardCount = 1;
+    header.gridPoints = 8;
+    header.shardPoints = 8;
+    header.grid = "g";
+
+    const std::array<std::string, 4> payloads = {
+        "alpha", "", std::string(300, 'z'), "{\"k\":\"v\"}"};
+    std::vector<std::size_t> boundaries; // valid sizes after each frame
+    {
+        svc::JournalWriter writer = svc::JournalWriter::create(path, header);
+        std::size_t size = svc::journalHeaderBytes;
+        boundaries.push_back(size);
+        for (std::size_t i = 0; i < payloads.size(); ++i) {
+            writer.append(static_cast<std::uint32_t>(i), payloads[i]);
+            size += svc::frameHeaderBytes + payloads[i].size();
+            boundaries.push_back(size);
+        }
+        writer.close();
+    }
+    const std::string full = slurp(path);
+    ASSERT_EQ(full.size(), boundaries.back());
+
+    // Cut the file at seeded random offsets (plus every exact frame
+    // boundary) and demand the scan recovers exactly the fully-flushed
+    // frames -- the SIGKILL-mid-write model.
+    Rng rng(20260808);
+    std::vector<std::size_t> cuts = boundaries;
+    for (int i = 0; i < 24; ++i) {
+        cuts.push_back(svc::journalHeaderBytes +
+                       rng.below(full.size() - svc::journalHeaderBytes));
+    }
+    for (const std::size_t cut : cuts) {
+        const std::string torn_path = dir + "/torn.mcsj";
+        std::FILE *file = std::fopen(torn_path.c_str(), "wb");
+        ASSERT_NE(file, nullptr);
+        std::fwrite(full.data(), 1, cut, file);
+        std::fclose(file);
+
+        const svc::JournalScan scan = svc::scanJournal(torn_path);
+        EXPECT_FALSE(scan.headerTorn);
+        std::size_t want_frames = 0;
+        while (want_frames + 1 < boundaries.size() &&
+               boundaries[want_frames + 1] <= cut)
+            ++want_frames;
+        EXPECT_EQ(scan.frames.size(), want_frames) << "cut=" << cut;
+        EXPECT_EQ(scan.validBytes, boundaries[want_frames]);
+        EXPECT_EQ(scan.tornBytes, cut - boundaries[want_frames]);
+
+        // Resume truncates the garbage and appends cleanly.
+        svc::JournalWriter writer =
+            svc::JournalWriter::resume(torn_path, scan.validBytes);
+        writer.append(7, "resumed");
+        writer.close();
+        const svc::JournalScan again = svc::scanJournal(torn_path);
+        ASSERT_EQ(again.frames.size(), want_frames + 1);
+        EXPECT_EQ(again.frames.back().index, 7u);
+        EXPECT_EQ(again.frames.back().payload, "resumed");
+        EXPECT_EQ(again.tornBytes, 0u);
+    }
+
+    // A corrupt byte inside the last frame's payload drops exactly that
+    // frame (CRC), keeping everything before it.
+    std::string flipped = full;
+    flipped[flipped.size() - 2] ^= 0x40;
+    const std::string flip_path = dir + "/flip.mcsj";
+    std::FILE *file = std::fopen(flip_path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fwrite(flipped.data(), 1, flipped.size(), file);
+    std::fclose(file);
+    const svc::JournalScan scan = svc::scanJournal(flip_path);
+    EXPECT_EQ(scan.frames.size(), payloads.size() - 1);
+    EXPECT_EQ(scan.validBytes, boundaries[payloads.size() - 1]);
+
+    // A file shorter than a header is a torn header: zero recorded
+    // points, recreate.
+    const std::string stub_path = dir + "/stub.mcsj";
+    file = std::fopen(stub_path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fwrite(full.data(), 1, 17, file);
+    std::fclose(file);
+    const svc::JournalScan stub = svc::scanJournal(stub_path);
+    EXPECT_TRUE(stub.headerTorn);
+    EXPECT_TRUE(stub.frames.empty());
+}
+
+TEST(SvcWorker, SeededInterruptionsResumeToByteIdenticalMerge)
+{
+    const svc::ShardPlan plan = miniPlan(2);
+    const std::string ref_json = referenceJson(plan.grid);
+    const std::string ref_csv = referenceCsv(plan.grid);
+
+    const std::string dir = makeTempDir();
+    const std::vector<std::string> paths = {plan.journalPath(dir, 0),
+                                            plan.journalPath(dir, 1)};
+
+    // Drive both shards with seeded random stop points, garbage torn
+    // tails injected between attempts, until both journals complete.
+    Rng rng(987654321);
+    std::array<bool, 2> done = {false, false};
+    unsigned attempts = 0;
+    unsigned interrupted = 0;
+    while ((!done[0] || !done[1]) && attempts < 64) {
+        ++attempts;
+        const std::uint32_t shard =
+            done[0] ? 1u
+                    : (done[1] ? 0u
+                               : static_cast<std::uint32_t>(rng.below(2)));
+        svc::WorkerOptions options;
+        options.threads = 1;
+        options.progress = false;
+        // Stop after 1 or 2 new points so every attempt is interrupted.
+        options.stopAfter = static_cast<std::size_t>(1 + rng.below(2));
+        const svc::WorkerResult result =
+            svc::runShardWorker(plan, shard, paths[shard], options);
+        done[shard] = result.done;
+        interrupted += result.stopped ? 1 : 0;
+        if (!result.done && rng.below(3) == 0) {
+            // Simulate a kill mid-frame-write: garbage on the tail.
+            appendBytes(paths[shard], "\x13garbage-torn-tail");
+        }
+    }
+    ASSERT_TRUE(done[0] && done[1]);
+    EXPECT_GT(interrupted, 0u) << "the schedule never interrupted";
+
+    const svc::MergeResult merged = svc::mergeJournals(plan, paths);
+    EXPECT_EQ(merged.document.dump(), ref_json);
+    EXPECT_EQ(merged.csv, ref_csv);
+    EXPECT_EQ(merged.totalJobs, plan.grid.points.size());
+    EXPECT_EQ(merged.failedJobs, 0u);
+
+    // Finishing again is idempotent: a no-op attempt, same merge.
+    svc::WorkerOptions options;
+    options.threads = 1;
+    options.progress = false;
+    const svc::WorkerResult again =
+        svc::runShardWorker(plan, 0, paths[0], options);
+    EXPECT_TRUE(again.done);
+    EXPECT_EQ(again.completedPoints, 0u);
+    EXPECT_EQ(svc::mergeJournals(plan, paths).document.dump(), ref_json);
+}
+
+TEST(SvcWorker, MergeIsIdenticalAcrossShardCounts)
+{
+    const std::string ref_json = referenceJson(miniPlan(1).grid);
+    for (const std::uint32_t shards : {1u, 3u, 6u}) {
+        const svc::ShardPlan plan = miniPlan(shards);
+        const std::string dir = makeTempDir();
+        std::vector<std::string> paths;
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            paths.push_back(plan.journalPath(dir, s));
+            svc::WorkerOptions options;
+            options.threads = 1;
+            options.progress = false;
+            const svc::WorkerResult result =
+                svc::runShardWorker(plan, s, paths.back(), options);
+            EXPECT_TRUE(result.done);
+        }
+        EXPECT_EQ(svc::mergeJournals(plan, paths).document.dump(),
+                  ref_json)
+            << shards << " shard(s)";
+    }
+}
+
+TEST(SvcMerge, RefusesIncompleteForeignAndMissingJournals)
+{
+    const svc::ShardPlan plan = miniPlan(2);
+    const std::string dir = makeTempDir();
+    const std::vector<std::string> paths = {plan.journalPath(dir, 0),
+                                            plan.journalPath(dir, 1)};
+
+    // Missing journals.
+    EXPECT_THROW(svc::mergeJournals(plan, paths), FatalError);
+    // Wrong path count.
+    EXPECT_THROW(svc::mergeJournals(plan, {paths[0]}), FatalError);
+
+    // Shard 0 incomplete (stopped after one point), shard 1 complete.
+    svc::WorkerOptions stop_one;
+    stop_one.threads = 1;
+    stop_one.progress = false;
+    stop_one.stopAfter = 1;
+    EXPECT_FALSE(svc::runShardWorker(plan, 0, paths[0], stop_one).done);
+    svc::WorkerOptions to_end;
+    to_end.threads = 1;
+    to_end.progress = false;
+    EXPECT_TRUE(svc::runShardWorker(plan, 1, paths[1], to_end).done);
+    EXPECT_THROW(svc::mergeJournals(plan, paths), FatalError);
+
+    // A journal from a DIFFERENT plan (other shard count) is refused by
+    // fingerprint, both by merge and by a resuming worker.
+    const svc::ShardPlan other = miniPlan(3);
+    EXPECT_THROW(svc::mergeJournals(other, {paths[0], paths[1],
+                                            other.journalPath(dir, 2)}),
+                 FatalError);
+    EXPECT_THROW(svc::runShardWorker(other, 0, paths[0], to_end),
+                 FatalError);
+}
+
+TEST(SvcChaos, ShardedChaosMergesByteIdentical)
+{
+    // Two-point chaos plan: enough to exercise the chaos journal path
+    // while staying cheap (each point is a baseline + faulted pair).
+    svc::ShardPlan plan;
+    plan.grid = exp::namedGrid("quick", exp::Scale::Quick);
+    plan.grid.points.resize(2);
+    plan.scale = exp::Scale::Quick;
+    plan.mode = svc::RunMode::Chaos;
+    plan.preset = "light";
+    plan.shardCount = 2;
+
+    exp::ChaosOptions chaos_opts;
+    chaos_opts.preset = "light";
+    chaos_opts.threads = 1;
+    chaos_opts.progress = false;
+    const exp::ChaosReport report = exp::runChaos(plan.grid, chaos_opts);
+    exp::Json reports = exp::Json::array();
+    reports.push(report.toJson());
+    exp::Json ref = exp::Json::object();
+    ref["schema"] = exp::Json("mcsim-chaos-v1");
+    ref["reports"] = std::move(reports);
+
+    const std::string dir = makeTempDir();
+    std::vector<std::string> paths;
+    for (std::uint32_t s = 0; s < plan.shardCount; ++s) {
+        paths.push_back(plan.journalPath(dir, s));
+        svc::WorkerOptions options;
+        options.threads = 1;
+        options.progress = false;
+        EXPECT_TRUE(
+            svc::runShardWorker(plan, s, paths.back(), options).done);
+    }
+    const svc::MergeResult merged = svc::mergeJournals(plan, paths);
+    EXPECT_EQ(merged.document.dump(), ref.dump());
+    EXPECT_EQ(merged.chaosOk, report.ok());
+    EXPECT_EQ(merged.chaosSummary, report.summary());
+}
+
+TEST(SvcAtomicFile, WritesWholeFilesAndLeavesNoTemp)
+{
+    const std::string dir = makeTempDir();
+    const std::string path = dir + "/doc.json";
+    svc::writeFileAtomic(path, "first\n");
+    EXPECT_EQ(slurp(path), "first\n");
+    svc::writeFileAtomic(path, "second, longer content\n");
+    EXPECT_EQ(slurp(path), "second, longer content\n");
+    EXPECT_FALSE(svc::journalExists(path + ".tmp"));
+    // Unwritable destination reports, never leaves a temp behind.
+    EXPECT_THROW(svc::writeFileAtomic("/nonexistent-dir/x/y", "z"),
+                 FatalError);
+
+    // ensureDirectory is mkdir -p: nested creation, idempotent, and a
+    // file in the way is a clear error.
+    const std::string nested = dir + "/a/b/c";
+    svc::ensureDirectory(nested);
+    svc::ensureDirectory(nested);
+    svc::writeFileAtomic(nested + "/doc.json", "x");
+    EXPECT_EQ(slurp(nested + "/doc.json"), "x");
+    EXPECT_THROW(svc::ensureDirectory(nested + "/doc.json"), FatalError);
+}
+
+/** Run a shell command; return its exit status (-1 on popen failure). */
+int
+runCommand(const std::string &cmd)
+{
+    FILE *pipe = popen((cmd + " 2>&1 >/dev/null").c_str(), "r");
+    if (pipe == nullptr)
+        return -1;
+    std::array<char, 4096> buf;
+    while (std::fread(buf.data(), 1, buf.size(), pipe) > 0) {
+    }
+    const int status = pclose(pipe);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(SvcKillGate, SigkilledWorkersResumeToByteIdenticalQuickGrid)
+{
+    // The real-SIGKILL gate, end to end at the binary level: phase one
+    // kills every worker after 4 fresh points with relaunching disabled
+    // (exit 1, journals kept); phase two resumes and must converge to
+    // exit 0 with output byte-identical to an uninterrupted
+    // single-process run of the quick grid.
+    const std::string dir = makeTempDir();
+    const std::string bin = MCSIM_SVC_BIN;
+    const std::string plan_flags =
+        " --grid quick --shards 3 --threads 1 --no-progress --dir " + dir;
+
+    const int phase1 = runCommand(bin + " run" + plan_flags +
+                                  " --kill-after 4 --max-retries 0");
+    EXPECT_EQ(phase1, 1);
+    for (unsigned s = 0; s < 3; ++s) {
+        EXPECT_TRUE(svc::journalExists(
+            dir + strprintf("/quick.s%03u-of-003.mcsj", s)));
+    }
+
+    const std::string out = dir + "/merged.json";
+    const int phase2 =
+        runCommand(bin + " run" + plan_flags + " --resume --out " + out);
+    EXPECT_EQ(phase2, 0);
+
+    const exp::Grid grid = exp::namedGrid("quick", exp::Scale::Quick);
+    EXPECT_EQ(slurp(out), referenceJson(grid) + "\n");
+}
+
+} // namespace

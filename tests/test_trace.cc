@@ -31,6 +31,7 @@
 #include "trace/capture.hh"
 #include "trace/format.hh"
 #include "trace/generators.hh"
+#include "trace/import.hh"
 #include "trace/reader.hh"
 #include "trace/replay.hh"
 #include "trace/writer.hh"
@@ -664,5 +665,134 @@ TEST(TraceGolden, CorpusReplaysOnAllModels)
             EXPECT_GT(result.metrics.cycles, 0u)
                 << entry.file << " on " << core::modelName(model);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Text import (`<proc> <r|w> <hex-addr>` lines -> canonical .mct)
+// ---------------------------------------------------------------------
+
+TEST(TraceImport, MapsLinesToRecordsExactly)
+{
+    const std::string text = "# comment, then a blank line\n"
+                             "\n"
+                             "0 r 0x1000\n"
+                             "1 w 0xabcd\n"
+                             "2 R 1008\n"
+                             "0 W 0x1009\n";
+    trace::MemorySink sink;
+    const trace::ImportSummary summary =
+        trace::importTextTrace(text, {}, sink);
+    EXPECT_EQ(summary.records, 4u);
+    EXPECT_EQ(summary.reads, 2u);
+    EXPECT_EQ(summary.writes, 2u);
+    EXPECT_EQ(summary.blankLines, 2u);
+    // Highest proc is 2 -> next power of two is 4 (Omega routing).
+    EXPECT_EQ(summary.procs, 4u);
+
+    trace::TraceReader reader(
+        std::make_shared<trace::MemorySource>(sink.take()));
+    EXPECT_EQ(reader.header().procCount, 4u);
+    EXPECT_EQ(reader.header().generator, trace::Generator::Captured);
+    EXPECT_EQ(reader.header().source, "import");
+    reader.validate();
+
+    // proc 0: read 0x1000, then write of 0x1009 aligned down to 0x1008
+    // carrying the 1-based transaction number as its value.
+    trace::TraceReader::Stream p0 = reader.stream(0);
+    trace::Record rec;
+    ASSERT_TRUE(p0.next(rec));
+    EXPECT_EQ(rec.kind, trace::OpKind::LoadUse);
+    EXPECT_EQ(rec.addr, 0x1000u);
+    ASSERT_TRUE(p0.next(rec));
+    EXPECT_EQ(rec.kind, trace::OpKind::Store);
+    EXPECT_EQ(rec.addr, 0x1008u);
+    EXPECT_EQ(rec.value, 4u);
+    EXPECT_FALSE(p0.next(rec));
+
+    // proc 1: the write to 0xabcd aligns down to 0xabc8.
+    trace::TraceReader::Stream p1 = reader.stream(1);
+    ASSERT_TRUE(p1.next(rec));
+    EXPECT_EQ(rec.kind, trace::OpKind::Store);
+    EXPECT_EQ(rec.addr, 0xabc8u);
+    EXPECT_EQ(rec.value, 2u);
+
+    // proc 2: bare hex (no 0x prefix) still parses as hex.
+    trace::TraceReader::Stream p2 = reader.stream(2);
+    ASSERT_TRUE(p2.next(rec));
+    EXPECT_EQ(rec.kind, trace::OpKind::LoadUse);
+    EXPECT_EQ(rec.addr, 0x1008u);
+}
+
+TEST(TraceImport, IsDeterministic)
+{
+    const std::string text = "0 r 0x10\n1 w 0x20\n0 w 0x30\n";
+    trace::MemorySink a, b;
+    trace::importTextTrace(text, {}, a);
+    trace::importTextTrace(text, {}, b);
+    EXPECT_EQ(a.bytes(), b.bytes());
+    EXPECT_FALSE(a.bytes().empty());
+}
+
+TEST(TraceImport, ProcOverrideMustBePowerOfTwoAndLargeEnough)
+{
+    const std::string text = "4 r 0x10\n";
+    trace::MemorySink sink;
+    trace::ImportParams params;
+
+    params.procs = 16; // widen beyond the inferred 8: allowed
+    EXPECT_EQ(trace::importTextTrace(text, params, sink).procs, 16u);
+
+    params.procs = 4; // proc 4 needs at least 5 slots
+    EXPECT_THROW(trace::importTextTrace(text, params, sink), FatalError);
+    params.procs = 6; // not a power of two (Omega networks)
+    EXPECT_THROW(trace::importTextTrace(text, params, sink), FatalError);
+}
+
+TEST(TraceImport, RejectsEveryMalformedLineWithItsNumber)
+{
+    trace::MemorySink sink;
+    const struct
+    {
+        const char *text;
+        const char *why;
+    } bad[] = {
+        {"0 r 0x10\n1 x 0x20\n", "unknown operation"},
+        {"0 w 0xNOPE\n", "bad address"},
+        {"p9 r 0x1000\n", "bad processor"},
+        {"0 r 0x10 extra\n", "trailing junk"},
+        {"0 r\n", "missing address"},
+        {"# only comments\n\n", "empty trace"},
+    };
+    for (const auto &c : bad) {
+        EXPECT_THROW(trace::importTextTrace(c.text, {}, sink), FatalError)
+            << c.why;
+    }
+}
+
+TEST(TraceImport, ImportedTracesReplayOnEveryModel)
+{
+    // A small contended mix: every model must replay an imported trace
+    // to completion (the import emits only blocking LoadUse/Store, which
+    // every protocol handles).
+    std::string text;
+    for (unsigned i = 0; i < 64; ++i) {
+        text += strprintf("%u %c 0x%x\n", i % 4, i % 3 == 0 ? 'w' : 'r',
+                          0x1000 + (i % 8) * 8);
+    }
+    trace::MemorySink sink;
+    trace::importTextTrace(text, {}, sink);
+    const std::vector<std::uint8_t> bytes = sink.take();
+    for (core::Model model : core::allModels) {
+        trace::TraceWorkload replay(
+            std::make_shared<trace::MemorySource>(bytes));
+        core::MachineConfig cfg;
+        cfg.numProcs = 4;
+        cfg.numModules = 4;
+        cfg.cacheBytes = 4096;
+        cfg.model = model;
+        const workloads::RunResult result =
+            workloads::runWorkload(replay, cfg);
+        EXPECT_GT(result.metrics.cycles, 0u) << core::modelName(model);
     }
 }

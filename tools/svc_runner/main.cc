@@ -1,0 +1,475 @@
+/**
+ * @file
+ * svc_runner: the distributed, resumable face of the sweep engine
+ * (src/svc/) -- partition a named grid into shards, run them as
+ * supervised worker processes with checkpoint journals, survive kills,
+ * resume, and merge the journals into the byte-identical canonical
+ * results document a single-process sweep_runner run would emit.
+ *
+ * Usage:
+ *   svc_runner plan    PLANFLAGS
+ *   svc_runner worker  PLANFLAGS --shard N --dir DIR
+ *                      [--threads N] [--kill-after N] [--no-progress]
+ *   svc_runner run     PLANFLAGS --dir DIR [--workers N]
+ *                      [--max-retries N] [--backoff-ms N] [--threads N]
+ *                      [--kill-after N] [--resume] [--out FILE]
+ *                      [--csv FILE] [--check DIR] [--no-progress]
+ *   svc_runner merge   PLANFLAGS --dir DIR [--out FILE] [--csv FILE]
+ *                      [--check DIR]
+ *   svc_runner inspect --journal FILE
+ *
+ * PLANFLAGS identify the plan everywhere: --grid NAME (default quick),
+ * --scale quick|scaled|full, --shards N (default 1), --faults PRESET,
+ * --chaos, --procs/--cache-bytes/--line-bytes overrides. The same flags
+ * always derive the same plan fingerprint, so coordinator, workers, and
+ * merge agree on the partition with no shared state but the journal
+ * directory.
+ *
+ * `run` refuses a directory that already holds journals for this plan
+ * unless --resume is given (resume skips every journaled point).
+ * --kill-after N makes each worker SIGKILL itself after N new points: a
+ * reproducible crash storm. With the default watchdog the run still
+ * converges (every attempt makes progress); with --max-retries 0 the
+ * first death fails the run, journals intact, and a second `run
+ * --resume` finishes -- the CI kill/resume gate. Results files are
+ * written atomically (temp + rename).
+ *
+ * Exit status: 0 all jobs ok (and checks clean), 1 on failed jobs,
+ * failed shards, golden divergence, or chaos failure, 2 on usage or
+ * configuration errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "exp/golden.hh"
+#include "exp/grid.hh"
+#include "sim/logging.hh"
+#include "svc/atomic_file.hh"
+#include "svc/coordinator.hh"
+#include "svc/journal.hh"
+#include "svc/merge.hh"
+#include "svc/shard.hh"
+#include "svc/worker.hh"
+
+#include "../common/cli.hh"
+
+using namespace mcsim;
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s plan    PLANFLAGS\n"
+        "       %s worker  PLANFLAGS --shard N --dir DIR [--threads N]\n"
+        "                  [--kill-after N] [--no-progress]\n"
+        "       %s run     PLANFLAGS --dir DIR [--workers N]\n"
+        "                  [--max-retries N] [--backoff-ms N]\n"
+        "                  [--threads N] [--kill-after N] [--resume]\n"
+        "                  [--out FILE] [--csv FILE] [--check DIR]\n"
+        "                  [--no-progress]\n"
+        "       %s merge   PLANFLAGS --dir DIR [--out FILE] [--csv FILE]\n"
+        "                  [--check DIR]\n"
+        "       %s inspect --journal FILE\n"
+        "PLANFLAGS: [--grid NAME] [--scale quick|scaled|full]\n"
+        "           [--shards N] [--faults PRESET] [--chaos]\n"
+        "           [--procs N] [--cache-bytes N] [--line-bytes N]\n",
+        argv0, argv0, argv0, argv0, argv0);
+}
+
+[[noreturn]] void
+configError(const char *argv0, const std::string &message)
+{
+    std::fprintf(stderr, "svc_runner: %s\n", message.c_str());
+    usage(argv0);
+    std::exit(2);
+}
+
+/** Everything any subcommand accepts; each validates its own subset. */
+struct Options
+{
+    std::string subcommand;
+    svc::PlanOptions plan;
+    bool chaos = false;
+    std::string faults;
+    std::string dir;
+    std::string journal;
+    std::string out;
+    std::string csv;
+    std::string checkDir;
+    unsigned shard = 0;
+    bool shardSet = false;
+    unsigned workers = 0;
+    unsigned maxRetries = 3;
+    unsigned backoffMs = 200;
+    unsigned threads = 0;
+    unsigned killAfter = 0;
+    bool resume = false;
+    bool progress = true;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    if (argc < 2)
+        configError(argv[0], "missing subcommand");
+    Options opt;
+    opt.subcommand = argv[1];
+    if (opt.subcommand != "plan" && opt.subcommand != "worker" &&
+        opt.subcommand != "run" && opt.subcommand != "merge" &&
+        opt.subcommand != "inspect") {
+        if (opt.subcommand == "--help" || opt.subcommand == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        }
+        configError(argv[0], "unknown subcommand '" + opt.subcommand +
+                                 "' (plan/worker/run/merge/inspect)");
+    }
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                configError(argv[0], arg + " expects a value");
+            return argv[++i];
+        };
+        auto nextUnsigned = [&]() -> unsigned {
+            unsigned value = 0;
+            if (!tools::parseUnsigned(next(), value))
+                configError(argv[0],
+                            arg + " expects a non-negative integer, "
+                                  "got '" + argv[i] + "'");
+            return value;
+        };
+        if (arg == "--grid") {
+            opt.plan.grid = next();
+        } else if (arg == "--scale") {
+            try {
+                opt.plan.scale = exp::scaleFromName(next());
+            } catch (const FatalError &err) {
+                configError(argv[0], err.what());
+            }
+        } else if (arg == "--shards") {
+            opt.plan.shards = nextUnsigned();
+        } else if (arg == "--faults") {
+            opt.faults = next();
+        } else if (arg == "--chaos") {
+            opt.chaos = true;
+        } else if (arg == "--procs") {
+            opt.plan.procs = nextUnsigned();
+        } else if (arg == "--cache-bytes") {
+            opt.plan.cacheBytes = nextUnsigned();
+        } else if (arg == "--line-bytes") {
+            opt.plan.lineBytes = nextUnsigned();
+        } else if (arg == "--dir") {
+            opt.dir = next();
+        } else if (arg == "--journal") {
+            opt.journal = next();
+        } else if (arg == "--out") {
+            opt.out = next();
+        } else if (arg == "--csv") {
+            opt.csv = next();
+        } else if (arg == "--check") {
+            opt.checkDir = next();
+        } else if (arg == "--shard") {
+            opt.shard = nextUnsigned();
+            opt.shardSet = true;
+        } else if (arg == "--workers") {
+            opt.workers = nextUnsigned();
+        } else if (arg == "--max-retries") {
+            opt.maxRetries = nextUnsigned();
+        } else if (arg == "--backoff-ms") {
+            opt.backoffMs = nextUnsigned();
+        } else if (arg == "--threads") {
+            opt.threads = nextUnsigned();
+        } else if (arg == "--kill-after") {
+            opt.killAfter = nextUnsigned();
+        } else if (arg == "--resume") {
+            opt.resume = true;
+        } else if (arg == "--no-progress") {
+            opt.progress = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            configError(argv[0], "unknown argument: " + arg);
+        }
+    }
+
+    opt.plan.mode = opt.chaos ? svc::RunMode::Chaos : svc::RunMode::Sweep;
+    opt.plan.preset = opt.faults;
+    if (opt.chaos && opt.faults.empty())
+        opt.plan.preset = "standard";
+    return opt;
+}
+
+/** Build the plan, converting any validation fatal into exit 2. */
+svc::ShardPlan
+buildPlanOrDie(const char *argv0, const Options &opt)
+{
+    try {
+        return svc::buildShardPlan(opt.plan);
+    } catch (const FatalError &err) {
+        configError(argv0, err.what());
+    }
+}
+
+std::vector<std::string>
+journalPaths(const svc::ShardPlan &plan, const std::string &dir)
+{
+    std::vector<std::string> paths;
+    paths.reserve(plan.shardCount);
+    for (std::uint32_t s = 0; s < plan.shardCount; ++s)
+        paths.push_back(plan.journalPath(dir, s));
+    return paths;
+}
+
+/** This binary's path, for the coordinator to exec workers from. */
+std::string
+selfPath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t got =
+        readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (got > 0) {
+        buf[got] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+int
+runPlanCommand(const Options &opt, const svc::ShardPlan &plan)
+{
+    std::printf("plan:        %s grid '%s', scale %s, %zu point(s)\n",
+                svc::runModeName(plan.mode), plan.grid.name.c_str(),
+                exp::scaleName(plan.scale), plan.grid.points.size());
+    if (!plan.preset.empty() || !opt.faults.empty())
+        std::printf("preset:      %s\n",
+                    plan.mode == svc::RunMode::Chaos
+                        ? plan.preset.c_str()
+                        : opt.faults.c_str());
+    std::printf("fingerprint: %016llx\n",
+                static_cast<unsigned long long>(plan.fingerprint()));
+    std::printf("shards:      %u\n", plan.shardCount);
+    for (std::uint32_t s = 0; s < plan.shardCount; ++s) {
+        std::printf("  shard %-3u %4u point(s)  %s\n", s,
+                    plan.shardPoints(s),
+                    plan.journalFileName(s).c_str());
+    }
+    return 0;
+}
+
+int
+runWorkerCommand(const char *argv0, const Options &opt,
+                 const svc::ShardPlan &plan)
+{
+    if (!opt.shardSet)
+        configError(argv0, "worker requires --shard");
+    if (opt.dir.empty())
+        configError(argv0, "worker requires --dir");
+    if (opt.shard >= plan.shardCount)
+        configError(argv0,
+                    strprintf("--shard %u: plan has %u shard(s)",
+                              opt.shard, plan.shardCount));
+    svc::ensureDirectory(opt.dir);
+    svc::WorkerOptions worker_opts;
+    worker_opts.threads = opt.threads;
+    worker_opts.progress = opt.progress;
+    worker_opts.killAfter = opt.killAfter;
+    const svc::WorkerResult result = svc::runShardWorker(
+        plan, opt.shard, plan.journalPath(opt.dir, opt.shard),
+        worker_opts);
+    return result.done ? 0 : 1;
+}
+
+/**
+ * Merge, write outputs atomically, check goldens, report. Shared by
+ * `run` (after coordination) and `merge`; returns the process exit.
+ */
+int
+mergeAndReport(const Options &opt, const svc::ShardPlan &plan)
+{
+    const svc::MergeResult merged =
+        svc::mergeJournals(plan, journalPaths(plan, opt.dir));
+
+    if (!opt.out.empty())
+        svc::writeFileAtomic(opt.out, merged.document.dump() + "\n");
+    if (!opt.csv.empty()) {
+        if (plan.mode == svc::RunMode::Chaos)
+            fatal("--csv applies to sweep plans only");
+        svc::writeFileAtomic(opt.csv, merged.csv);
+    }
+
+    if (plan.mode == svc::RunMode::Chaos) {
+        std::fputs(merged.chaosSummary.c_str(), stdout);
+        return merged.chaosOk ? 0 : 1;
+    }
+
+    bool check_ok = true;
+    if (!opt.checkDir.empty()) {
+        const exp::GoldenDiff diff = exp::checkAgainstGoldenDir(
+            merged.document, opt.checkDir, plan.grid.name);
+        std::fputs(diff.report.c_str(), stdout);
+        check_ok = check_ok && diff.ok;
+    }
+    std::printf("svc_runner: %zu/%zu job(s) ok across %u shard(s)%s\n",
+                merged.totalJobs - merged.failedJobs, merged.totalJobs,
+                plan.shardCount,
+                check_ok ? "" : ", golden check FAILED");
+    return merged.failedJobs == 0 && check_ok ? 0 : 1;
+}
+
+int
+runRunCommand(const char *argv0, const Options &opt,
+              const svc::ShardPlan &plan)
+{
+    if (opt.dir.empty())
+        configError(argv0, "run requires --dir");
+    svc::ensureDirectory(opt.dir);
+    const std::vector<std::string> paths = journalPaths(plan, opt.dir);
+    if (!opt.resume) {
+        for (const std::string &path : paths) {
+            if (svc::journalExists(path))
+                configError(
+                    argv0,
+                    strprintf("journal '%s' already exists; pass "
+                              "--resume to continue that run or remove "
+                              "the journals",
+                              path.c_str()));
+        }
+    }
+
+    const std::string self = selfPath(argv0);
+    auto worker_argv = [&](std::uint32_t shard) {
+        std::vector<std::string> args = {
+            self,
+            "worker",
+            "--grid",
+            opt.plan.grid,
+            "--scale",
+            exp::scaleName(opt.plan.scale),
+            "--shards",
+            strprintf("%u", plan.shardCount),
+            "--shard",
+            strprintf("%u", shard),
+            "--dir",
+            opt.dir,
+            "--threads",
+            strprintf("%u", opt.threads),
+        };
+        if (!opt.faults.empty()) {
+            args.push_back("--faults");
+            args.push_back(opt.faults);
+        }
+        if (opt.chaos)
+            args.push_back("--chaos");
+        if (opt.plan.procs) {
+            args.push_back("--procs");
+            args.push_back(strprintf("%u", opt.plan.procs));
+        }
+        if (opt.plan.cacheBytes) {
+            args.push_back("--cache-bytes");
+            args.push_back(strprintf("%u", opt.plan.cacheBytes));
+        }
+        if (opt.plan.lineBytes) {
+            args.push_back("--line-bytes");
+            args.push_back(strprintf("%u", opt.plan.lineBytes));
+        }
+        if (opt.killAfter) {
+            args.push_back("--kill-after");
+            args.push_back(strprintf("%u", opt.killAfter));
+        }
+        if (!opt.progress)
+            args.push_back("--no-progress");
+        return args;
+    };
+
+    svc::CoordinatorOptions coord_opts;
+    coord_opts.workers = opt.workers;
+    coord_opts.maxRetries = opt.maxRetries;
+    coord_opts.backoffMs = opt.backoffMs;
+    coord_opts.progress = opt.progress;
+    const svc::CoordinatorReport report =
+        svc::runCoordinator(plan, paths, worker_argv, coord_opts);
+    if (!report.ok) {
+        for (const svc::ShardStatus &status : report.shards) {
+            if (!status.done)
+                std::printf("svc_runner: shard %u FAILED after %u "
+                            "attempt(s): %s\n",
+                            status.shard, status.attempts,
+                            status.error.c_str());
+        }
+        std::printf("svc_runner: run incomplete; journals kept in %s "
+                    "(re-run with --resume)\n",
+                    opt.dir.c_str());
+        return 1;
+    }
+    return mergeAndReport(opt, plan);
+}
+
+int
+runInspectCommand(const char *argv0, const Options &opt)
+{
+    if (opt.journal.empty())
+        configError(argv0, "inspect requires --journal");
+    const svc::JournalScan scan = svc::scanJournal(opt.journal);
+    std::printf("journal:     %s\n", opt.journal.c_str());
+    if (scan.headerTorn) {
+        std::printf("header:      TORN (%llu byte(s); the worker died "
+                    "during creation)\n",
+                    static_cast<unsigned long long>(scan.tornBytes));
+        return 0;
+    }
+    const svc::JournalHeader &h = scan.header;
+    std::printf("mode:        %s\n", svc::runModeName(h.mode));
+    std::printf("grid:        %s\n", h.grid.c_str());
+    std::printf("shard:       %u of %u\n", h.shardIndex, h.shardCount);
+    std::printf("fingerprint: %016llx\n",
+                static_cast<unsigned long long>(h.planFingerprint));
+    std::printf("points:      %zu journaled of %u (grid total %u)\n",
+                scan.frames.size(), h.shardPoints, h.gridPoints);
+    std::printf("valid bytes: %llu\n",
+                static_cast<unsigned long long>(scan.validBytes));
+    if (scan.tornBytes > 0)
+        std::printf("torn tail:   %llu byte(s) (in-flight point lost; "
+                    "resume truncates it)\n",
+                    static_cast<unsigned long long>(scan.tornBytes));
+    for (const svc::JournalFrame &frame : scan.frames)
+        std::printf("  point %-5u %zu byte(s)\n", frame.index,
+                    frame.payload.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+    try {
+        if (opt.subcommand == "inspect")
+            return runInspectCommand(argv[0], opt);
+        const svc::ShardPlan plan = buildPlanOrDie(argv[0], opt);
+        if (opt.subcommand == "plan")
+            return runPlanCommand(opt, plan);
+        if (opt.subcommand == "worker")
+            return runWorkerCommand(argv[0], opt, plan);
+        if (opt.subcommand == "run")
+            return runRunCommand(argv[0], opt, plan);
+        if (opt.dir.empty())
+            configError(argv[0], "merge requires --dir");
+        return mergeAndReport(opt, plan);
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "svc_runner: %s\n", err.what());
+        return 1;
+    }
+}

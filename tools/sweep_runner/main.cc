@@ -36,7 +36,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +47,7 @@
 #include "fault/fault_config.hh"
 #include "mem/cache.hh"
 #include "sim/logging.hh"
+#include "svc/atomic_file.hh"
 
 #include "../common/cli.hh"
 
@@ -307,16 +307,21 @@ buildGrids(const Options &opt)
     return grids;
 }
 
+/**
+ * Atomic results write (svc::writeFileAtomic: temp + rename), so an
+ * interrupted run never leaves a truncated document where a complete
+ * one is expected.
+ */
 bool
 writeFile(const std::string &path, const std::string &content)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    try {
+        svc::writeFileAtomic(path, content);
+        return true;
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "sweep_runner: %s\n", err.what());
         return false;
     }
-    out << content;
-    return true;
 }
 
 int

@@ -17,6 +17,7 @@
  *                         [--burst-max N] [--idle-max N]
  *                         [--object-words N] [--ring-slots N]
  *                         [--payload-words N] [--locks N] [--hold-ops N]
+ *   trace_runner import   --text FILE --out FILE [--procs N] [--seed N]
  *   trace_runner inspect  --trace FILE
  *
  * record defaults to the quick-grid geometry (8 procs, 4 KiB caches,
@@ -24,7 +25,10 @@
  * trace replays cycle-identically against the golden quick numbers.
  * replay runs the trace on the recorded processor count; --model all
  * sweeps the seven models. generate emits seed-stable synthetic
- * traffic; the same flags always produce the identical file.
+ * traffic; the same flags always produce the identical file. import
+ * converts the classic text trace syntax (one `<proc> <r|w> <hex-addr>`
+ * transaction per line, e.g. "5 w 0xabcd") into a validated .mct;
+ * malformed lines are rejected with their line number, never skipped.
  *
  * Exit status: 0 success, 1 on malformed traces or failed runs
  * (structured one-line error, no partial results), 2 on usage errors.
@@ -45,6 +49,7 @@
 #include "sim/logging.hh"
 #include "trace/capture.hh"
 #include "trace/generators.hh"
+#include "trace/import.hh"
 #include "trace/replay.hh"
 #include "workloads/workload.hh"
 
@@ -74,8 +79,10 @@ usage(const char *argv0)
         "                   [--idle-max N] [--object-words N]\n"
         "                   [--ring-slots N] [--payload-words N]\n"
         "                   [--locks N] [--hold-ops N]\n"
+        "       %s import   --text FILE --out FILE [--procs N] "
+        "[--seed N]\n"
         "       %s inspect  --trace FILE\n",
-        argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0);
 }
 
 [[noreturn]] void
@@ -93,6 +100,7 @@ struct Options
     std::string benchmark;
     std::string model;
     std::string tracePath;
+    std::string textPath;
     std::string out;
     std::string json;
     std::string gen;
@@ -124,13 +132,15 @@ parseArgs(int argc, char **argv)
     Options opt;
     opt.subcommand = argv[1];
     if (opt.subcommand != "record" && opt.subcommand != "replay" &&
-        opt.subcommand != "generate" && opt.subcommand != "inspect") {
+        opt.subcommand != "generate" && opt.subcommand != "import" &&
+        opt.subcommand != "inspect") {
         if (opt.subcommand == "--help" || opt.subcommand == "-h") {
             usage(argv[0]);
             std::exit(0);
         }
-        configError(argv[0], "unknown subcommand '" + opt.subcommand +
-                                 "' (record/replay/generate/inspect)");
+        configError(argv[0],
+                    "unknown subcommand '" + opt.subcommand +
+                        "' (record/replay/generate/import/inspect)");
     }
 
     for (int i = 2; i < argc; ++i) {
@@ -162,6 +172,8 @@ parseArgs(int argc, char **argv)
             opt.model = next();
         } else if (arg == "--trace") {
             opt.tracePath = next();
+        } else if (arg == "--text") {
+            opt.textPath = next();
         } else if (arg == "--out") {
             opt.out = next();
         } else if (arg == "--json") {
@@ -419,6 +431,28 @@ runGenerate(const Options &opt)
 }
 
 int
+runImport(const Options &opt)
+{
+    if (opt.textPath.empty())
+        configError("trace_runner", "import requires --text");
+    if (opt.out.empty())
+        configError("trace_runner", "import requires --out");
+    trace::ImportParams params;
+    params.procs = opt.procs;
+    params.seed = opt.seed;
+    const trace::ImportSummary summary =
+        trace::importTextTraceFile(opt.textPath, opt.out, params);
+    std::printf("imported %s: %llu transaction(s) (%llu read(s), %llu "
+                "write(s)), %u procs -> %s\n",
+                opt.textPath.c_str(),
+                static_cast<unsigned long long>(summary.records),
+                static_cast<unsigned long long>(summary.reads),
+                static_cast<unsigned long long>(summary.writes),
+                summary.procs, opt.out.c_str());
+    return 0;
+}
+
+int
 runInspect(const Options &opt)
 {
     if (opt.tracePath.empty())
@@ -475,6 +509,8 @@ main(int argc, char **argv)
             return runReplay(opt);
         if (opt.subcommand == "generate")
             return runGenerate(opt);
+        if (opt.subcommand == "import")
+            return runImport(opt);
         return runInspect(opt);
     } catch (const FatalError &err) {
         std::fprintf(stderr, "trace_runner: %s\n", err.what());
