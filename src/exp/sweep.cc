@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <cstdio>
 #include <mutex>
 #include <thread>
@@ -95,6 +96,11 @@ SweepRunner::runIndices(const Grid &grid,
     std::atomic<std::size_t> completed{0};
     std::atomic<bool> stop{false};
     std::mutex reportMutex;
+    // The sink may throw (a journal append hitting a full or failing
+    // disk): capture the first exception, stop the pool, and rethrow
+    // from the calling thread -- an exception crossing a thread
+    // boundary uncaught would terminate the whole process.
+    std::exception_ptr sinkError;
 
     auto worker = [&]() {
         for (;;) {
@@ -123,8 +129,15 @@ SweepRunner::runIndices(const Grid &grid,
             if (on_complete) {
                 // Serialized: journal-style sinks append without locking.
                 std::lock_guard<std::mutex> lock(reportMutex);
-                if (!on_complete(index, results[i]))
+                try {
+                    if (!on_complete(index, results[i]))
+                        stop.store(true, std::memory_order_relaxed);
+                } catch (...) {
+                    if (!sinkError)
+                        sinkError = std::current_exception();
                     stop.store(true, std::memory_order_relaxed);
+                    return;
+                }
             }
             if (!opts.progress)
                 continue;
@@ -153,6 +166,8 @@ SweepRunner::runIndices(const Grid &grid,
         pool.emplace_back(worker);
     for (auto &t : pool)
         t.join();
+    if (sinkError)
+        std::rethrow_exception(sinkError);
     return results;
 }
 

@@ -112,22 +112,10 @@ faultPreset(const std::string &name)
           name.c_str());
 }
 
-FaultPlan::FaultPlan(const FaultConfig &config) : cfg(config)
+FaultPlan::FaultPlan(const FaultConfig &config)
+    : cfg(config), chain(config.seed)
 {
     cfg.validate();
-}
-
-std::uint64_t
-FaultPlan::hash(std::uint64_t site)
-{
-    return splitmix64(cfg.seed ^ splitmix64(site + 0x9e3779b97f4a7c15ull *
-                                                       ++nonce));
-}
-
-double
-FaultPlan::draw(std::uint64_t site)
-{
-    return static_cast<double>(hash(site) >> 11) * 0x1.0p-53;
 }
 
 bool

@@ -24,11 +24,45 @@
 #include <string>
 
 #include "fault/fault_config.hh"
+#include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace mcsim::fault
 {
+
+/**
+ * The seed-derived per-site decision chain every fault plan is built
+ * on: each call advances a global nonce and folds (seed, site, nonce)
+ * through splitmix64, so a plan's answers are a pure function of its
+ * seed and its own query order -- never of wall clock or scheduling.
+ * Shared by the machine-level FaultPlan below and the process-level
+ * plan in src/svc/chaos_svc.hh.
+ */
+class DecisionChain
+{
+  public:
+    explicit DecisionChain(std::uint64_t seed) : seed_(seed) {}
+
+    /** Next raw hash for decision site @p site. */
+    std::uint64_t
+    hash(std::uint64_t site)
+    {
+        return splitmix64(
+            seed_ ^ splitmix64(site + 0x9e3779b97f4a7c15ull * ++nonce));
+    }
+
+    /** Next uniform double in [0,1) for decision site @p site. */
+    double
+    draw(std::uint64_t site)
+    {
+        return static_cast<double>(hash(site) >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t seed_;
+    std::uint64_t nonce = 0; ///< global decision counter
+};
 
 /** Injection counters, exported under "fault." by Machine stats. */
 struct FaultStats
@@ -120,15 +154,15 @@ class FaultPlan
 
   private:
     /** Next uniform double in [0,1) for decision site @p site. */
-    double draw(std::uint64_t site);
+    double draw(std::uint64_t site) { return chain.draw(site); }
     /** Next raw hash for decision site @p site. */
-    std::uint64_t hash(std::uint64_t site);
+    std::uint64_t hash(std::uint64_t site) { return chain.hash(site); }
     /** True when the budget allows one more injection. */
     bool budgetLeft() const;
 
     FaultConfig cfg;
     FaultStats st;
-    std::uint64_t nonce = 0;  ///< global decision counter
+    DecisionChain chain; ///< seed-derived per-site decision source
 };
 
 } // namespace mcsim::fault

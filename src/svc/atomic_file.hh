@@ -34,6 +34,14 @@ void writeFileAtomic(const std::string &path, const std::string &content);
  */
 void ensureDirectory(const std::string &path);
 
+/**
+ * Recursively delete @p path (file or directory tree), in sorted entry
+ * order for deterministic behaviour. A missing path is a no-op; fatal()
+ * when something cannot be removed. Used by the chaos harness to reset
+ * round directories.
+ */
+void removeTree(const std::string &path);
+
 } // namespace mcsim::svc
 
 #endif // MCSIM_SVC_ATOMIC_FILE_HH

@@ -1,0 +1,726 @@
+#include "svc/chaos_svc.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "fault/fault.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "svc/atomic_file.hh"
+#include "svc/coordinator.hh"
+#include "svc/merge.hh"
+#include "svc/svc_io.hh"
+#include "svc/worker.hh"
+
+namespace mcsim::svc
+{
+
+namespace
+{
+
+using fault::DecisionChain;
+
+/** Distinct decision-site tags folded into the round's hash chain. */
+enum Site : std::uint64_t
+{
+    siteCoordCrash = 0x73766363726173ull,
+    siteStall = 0x73766373746c6cull,
+    siteKill = 0x7376636b696c6cull,
+    siteKillCount = 0x7376636b637474ull,
+    siteIoArm = 0x737663696f6172ull,
+    siteIoKind = 0x737663696f6b64ull,
+    siteIoOp = 0x737663696f6f70ull,
+    siteTear = 0x73766374656172ull,
+    siteTearLen = 0x737663746c656eull,
+    siteTearByte = 0x73766374627974ull,
+    siteCompact = 0x737663636d7074ull,
+};
+
+/**
+ * Faulting seam: the Nth operation of the armed kind fails, once. A
+ * short write really lands half its bytes, so the torn tail on disk is
+ * produced by the genuine write path, not synthesized.
+ */
+class ChaosSvcIo : public SvcIo
+{
+  public:
+    enum class Kind
+    {
+        WriteShort,
+        FlushFail,
+        RenameFail,
+    };
+
+    ChaosSvcIo(Kind kind, unsigned fault_op)
+        : kind_(kind), faultOp(fault_op)
+    {
+    }
+
+    bool fired() const { return fired_; }
+
+    std::size_t
+    write(const void *data, std::size_t size, std::FILE *file) override
+    {
+        if (kind_ == Kind::WriteShort && !fired_ && ++ops >= faultOp) {
+            fired_ = true;
+            const std::size_t half = size / 2;
+            return SvcIo::write(data, half, file) == half ? half : 0;
+        }
+        return SvcIo::write(data, size, file);
+    }
+
+    int
+    flush(std::FILE *file) override
+    {
+        if (kind_ == Kind::FlushFail && !fired_ && ++ops >= faultOp) {
+            fired_ = true;
+            // The buffered bytes may still land when the writer's
+            // destructor closes the stream: the classic ambiguous
+            // failure (reported dead, actually durable) resume must
+            // absorb.
+            return EOF;
+        }
+        return SvcIo::flush(file);
+    }
+
+    int
+    rename(const char *from, const char *to) override
+    {
+        if (kind_ == Kind::RenameFail && !fired_ && ++ops >= faultOp) {
+            fired_ = true;
+            return -1;
+        }
+        return SvcIo::rename(from, to);
+    }
+
+  private:
+    Kind kind_;
+    unsigned faultOp;
+    unsigned ops = 0;
+    bool fired_ = false;
+};
+
+/** Install a seam override for one scope; restore on the way out. */
+class IoGuard
+{
+  public:
+    explicit IoGuard(SvcIo *io) : prev(installSvcIo(io)) {}
+    ~IoGuard() { installSvcIo(prev); }
+    IoGuard(const IoGuard &) = delete;
+    IoGuard &operator=(const IoGuard &) = delete;
+
+  private:
+    SvcIo *prev;
+};
+
+/** Whole file as bytes ("" when missing): the identity comparand. */
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return "";
+    std::string data;
+    char buf[1 << 16];
+    for (;;) {
+        const std::size_t got = std::fread(buf, 1, sizeof(buf), file);
+        data.append(buf, got);
+        if (got < sizeof(buf))
+            break;
+    }
+    std::fclose(file);
+    return data;
+}
+
+/** Append seed-derived garbage to @p path: the torn in-flight frame a
+ *  SIGKILL mid-write would have left. */
+void
+appendGarbage(const std::string &path, DecisionChain &chain)
+{
+    if (!journalExists(path))
+        return;
+    std::FILE *file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr)
+        return;
+    const unsigned len = 1 + chain.hash(siteTearLen) % 48;
+    for (unsigned i = 0; i < len; ++i) {
+        const std::uint8_t byte =
+            static_cast<std::uint8_t>(chain.hash(siteTearByte) & 0xff);
+        std::fwrite(&byte, 1, 1, file);
+    }
+    std::fclose(file);
+}
+
+/** Grid-global indices with a valid frame in @p path. */
+std::set<std::size_t>
+journaledIn(const std::string &path)
+{
+    std::set<std::size_t> got;
+    if (!journalExists(path))
+        return got;
+    const JournalScan scan = scanJournal(path);
+    if (scan.headerTorn)
+        return got;
+    for (const JournalFrame &frame : scan.frames)
+        got.insert(frame.index);
+    return got;
+}
+
+/** One supervised unit in the round's in-process coordinator model. */
+struct Asg
+{
+    Assignment asg;
+    std::string path;
+    unsigned strikes = 0;
+    bool done = false;
+    bool failed = false; ///< primary handed off to steal slices
+};
+
+SvcChaosRound
+runRound(const ShardPlan &plan, const std::string &round_dir,
+         const SvcChaosPreset &preset, std::uint64_t round_seed,
+         std::size_t round_number, const SvcChaosConfig &config,
+         const std::vector<std::size_t> &poison,
+         const std::string &ref_doc, const std::string &ref_csv)
+{
+    SvcChaosRound round;
+    round.round = round_number;
+    DecisionChain chain(round_seed);
+
+    removeTree(round_dir);
+    ensureDirectory(round_dir);
+
+    const std::uint32_t shards = plan.shardCount;
+    const std::size_t total = plan.grid.points.size();
+    std::vector<std::string> primaries;
+    primaries.reserve(shards);
+    for (std::uint32_t s = 0; s < shards; ++s)
+        primaries.push_back(plan.journalPath(round_dir, s));
+
+    std::set<std::size_t> quarantined;
+    std::map<std::size_t, unsigned> blame;
+    std::vector<Asg> asgs;
+
+    // Rebuild the supervision state purely from disk: the same
+    // discovery a restarted coordinator performs. Strikes are dropped
+    // -- exactly what a real restart forgets.
+    auto rebuild = [&]() {
+        asgs.clear();
+        std::vector<unsigned> foundSlices(shards, 0);
+        for (const std::string &path : findStealJournals(plan, round_dir)) {
+            const JournalScan scan = scanJournal(path);
+            if (!scan.headerTorn &&
+                foundSlices[scan.header.shardIndex] == 0)
+                foundSlices[scan.header.shardIndex] =
+                    scan.header.stealSlices;
+        }
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            if (foundSlices[s] == 0) {
+                Asg a;
+                a.asg.shard = s;
+                a.path = primaries[s];
+                asgs.push_back(std::move(a));
+                continue;
+            }
+            for (unsigned k = 0; k < foundSlices[s]; ++k) {
+                Asg a;
+                a.asg.shard = s;
+                a.asg.steal = true;
+                a.asg.slice = static_cast<std::uint16_t>(k);
+                a.asg.slices = static_cast<std::uint16_t>(foundSlices[s]);
+                a.path = plan.stealJournalPath(round_dir, s, a.asg.slice,
+                                               a.asg.slices);
+                asgs.push_back(std::move(a));
+            }
+        }
+    };
+
+    // An assignment's runnable target: its points minus the quarantine.
+    auto targetOf = [&](const Asg &a) {
+        std::vector<std::size_t> target;
+        const std::vector<std::size_t> members =
+            a.asg.steal ? stealSliceMembers(plan, a.asg.shard,
+                                            a.asg.slice, a.asg.slices,
+                                            primaries[a.asg.shard])
+                        : plan.shardIndices(a.asg.shard);
+        for (const std::size_t index : members)
+            if (quarantined.count(index) == 0)
+                target.push_back(index);
+        return target;
+    };
+
+    auto asgDone = [&](const Asg &a) {
+        const std::set<std::size_t> got = journaledIn(a.path);
+        for (const std::size_t index : targetOf(a))
+            if (got.count(index) == 0)
+                return false;
+        return true;
+    };
+
+    auto coverageComplete = [&]() {
+        std::vector<bool> covered(total, false);
+        auto mark = [&](const std::string &path) {
+            for (const std::size_t index : journaledIn(path))
+                covered[index] = true;
+        };
+        for (const std::string &path : primaries)
+            mark(path);
+        for (const std::string &path : findStealJournals(plan, round_dir))
+            mark(path);
+        for (std::size_t i = 0; i < total; ++i)
+            if (!covered[i] && quarantined.count(i) == 0)
+                return false;
+        return true;
+    };
+
+    // Escalate a given-up primary into steal slices over its frozen
+    // remainder (mirrors runCoordinator).
+    auto escalate = [&](std::size_t id) {
+        // Copy out before the push_backs below reallocate asgs.
+        asgs[id].failed = true;
+        const std::uint32_t victim = asgs[id].asg.shard;
+        const std::set<std::size_t> got = journaledIn(asgs[id].path);
+        std::size_t remainder = 0;
+        for (const std::size_t index : plan.shardIndices(victim))
+            remainder += got.count(index) == 0 ? 1 : 0;
+        if (remainder == 0)
+            return;
+        const unsigned fanout =
+            config.stealFanout == 0 ? 1 : config.stealFanout;
+        const unsigned slices_n = static_cast<unsigned>(
+            std::min<std::size_t>(fanout, remainder));
+        round.steals += slices_n;
+        for (unsigned k = 0; k < slices_n; ++k) {
+            Asg steal;
+            steal.asg.shard = victim;
+            steal.asg.steal = true;
+            steal.asg.slice = static_cast<std::uint16_t>(k);
+            steal.asg.slices = static_cast<std::uint16_t>(slices_n);
+            steal.path = plan.stealJournalPath(round_dir, victim,
+                                               steal.asg.slice,
+                                               steal.asg.slices);
+            asgs.push_back(std::move(steal));
+        }
+    };
+
+    // Judge one finished (or skipped) attempt: reset strikes on
+    // durable progress, escalate a primary that exhausted its retries,
+    // and NEVER permanently abandon coverable work -- permanence comes
+    // only from blame-driven quarantine, so a poison-free round always
+    // converges whatever the fault history.
+    auto bump = [&](std::size_t id, bool progressed) {
+        Asg &a = asgs[id];
+        a.strikes = progressed ? 0 : a.strikes + 1;
+        if (a.strikes <= config.maxRetries)
+            return;
+        if (!a.asg.steal) {
+            escalate(id);
+            return;
+        }
+        a.strikes = 0;
+    };
+
+    rebuild();
+    const std::size_t cap = 60 + 40 * total;
+    std::size_t cursor = 0;
+    while (!coverageComplete()) {
+        if (++round.attempts > cap) {
+            round.error = strprintf(
+                "round did not converge within %zu attempts", cap);
+            break;
+        }
+        // Next live assignment, round-robin for fairness.
+        std::size_t id = asgs.size();
+        for (std::size_t probe = 0; probe < asgs.size(); ++probe) {
+            std::size_t i = (cursor + probe) % asgs.size();
+            Asg &a = asgs[i];
+            if (a.done || a.failed)
+                continue;
+            if (asgDone(a)) {
+                a.done = true;
+                continue;
+            }
+            id = i;
+            break;
+        }
+        if (id == asgs.size()) {
+            round.error = "coverage incomplete with no runnable "
+                          "assignment";
+            break;
+        }
+        cursor = id + 1;
+        Asg &a = asgs[id];
+
+        if (chain.draw(siteCoordCrash) < preset.coordCrashRate) {
+            // The coordinator dies mid-flight: every in-memory fact is
+            // lost; only the journals survive.
+            ++round.coordCrashes;
+            rebuild();
+            cursor = 0;
+            continue;
+        }
+
+        if (chain.draw(siteStall) < preset.stallRate) {
+            // A stuck worker journals nothing until its lease is
+            // revoked: a barren attempt.
+            ++round.stalls;
+            bump(id, false);
+            continue;
+        }
+
+        WorkerOptions opts;
+        opts.threads = 1;
+        opts.progress = false;
+        opts.skipIndices.assign(quarantined.begin(), quarantined.end());
+        opts.poisonIndices = poison;
+        if (chain.draw(siteKill) < preset.killRate) {
+            ++round.kills;
+            opts.stopAfter = 1 + chain.hash(siteKillCount) % 3;
+        }
+
+        bool armed = false;
+        ChaosSvcIo::Kind kind = ChaosSvcIo::Kind::WriteShort;
+        unsigned fault_op = 1;
+        if (chain.draw(siteIoArm) < preset.ioFaultRate) {
+            armed = true;
+            ++round.ioFaults;
+            kind = chain.hash(siteIoKind) % 2 == 0
+                       ? ChaosSvcIo::Kind::WriteShort
+                       : ChaosSvcIo::Kind::FlushFail;
+            fault_op = 1 + static_cast<unsigned>(chain.hash(siteIoOp) % 6);
+        }
+        ChaosSvcIo io(kind, fault_op);
+
+        const std::size_t before = journaledIn(a.path).size();
+        bool died = false;
+        bool explained = false;
+        WorkerResult result;
+        {
+            IoGuard guard(armed ? &io : nullptr);
+            try {
+                result = a.asg.steal
+                             ? runStealWorker(plan, a.asg.shard,
+                                              a.asg.slice, a.asg.slices,
+                                              primaries[a.asg.shard],
+                                              a.path, opts)
+                             : runShardWorker(plan, a.asg.shard, a.path,
+                                              opts);
+            } catch (const FatalError &) {
+                died = true;
+                explained = armed && io.fired();
+            }
+        }
+
+        if (chain.draw(siteTear) < preset.tearRate) {
+            ++round.tears;
+            appendGarbage(a.path, chain);
+        }
+
+        const std::size_t after = journaledIn(a.path).size();
+        const bool progressed = after > before;
+
+        if (died && !explained) {
+            // Unexplained death: neither a stall nor an armed I/O
+            // fault. Blame the first point the attempt would have run
+            // next; three strikes of blame quarantines it, which is
+            // what pins the failed[] section to exactly the poisoned
+            // set.
+            const std::set<std::size_t> got = journaledIn(a.path);
+            for (const std::size_t index : targetOf(a)) {
+                if (got.count(index) != 0)
+                    continue;
+                if (++blame[index] >= 3) {
+                    quarantined.insert(index);
+                    // Quarantine resets every strike: the run gets a
+                    // fresh chance to converge around the bad point.
+                    for (Asg &x : asgs)
+                        x.strikes = 0;
+                }
+                break;
+            }
+        }
+
+        if (!died && result.done) {
+            a.done = true;
+            continue;
+        }
+        bump(id, progressed);
+    }
+
+    round.quarantined.assign(quarantined.begin(), quarantined.end());
+    if (!round.error.empty())
+        return round;
+
+    // Invariant 1: the quarantine is exactly the poison set.
+    if (round.quarantined != poison) {
+        round.error = strprintf(
+            "quarantined %zu point(s), expected the %zu poisoned",
+            round.quarantined.size(), poison.size());
+        return round;
+    }
+
+    // Invariant 2: the merged document and CSV are byte-identical to
+    // the fault-free reference (built with the same poison skipped).
+    std::vector<std::string> paths = primaries;
+    for (const std::string &path : findStealJournals(plan, round_dir))
+        paths.push_back(path);
+    MergeOptions mopts;
+    mopts.degraded = !poison.empty();
+    const MergeResult merged = mergeJournals(plan, paths, mopts);
+    const std::string doc = merged.document.dump();
+    round.identical = doc == ref_doc && merged.csv == ref_csv;
+    if (!round.identical) {
+        round.error = "merged output differs from the fault-free "
+                      "reference";
+        return round;
+    }
+
+    // Invariant 3: compacting every journal (including a seam-failed
+    // compaction attempt that must leave its input untouched) and
+    // re-merging reproduces the same bytes; compaction is idempotent.
+    for (const std::string &path : paths) {
+        if (!journalExists(path))
+            continue;
+        if (scanJournal(path).headerTorn)
+            continue;
+        if (chain.draw(siteCompact) < preset.ioFaultRate) {
+            const std::string untouched = slurp(path);
+            ChaosSvcIo fail(ChaosSvcIo::Kind::RenameFail, 1);
+            bool threw = false;
+            {
+                IoGuard guard(&fail);
+                try {
+                    compactJournal(path, path);
+                } catch (const FatalError &) {
+                    threw = true;
+                }
+            }
+            if (!threw || slurp(path) != untouched) {
+                round.error = strprintf(
+                    "failed compaction of '%s' did not leave the "
+                    "input untouched",
+                    path.c_str());
+                return round;
+            }
+        }
+        compactJournal(path, path);
+        ++round.compactions;
+        const std::string once = slurp(path);
+        compactJournal(path, path);
+        if (slurp(path) != once) {
+            round.error = strprintf("compaction of '%s' is not "
+                                    "idempotent",
+                                    path.c_str());
+            return round;
+        }
+    }
+    const MergeResult remerged = mergeJournals(plan, paths, mopts);
+    round.compactIdentical =
+        remerged.document.dump() == doc && remerged.csv == merged.csv;
+    if (!round.compactIdentical) {
+        round.error = "compact-then-remerge changed the merged bytes";
+        return round;
+    }
+
+    round.ok = true;
+    return round;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+svcChaosPresetNames()
+{
+    static const std::vector<std::string> names = {"light", "standard",
+                                                   "heavy"};
+    return names;
+}
+
+SvcChaosPreset
+svcChaosPreset(const std::string &name)
+{
+    SvcChaosPreset p;
+    if (name == "light") {
+        p.killRate = 0.25;
+        p.stallRate = 0.10;
+        p.tearRate = 0.20;
+        p.ioFaultRate = 0.10;
+        p.coordCrashRate = 0.05;
+        return p;
+    }
+    if (name == "standard") {
+        p.killRate = 0.45;
+        p.stallRate = 0.15;
+        p.tearRate = 0.30;
+        p.ioFaultRate = 0.20;
+        p.coordCrashRate = 0.10;
+        return p;
+    }
+    if (name == "heavy") {
+        p.killRate = 0.60;
+        p.stallRate = 0.25;
+        p.tearRate = 0.45;
+        p.ioFaultRate = 0.35;
+        p.coordCrashRate = 0.20;
+        return p;
+    }
+    fatal("unknown svc-chaos preset '%s' (light/standard/heavy)",
+          name.c_str());
+}
+
+bool
+SvcChaosReport::ok() const
+{
+    if (rounds.empty())
+        return false;
+    for (const SvcChaosRound &round : rounds)
+        if (!round.ok)
+            return false;
+    return true;
+}
+
+std::string
+SvcChaosReport::summary() const
+{
+    std::string out = strprintf(
+        "svc-chaos grid=%s preset=%s seed=%llu rounds=%zu\n",
+        grid.c_str(), preset.c_str(),
+        static_cast<unsigned long long>(seed), rounds.size());
+    for (const SvcChaosRound &r : rounds) {
+        out += strprintf(
+            "round %03zu: %zu attempts, %zu kills, %zu stalls, %zu "
+            "tears, %zu io-faults, %zu coord-crashes, %zu steals, %zu "
+            "quarantined: %s\n",
+            r.round, r.attempts, r.kills, r.stalls, r.tears, r.ioFaults,
+            r.coordCrashes, r.steals, r.quarantined.size(),
+            r.ok ? "ok" : r.error.c_str());
+    }
+    out += ok() ? "svc-chaos: OK (every round merged byte-identical)"
+                : "svc-chaos: FAILED";
+    return out;
+}
+
+exp::Json
+SvcChaosReport::toJson() const
+{
+    exp::Json doc = exp::Json::object();
+    doc["schema"] = exp::Json("mcsim-svc-chaos-v1");
+    doc["grid"] = exp::Json(grid);
+    doc["preset"] = exp::Json(preset);
+    doc["seed"] = exp::Json(seed);
+    doc["ok"] = exp::Json(ok());
+    exp::Json list = exp::Json::array();
+    for (const SvcChaosRound &r : rounds) {
+        exp::Json entry = exp::Json::object();
+        entry["round"] = exp::Json(static_cast<std::uint64_t>(r.round));
+        entry["attempts"] =
+            exp::Json(static_cast<std::uint64_t>(r.attempts));
+        entry["kills"] = exp::Json(static_cast<std::uint64_t>(r.kills));
+        entry["stalls"] =
+            exp::Json(static_cast<std::uint64_t>(r.stalls));
+        entry["tears"] = exp::Json(static_cast<std::uint64_t>(r.tears));
+        entry["io_faults"] =
+            exp::Json(static_cast<std::uint64_t>(r.ioFaults));
+        entry["coord_crashes"] =
+            exp::Json(static_cast<std::uint64_t>(r.coordCrashes));
+        entry["steals"] =
+            exp::Json(static_cast<std::uint64_t>(r.steals));
+        entry["compactions"] =
+            exp::Json(static_cast<std::uint64_t>(r.compactions));
+        exp::Json quarantine = exp::Json::array();
+        for (const std::size_t index : r.quarantined)
+            quarantine.push(
+                exp::Json(static_cast<std::uint64_t>(index)));
+        entry["quarantined"] = std::move(quarantine);
+        entry["identical"] = exp::Json(r.identical);
+        entry["compact_identical"] = exp::Json(r.compactIdentical);
+        entry["ok"] = exp::Json(r.ok);
+        if (!r.error.empty())
+            entry["error"] = exp::Json(r.error);
+        list.push(std::move(entry));
+    }
+    doc["rounds"] = std::move(list);
+    return doc;
+}
+
+SvcChaosReport
+runSvcChaos(const ShardPlan &plan, const std::string &dir,
+            const SvcChaosConfig &config)
+{
+    const SvcChaosPreset preset = svcChaosPreset(config.preset);
+    if (config.rounds == 0)
+        fatal("svc-chaos needs at least one round");
+    std::vector<std::size_t> poison = config.poison;
+    std::sort(poison.begin(), poison.end());
+    poison.erase(std::unique(poison.begin(), poison.end()),
+                 poison.end());
+    for (const std::size_t index : poison) {
+        if (index >= plan.grid.points.size())
+            fatal("svc-chaos poison index %zu is out of range (grid "
+                  "has %zu points)",
+                  index, plan.grid.points.size());
+    }
+    ensureDirectory(dir);
+
+    SvcChaosReport report;
+    report.grid = plan.grid.name;
+    report.preset = config.preset;
+    report.seed = config.seed;
+
+    // The fault-free reference every round must reproduce: a clean
+    // supervised run with the poison set skipped, merged with the same
+    // degradedness the rounds will use. Single-threaded for full
+    // determinism (payload bytes are thread-invariant anyway; this is
+    // belt and braces).
+    const std::string ref_dir = dir + "/reference";
+    removeTree(ref_dir);
+    ensureDirectory(ref_dir);
+    WorkerOptions ref_opts;
+    ref_opts.threads = 1;
+    ref_opts.progress = false;
+    ref_opts.skipIndices = poison;
+    std::vector<std::string> ref_paths;
+    for (std::uint32_t s = 0; s < plan.shardCount; ++s) {
+        ref_paths.push_back(plan.journalPath(ref_dir, s));
+        runShardWorker(plan, s, ref_paths.back(), ref_opts);
+    }
+    MergeOptions ref_merge;
+    ref_merge.degraded = !poison.empty();
+    const MergeResult reference = mergeJournals(plan, ref_paths,
+                                                ref_merge);
+    const std::string ref_doc = reference.document.dump();
+    const std::string &ref_csv = reference.csv;
+
+    for (std::size_t r = 0; r < config.rounds; ++r) {
+        const std::uint64_t round_seed = splitmix64(
+            config.seed ^ splitmix64(0x9e3779b97f4a7c15ull + r));
+        const std::string round_dir =
+            strprintf("%s/round-%03zu", dir.c_str(), r);
+        SvcChaosRound round =
+            runRound(plan, round_dir, preset, round_seed, r, config,
+                     poison, ref_doc, ref_csv);
+        if (config.progress) {
+            std::fprintf(
+                stderr,
+                "svc-chaos round %03zu: %zu attempts, %zu kills, %zu "
+                "stalls, %zu tears, %zu io-faults, %zu coord-crashes, "
+                "%zu steals, %zu quarantined: %s\n",
+                round.round, round.attempts, round.kills, round.stalls,
+                round.tears, round.ioFaults, round.coordCrashes,
+                round.steals, round.quarantined.size(),
+                round.ok ? "ok" : round.error.c_str());
+        }
+        const bool keep = config.keepJournals || !round.ok;
+        report.rounds.push_back(std::move(round));
+        if (!keep)
+            removeTree(round_dir);
+    }
+    if (!config.keepJournals)
+        removeTree(ref_dir);
+    return report;
+}
+
+} // namespace mcsim::svc

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Process-level chaos harness for the sweep orchestrator (DESIGN.md
+ * section 16).
+ *
+ * Where src/fault/ injects faults INSIDE the simulated machine and
+ * src/exp/chaos.hh proves the simulation's results are invariant under
+ * them, this harness attacks the ORCHESTRATOR: the journals, workers,
+ * steal slices, and merge of src/svc/. Each seeded round replays a
+ * randomized but fully deterministic fault history against an
+ * in-process model of the supervised run:
+ *
+ *  - worker kills at journaled-frame boundaries (stopAfter: the clean
+ *    in-process analogue of SIGKILL right after a frame flush);
+ *  - torn journal tails (garbage appended where an in-flight frame
+ *    would have been) and GENUINE short writes / failed flushes /
+ *    failed renames, injected through the SvcIo seam so the torn
+ *    bytes are produced by the real write path;
+ *  - stuck workers (an attempt that journals nothing, standing in for
+ *    a lease revocation) and bounded-retry escalation into work
+ *    stealing, exactly as the coordinator escalates;
+ *  - coordinator crash/restart cycles: all supervision state is
+ *    dropped and rebuilt from the on-disk journals, the same discovery
+ *    path a restarted `svc_runner run --resume` uses;
+ *  - optionally POISONED points that kill any worker attempting them:
+ *    blame tracking quarantines exactly those points, and the round
+ *    ends in a degraded merge whose "failed" section names them.
+ *
+ * The invariant each round must close on: after any such history with
+ * no quarantined points, the merged document and CSV are byte-identical
+ * to a fresh, fault-free run's -- and compacting every journal and
+ * re-merging reproduces the same bytes again. Rounds are pure
+ * functions of (plan, seed, round number): every decision comes from a
+ * fault::DecisionChain, never from wall clock or scheduling.
+ */
+
+#ifndef MCSIM_SVC_CHAOS_SVC_HH
+#define MCSIM_SVC_CHAOS_SVC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/json.hh"
+#include "svc/shard.hh"
+
+namespace mcsim::svc
+{
+
+/** Per-attempt fault rates for one chaos round. */
+struct SvcChaosPreset
+{
+    double killRate = 0.0;       ///< die after 1..3 journaled points
+    double stallRate = 0.0;      ///< journal nothing (lease revocation)
+    double tearRate = 0.0;       ///< garbage bytes appended to the tail
+    double ioFaultRate = 0.0;    ///< short write / failed flush via SvcIo
+    double coordCrashRate = 0.0; ///< drop and rebuild supervision state
+};
+
+/** Preset names accepted by svcChaosPreset(). */
+const std::vector<std::string> &svcChaosPresetNames();
+
+/** Resolve "light" / "standard" / "heavy"; fatal() on anything else. */
+SvcChaosPreset svcChaosPreset(const std::string &name);
+
+/** Chaos harness configuration. */
+struct SvcChaosConfig
+{
+    std::uint64_t seed = 1;
+    std::size_t rounds = 5;
+    std::string preset = "standard";
+    /** Grid-global indices that crash any worker attempting them; the
+     *  harness must quarantine EXACTLY this set. Empty = every round
+     *  must converge with zero permanent failures. */
+    std::vector<std::size_t> poison;
+    /** Barren attempts before escalation, as CoordinatorOptions. */
+    unsigned maxRetries = 3;
+    /** Steal slices per revoked shard. */
+    unsigned stealFanout = 2;
+    /** Narrate rounds to stderr. */
+    bool progress = true;
+    /** Keep round directories on disk (default: each round replaces
+     *  the previous round's directory). */
+    bool keepJournals = false;
+};
+
+/** What one round did and whether it closed its invariant. */
+struct SvcChaosRound
+{
+    std::size_t round = 0;
+    std::size_t attempts = 0;
+    std::size_t kills = 0;
+    std::size_t stalls = 0;
+    std::size_t tears = 0;
+    std::size_t ioFaults = 0;
+    std::size_t coordCrashes = 0;
+    std::size_t steals = 0;      ///< steal slices created
+    std::size_t compactions = 0; ///< journals compacted in the re-merge
+    /** Quarantined grid-global indices (must equal the poison set). */
+    std::vector<std::size_t> quarantined;
+    /** Merged output byte-identical to the fault-free reference
+     *  (always required when nothing was quarantined). */
+    bool identical = false;
+    /** Compact-then-remerge reproduced the same bytes. */
+    bool compactIdentical = false;
+    bool ok = false;
+    std::string error; ///< first broken invariant; empty when ok
+};
+
+/** Whole-run report. */
+struct SvcChaosReport
+{
+    std::string grid;
+    std::string preset;
+    std::uint64_t seed = 0;
+    std::vector<SvcChaosRound> rounds;
+
+    bool ok() const;
+    /** Multi-line human-readable summary. */
+    std::string summary() const;
+    /** Canonical JSON ("mcsim-svc-chaos-v1"). */
+    exp::Json toJson() const;
+};
+
+/**
+ * Run the chaos harness: build a fault-free reference for @p plan,
+ * then execute config.rounds seeded fault histories under @p dir
+ * (round directories "round-000", ... plus "reference"). Returns the
+ * report; callers exit non-zero when ok() is false. fatal() only on
+ * harness-level misuse (bad preset, poison index out of range, an
+ * unwritable @p dir).
+ */
+SvcChaosReport runSvcChaos(const ShardPlan &plan, const std::string &dir,
+                           const SvcChaosConfig &config);
+
+} // namespace mcsim::svc
+
+#endif // MCSIM_SVC_CHAOS_SVC_HH

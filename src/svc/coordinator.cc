@@ -1,11 +1,13 @@
 #include "svc/coordinator.hh"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <deque>
 #include <map>
 #include <thread>
 
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -21,18 +23,45 @@ namespace
 /** Relaunch delay ceiling. */
 constexpr unsigned maxBackoffMs = 5000;
 
-/**
- * Points currently journaled for a shard. Only called while the shard
- * has no live worker (before its first launch or after waitpid reaped
- * it), so the scan never races a writer.
- */
-std::size_t
-journaledPoints(const std::string &path)
+/** Current size of @p path in bytes (0 when missing): the lease
+ *  heartbeat. Durable growth is the one progress signal that cannot
+ *  lie -- a worker that only spins never grows its journal. */
+std::uint64_t
+fileBytes(const std::string &path)
 {
-    if (!journalExists(path))
+    struct stat st = {};
+    if (::stat(path.c_str(), &st) != 0)
         return 0;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+/** What a quick scan of a journal says about an assignment. */
+struct JournalLook
+{
+    bool valid = false;        ///< exists with an intact header
+    std::size_t frames = 0;    ///< valid frames recovered
+    std::uint32_t target = 0;  ///< header shardPoints (slice size for
+                               ///< a steal journal)
+};
+
+/**
+ * Scan @p path. Scanning a LIVE journal is safe: the only in-flight
+ * hazard is a partially flushed final frame, which the scan treats as
+ * a torn tail -- it can undercount momentarily, never overcount.
+ */
+JournalLook
+lookAt(const std::string &path)
+{
+    JournalLook look;
+    if (!journalExists(path))
+        return look;
     const JournalScan scan = scanJournal(path);
-    return scan.headerTorn ? 0 : scan.frames.size();
+    if (scan.headerTorn)
+        return look;
+    look.valid = true;
+    look.frames = scan.frames.size();
+    look.target = scan.header.shardPoints;
+    return look;
 }
 
 /** fork + execv; fatal() if the coordinator itself cannot spawn. */
@@ -67,10 +96,21 @@ describeDeath(int wstatus)
     return "vanished";
 }
 
+std::string
+assignmentName(const Assignment &asg, std::uint32_t shards)
+{
+    if (!asg.steal)
+        return strprintf("shard %u/%u", asg.shard, shards);
+    return strprintf("steal %u/%u of shard %u/%u",
+                     static_cast<unsigned>(asg.slice),
+                     static_cast<unsigned>(asg.slices), asg.shard,
+                     shards);
+}
+
 } // namespace
 
 CoordinatorReport
-runCoordinator(const ShardPlan &plan,
+runCoordinator(const ShardPlan &plan, const std::string &dir,
                const std::vector<std::string> &journal_paths,
                const WorkerArgv &worker_argv,
                const CoordinatorOptions &options)
@@ -88,39 +128,190 @@ runCoordinator(const ShardPlan &plan,
     CoordinatorReport report;
     report.shards.resize(shards);
 
-    /** Per-shard watchdog state. */
-    struct Supervision
+    /** Per-assignment watchdog state. Ids 0..shards-1 are the primary
+     *  assignments; steal assignments are appended as created (or
+     *  rediscovered from disk by a restarted coordinator). */
+    struct AsgState
     {
+        Assignment asg;
+        std::string path;      ///< the journal this assignment writes
         unsigned strikes = 0;  ///< consecutive no-progress deaths
         std::size_t last = 0;  ///< journaled points at last look
+        bool done = false;
+        bool failed = false;   ///< never relaunch again
     };
-    std::vector<Supervision> sup(shards);
+    std::vector<AsgState> states(shards);
 
-    /** A scheduled (re)launch: which shard, after what delay. */
+    /** A scheduled (re)launch: which assignment, after what delay. */
     struct Launch
     {
-        std::uint32_t shard;
+        std::size_t id;
         unsigned delayMs;
     };
     std::deque<Launch> pending;
+
+    // Journaled points of @p shard across its primary AND steal
+    // journals: the shard-level truth doneness is judged by.
+    auto coveredPoints = [&](std::uint32_t shard) -> std::size_t {
+        std::vector<bool> covered(plan.grid.points.size(), false);
+        auto mark = [&](const std::string &path) {
+            if (!journalExists(path))
+                return;
+            const JournalScan scan = scanJournal(path);
+            if (scan.headerTorn || scan.header.shardIndex != shard)
+                return;
+            for (const JournalFrame &frame : scan.frames)
+                covered[frame.index] = true;
+        };
+        mark(journal_paths[shard]);
+        for (const std::string &path : findStealJournals(plan, dir))
+            mark(path);
+        std::size_t count = 0;
+        for (const std::size_t index : plan.shardIndices(shard))
+            count += covered[index] ? 1 : 0;
+        return count;
+    };
+
+    auto maybeFinishShard = [&](std::uint32_t shard) {
+        ShardStatus &status = report.shards[shard];
+        if (status.done)
+            return;
+        status.journaledPoints = coveredPoints(shard);
+        if (status.journaledPoints == plan.shardPoints(shard)) {
+            status.done = true;
+            if (options.progress)
+                std::fprintf(stderr,
+                             "svc: shard %u/%u complete (%zu point(s))\n",
+                             shard, shards, status.journaledPoints);
+        }
+    };
+
+    // Create (or rediscover) the steal assignments covering @p victim's
+    // frozen remainder, split into @p slices_n round-robin slices. The
+    // victim's primary is never relaunched past this point, so every
+    // steal worker derives the identical remainder from its journal.
+    auto addStealStates = [&](std::uint32_t victim, unsigned slices_n) {
+        report.shards[victim].stolen = true;
+        states[victim].failed = true;
+        for (unsigned k = 0; k < slices_n; ++k) {
+            AsgState st;
+            st.asg.shard = victim;
+            st.asg.steal = true;
+            st.asg.slice = static_cast<std::uint16_t>(k);
+            st.asg.slices = static_cast<std::uint16_t>(slices_n);
+            st.path = plan.stealJournalPath(
+                dir, victim, st.asg.slice, st.asg.slices);
+            const JournalLook look = lookAt(st.path);
+            st.last = look.frames;
+            st.done = look.valid && look.frames == look.target;
+            const std::size_t id = states.size();
+            states.push_back(std::move(st));
+            if (!states[id].done)
+                pending.push_back(Launch{id, 0});
+        }
+    };
+
+    // Restart discovery: steal journals on disk mean a previous
+    // coordinator (since crashed or killed) already revoked some shard
+    // and began stealing. Adopt its slicing verbatim -- slice
+    // membership is a pure function of the frozen primary and (slice,
+    // slices), so the original assignments are reconstructible from
+    // any one file's header even when sibling slices never created
+    // their files.
+    std::vector<unsigned> foundSlices(shards, 0);
+    for (const std::string &path : findStealJournals(plan, dir)) {
+        const JournalScan scan = scanJournal(path);
+        if (scan.headerTorn)
+            continue;
+        if (foundSlices[scan.header.shardIndex] == 0)
+            foundSlices[scan.header.shardIndex] = scan.header.stealSlices;
+    }
+
     for (std::uint32_t s = 0; s < shards; ++s) {
         ShardStatus &status = report.shards[s];
         status.shard = s;
-        sup[s].last = journaledPoints(journal_paths[s]);
-        status.journaledPoints = sup[s].last;
-        if (sup[s].last == plan.shardPoints(s)) {
-            // Resume found a finished journal: nothing to supervise.
+        states[s].asg.shard = s;
+        states[s].path = journal_paths[s];
+        states[s].last = lookAt(journal_paths[s]).frames;
+        status.journaledPoints = coveredPoints(s);
+        if (status.journaledPoints == plan.shardPoints(s)) {
+            // Resume found the shard fully covered: nothing to do.
             status.done = true;
+            states[s].done = true;
             if (options.progress)
                 std::fprintf(stderr,
                              "svc: shard %u/%u already complete\n", s,
                              shards);
             continue;
         }
+        if (foundSlices[s] > 0) {
+            if (options.progress)
+                std::fprintf(stderr,
+                             "svc: shard %u/%u was stolen before a "
+                             "restart; resuming %u steal slice(s)\n",
+                             s, shards, foundSlices[s]);
+            addStealStates(s, foundSlices[s]);
+            continue;
+        }
         pending.push_back(Launch{s, 0});
     }
 
-    std::map<pid_t, std::uint32_t> running;
+    /** One live worker process. Lease bookkeeping accumulates SLEPT
+     *  milliseconds between polls instead of reading a wall clock, so
+     *  supervision stays free of entropy sources; the lease is a
+     *  lower bound, which is the safe direction. */
+    struct Running
+    {
+        std::size_t id;
+        std::uint64_t bytes;    ///< journal size at last poll
+        unsigned stalledMs = 0; ///< poll intervals without growth
+        bool revoked = false;
+    };
+    std::map<pid_t, Running> running;
+
+    // Reap one child: blocking when leases are off (the classic
+    // supervisor), polling + revocation when they are on.
+    auto reap = [&](int &wstatus) -> pid_t {
+        if (options.leaseMs == 0)
+            return waitpid(-1, &wstatus, 0);
+        const unsigned poll = options.pollMs == 0 ? 50u : options.pollMs;
+        for (;;) {
+            const pid_t pid = waitpid(-1, &wstatus, WNOHANG);
+            if (pid != 0)
+                return pid;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(poll));
+            for (auto &entry : running) {
+                Running &run = entry.second;
+                if (run.revoked)
+                    continue;
+                const std::uint64_t bytes =
+                    fileBytes(states[run.id].path);
+                if (bytes != run.bytes) {
+                    run.bytes = bytes;
+                    run.stalledMs = 0;
+                    continue;
+                }
+                run.stalledMs += poll;
+                if (run.stalledMs < options.leaseMs)
+                    continue;
+                run.revoked = true;
+                const Assignment &asg = states[run.id].asg;
+                report.shards[asg.shard].revocations += 1;
+                if (options.progress) {
+                    std::fprintf(stderr,
+                                 "svc: %s lease expired (no journal "
+                                 "growth for %u ms); revoking "
+                                 "(SIGKILL pid %d)\n",
+                                 assignmentName(asg, shards).c_str(),
+                                 run.stalledMs,
+                                 static_cast<int>(entry.first));
+                }
+                ::kill(entry.first, SIGKILL);
+            }
+        }
+    };
+
     while (!pending.empty() || !running.empty()) {
         while (!pending.empty() && running.size() < workers) {
             const Launch launch = pending.front();
@@ -129,46 +320,54 @@ runCoordinator(const ShardPlan &plan,
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(launch.delayMs));
             }
-            ShardStatus &status = report.shards[launch.shard];
+            AsgState &st = states[launch.id];
+            ShardStatus &status = report.shards[st.asg.shard];
             ++status.attempts;
-            const pid_t pid = spawnWorker(worker_argv(launch.shard));
-            running[pid] = launch.shard;
+            const pid_t pid = spawnWorker(worker_argv(st.asg));
+            Running run;
+            run.id = launch.id;
+            run.bytes = fileBytes(st.path);
+            running[pid] = run;
             if (options.progress) {
-                std::fprintf(stderr,
-                             "svc: shard %u/%u attempt %u -> pid %d\n",
-                             launch.shard, shards, status.attempts,
-                             static_cast<int>(pid));
+                std::fprintf(stderr, "svc: %s attempt %u -> pid %d\n",
+                             assignmentName(st.asg, shards).c_str(),
+                             status.attempts, static_cast<int>(pid));
             }
         }
         if (running.empty())
             continue;
 
         int wstatus = 0;
-        const pid_t pid = waitpid(-1, &wstatus, 0);
+        const pid_t pid = reap(wstatus);
         if (pid < 0)
             fatal("svc: waitpid failed");
         const auto it = running.find(pid);
         if (it == running.end())
             continue;
-        const std::uint32_t shard = it->second;
+        const std::size_t id = it->second.id;
         running.erase(it);
 
-        ShardStatus &status = report.shards[shard];
-        Supervision &watch = sup[shard];
-        const std::size_t count = journaledPoints(journal_paths[shard]);
-        const std::size_t fresh = count > watch.last ? count - watch.last : 0;
-        status.journaledPoints = count;
+        AsgState &st = states[id];
+        ShardStatus &status = report.shards[st.asg.shard];
+        const std::string name = assignmentName(st.asg, shards);
+        const JournalLook look = lookAt(st.path);
+        const std::size_t count = look.frames;
+        const std::size_t fresh = count > st.last ? count - st.last : 0;
         const bool progressed = fresh > 0;
-        watch.last = count;
+        st.last = count;
+        status.journaledPoints = coveredPoints(st.asg.shard);
 
         const bool clean =
             WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
-        if (clean && count == plan.shardPoints(shard)) {
-            status.done = true;
+        const std::size_t want = st.asg.steal
+                                     ? look.target
+                                     : plan.shardPoints(st.asg.shard);
+        if (clean && look.valid && count == want) {
+            st.done = true;
             if (options.progress)
-                std::fprintf(stderr, "svc: shard %u/%u complete (%zu "
-                                     "point(s))\n",
-                             shard, shards, count);
+                std::fprintf(stderr, "svc: %s complete (%zu point(s))\n",
+                             name.c_str(), count);
+            maybeFinishShard(st.asg.shard);
             continue;
         }
 
@@ -180,42 +379,67 @@ runCoordinator(const ShardPlan &plan,
                                         "journal"
                                       : describeDeath(wstatus);
         if (options.maxRetries == 0) {
+            st.failed = true;
             status.error = strprintf(
                 "%s; relaunching disabled (--max-retries 0), journal "
                 "kept for --resume",
                 death.c_str());
             if (options.progress)
-                std::fprintf(stderr, "svc: shard %u/%u %s\n", shard,
-                             shards, status.error.c_str());
+                std::fprintf(stderr, "svc: %s %s\n", name.c_str(),
+                             status.error.c_str());
             continue;
         }
         // The watchdog judges forward progress, not survival: a death
         // after new points is normal churn (a --kill-after worker dies
         // every attempt and still converges); only consecutive barren
         // attempts consume retries.
-        watch.strikes = progressed ? 0 : watch.strikes + 1;
-        if (watch.strikes > options.maxRetries) {
+        st.strikes = progressed ? 0 : st.strikes + 1;
+        if (st.strikes > options.maxRetries) {
+            st.failed = true;
+            if (!st.asg.steal && options.stealFanout > 0) {
+                // Escalate: the shard's workers cannot finish it, so
+                // hand its frozen remainder to fresh steal workers.
+                const std::size_t remainder =
+                    plan.shardPoints(st.asg.shard) - count;
+                if (remainder == 0) {
+                    maybeFinishShard(st.asg.shard);
+                    continue;
+                }
+                const unsigned slices_n = static_cast<unsigned>(
+                    std::min<std::size_t>(options.stealFanout,
+                                          remainder));
+                if (options.progress) {
+                    std::fprintf(
+                        stderr,
+                        "svc: %s %s after %u barren attempt(s); "
+                        "splitting its %zu-point remainder into %u "
+                        "steal slice(s)\n",
+                        name.c_str(), death.c_str(), st.strikes,
+                        remainder, slices_n);
+                }
+                addStealStates(st.asg.shard, slices_n);
+                continue;
+            }
             status.error = strprintf(
-                "%s after %u consecutive attempt(s) with no new "
-                "points; giving up",
-                death.c_str(), watch.strikes);
+                "%s %s after %u consecutive attempt(s) with no new "
+                "points; giving up (merge --degraded quarantines "
+                "what stayed uncovered)",
+                name.c_str(), death.c_str(), st.strikes);
             if (options.progress)
-                std::fprintf(stderr, "svc: shard %u/%u %s\n", shard,
-                             shards, status.error.c_str());
+                std::fprintf(stderr, "svc: %s\n", status.error.c_str());
             continue;
         }
         unsigned delay = options.backoffMs;
-        for (unsigned i = 0; i < watch.strikes && delay < maxBackoffMs;
-             ++i)
+        for (unsigned i = 0; i < st.strikes && delay < maxBackoffMs; ++i)
             delay *= 2;
         delay = std::min(delay, maxBackoffMs);
         if (options.progress) {
             std::fprintf(stderr,
-                         "svc: shard %u/%u %s after %zu new point(s); "
-                         "retrying in %u ms\n",
-                         shard, shards, death.c_str(), fresh, delay);
+                         "svc: %s %s after %zu new point(s); retrying "
+                         "in %u ms\n",
+                         name.c_str(), death.c_str(), fresh, delay);
         }
-        pending.push_back(Launch{shard, delay});
+        pending.push_back(Launch{id, delay});
     }
 
     report.ok = true;

@@ -1,7 +1,7 @@
 /**
  * @file
  * Local coordinator: spawns one OS process per shard, supervises them,
- * and relaunches the ones that die (DESIGN.md section 15).
+ * and relaunches the ones that die (DESIGN.md sections 15 and 16).
  *
  * Failure model: a worker process may disappear at any instant (crash,
  * SIGKILL, OOM). Its journal is the only state that matters; the
@@ -11,16 +11,35 @@
  * point resets the shard's strike count, so a run that keeps making
  * progress is relaunched indefinitely (this is what lets a --kill-after
  * worker converge), while a shard that dies repeatedly with NO new
- * points exhausts its retries and fails the run. Relaunches back off
- * exponentially. --max-retries 0 disables relaunching entirely: the
- * first death fails the shard, leaving its journal for a later
- * `run --resume` -- the two-phase kill/resume gate CI exercises.
+ * points exhausts its retries. Relaunches back off exponentially.
+ * --max-retries 0 disables relaunching entirely: the first death fails
+ * the shard, leaving its journal for a later `run --resume` -- the
+ * two-phase kill/resume gate CI exercises.
+ *
+ * Two hardening layers sit on top (DESIGN.md section 16):
+ *
+ *  - LEASES (leaseMs > 0): a live worker whose journal stops growing
+ *    for leaseMs is not making progress -- stuck, deadlocked, or
+ *    stalled -- so the coordinator revokes its lease (SIGKILL) and the
+ *    normal death path judges the attempt. Heartbeat is journal file
+ *    size: the one signal that cannot lie about durable progress.
+ *
+ *  - WORK STEALING (stealFanout > 0): a shard that exhausts its
+ *    retries is not abandoned; its un-journaled remainder (frozen,
+ *    since the victim is never relaunched) is split round-robin into
+ *    up to stealFanout slices, each run by a fresh worker journaling
+ *    into a separate steal journal. Steal attempts are supervised by
+ *    the same watchdog; a slice that exhausts ITS retries fails the
+ *    shard for good (degraded merge quarantines what stayed
+ *    uncovered). A restarted coordinator rediscovers steal journals
+ *    from disk, so crash/restart cycles lose nothing.
  */
 
 #ifndef MCSIM_SVC_COORDINATOR_HH
 #define MCSIM_SVC_COORDINATOR_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -30,19 +49,38 @@
 namespace mcsim::svc
 {
 
+/** One unit of supervised work: a whole shard, or a steal slice. */
+struct Assignment
+{
+    std::uint32_t shard = 0; ///< own shard, or the victim when stealing
+    bool steal = false;
+    std::uint16_t slice = 0;  ///< steal only: which slice
+    std::uint16_t slices = 1; ///< steal only: of how many
+};
+
 /** Coordinator knobs. */
 struct CoordinatorOptions
 {
     /** Concurrent worker processes; 0 = one per shard. */
     unsigned workers = 0;
-    /** Consecutive no-progress deaths a shard may suffer before the
-     *  run gives up on it; 0 = never relaunch (first death is final,
-     *  journals are kept for a --resume). */
+    /** Consecutive no-progress deaths an assignment may suffer before
+     *  the coordinator escalates (steal) or gives up; 0 = never
+     *  relaunch (first death is final, journals are kept for a
+     *  --resume). */
     unsigned maxRetries = 3;
     /** First relaunch delay; doubles per consecutive no-progress death
-     *  of that shard, capped at 5000 ms. */
+     *  of that assignment, capped at 5000 ms. */
     unsigned backoffMs = 200;
-    /** Narrate launches, deaths, and retries to stderr. */
+    /** Lease duration: a worker whose journal does not grow for this
+     *  long is revoked (SIGKILL). 0 disables lease supervision (the
+     *  coordinator then blocks until workers die on their own). */
+    unsigned leaseMs = 0;
+    /** Lease poll interval (only meaningful with leaseMs > 0). */
+    unsigned pollMs = 50;
+    /** Slices a failed shard's remainder is split into for stealing;
+     *  0 disables stealing (retry exhaustion fails the shard). */
+    unsigned stealFanout = 2;
+    /** Narrate launches, deaths, revocations, steals to stderr. */
     bool progress = true;
 };
 
@@ -50,9 +88,14 @@ struct CoordinatorOptions
 struct ShardStatus
 {
     std::uint32_t shard = 0;
+    /** Worker launches for this shard, steal attempts included. */
     unsigned attempts = 0;
-    /** Journaled points at the last scan (resumed + new). */
+    /** Journaled points at the last scan, steal journals included. */
     std::size_t journaledPoints = 0;
+    /** Lease revocations suffered by this shard's workers. */
+    unsigned revocations = 0;
+    /** The shard's remainder was handed to steal workers. */
+    bool stolen = false;
     bool done = false;
     /** Why the coordinator gave up; empty while healthy. */
     std::string error;
@@ -61,26 +104,27 @@ struct ShardStatus
 /** Outcome of a supervised run. */
 struct CoordinatorReport
 {
-    /** Every shard finished its journal completely. */
+    /** Every shard's points are fully journaled (steals included). */
     bool ok = false;
     std::vector<ShardStatus> shards;
 };
 
 /**
- * Builds the argv for one shard's worker process (the CLI layer owns
- * the flag syntax; the coordinator only owns scheduling).
+ * Builds the argv for one worker process (the CLI layer owns the flag
+ * syntax; the coordinator only owns scheduling).
  */
 using WorkerArgv =
-    std::function<std::vector<std::string>(std::uint32_t shard)>;
+    std::function<std::vector<std::string>(const Assignment &)>;
 
 /**
- * Supervise one worker process per shard of @p plan until every shard's
- * journal (at @p journal_paths[shard]) is complete or its retries are
- * exhausted. fatal() only on coordinator-side failures (fork or exec
- * impossible); worker deaths are policy, not errors.
+ * Supervise worker processes for every shard of @p plan until each
+ * shard's points are fully journaled (primary journal at
+ * @p journal_paths[shard], steal journals in @p dir) or retries and
+ * steals are exhausted. fatal() only on coordinator-side failures
+ * (fork or exec impossible); worker deaths are policy, not errors.
  */
 CoordinatorReport runCoordinator(
-    const ShardPlan &plan,
+    const ShardPlan &plan, const std::string &dir,
     const std::vector<std::string> &journal_paths,
     const WorkerArgv &worker_argv, const CoordinatorOptions &options);
 

@@ -56,15 +56,38 @@ enum class RunMode : std::uint8_t
 
 const char *runModeName(RunMode mode);
 
+/**
+ * What role a journal plays in its plan. A Primary journal is a
+ * shard's own checkpoint file. A Steal journal covers one slice of a
+ * revoked shard's remaining points, run by a healthy worker after the
+ * victim lost its lease: its shardIndex field names the VICTIM shard
+ * (so the index-ownership rule is unchanged), and stealSlice/stealSlices
+ * say which slice of the victim's un-journaled remainder it holds.
+ */
+enum class JournalKind : std::uint8_t
+{
+    Primary,
+    Steal,
+};
+
+const char *journalKindName(JournalKind kind);
+
 /** Decoded journal header: which shard of which plan this file is. */
 struct JournalHeader
 {
     RunMode mode = RunMode::Sweep;
+    JournalKind kind = JournalKind::Primary;
     std::uint32_t shardIndex = 0;
     std::uint32_t shardCount = 1;
-    /** Points in the whole grid / in this shard. @{ */
+    /** Points in the whole grid / in this journal when complete (for a
+     *  steal journal: the slice size, not the victim's shard size). @{ */
     std::uint32_t gridPoints = 0;
     std::uint32_t shardPoints = 0;
+    /** @} */
+    /** Steal journals only: slice number of how many slices the
+     *  victim's remainder was split into (both zero for Primary). @{ */
+    std::uint16_t stealSlice = 0;
+    std::uint16_t stealSlices = 0;
     /** @} */
     /** ShardPlan::fingerprint() of the owning plan: a journal can only
      *  be resumed or merged against the exact plan that wrote it. */
@@ -82,20 +105,41 @@ struct JournalFrame
     std::string payload;
 };
 
+/**
+ * How a scan treats a repeated point index inside one file. Strict is
+ * the operational default: the writer never re-runs a journaled point,
+ * so an in-file duplicate is structural corruption and fatal. Lenient
+ * is the repair mode used by journal compaction: the LAST frame for an
+ * index wins and earlier ones are counted as superseded, so `compact`
+ * can rewrite a journal a strict reader refuses.
+ */
+enum class ScanPolicy
+{
+    Strict,
+    Lenient,
+};
+
 /** Everything a scan recovers from a journal file. */
 struct JournalScan
 {
     JournalHeader header;
     /** Valid frames in append order (completion order, not grid order;
-     *  indices are unique -- a duplicate is structural corruption). */
+     *  indices are unique -- a duplicate is structural corruption under
+     *  ScanPolicy::Strict; under Lenient the last frame won). */
     std::vector<JournalFrame> frames;
     /** One past the last valid frame: where resume appends. */
     std::uint64_t validBytes = 0;
+    /** File exists but is zero bytes: created (or scheduled) and never
+     *  even a header was flushed. Implies headerTorn. */
+    bool emptyFile = false;
     /** File exists but is shorter than a header: the writer was killed
      *  during creation. Zero points are recorded; recreate it. */
     bool headerTorn = false;
     /** Bytes of torn tail discarded past validBytes (diagnostics). */
     std::uint64_t tornBytes = 0;
+    /** Lenient scans only: frames dropped because a later frame for the
+     *  same index superseded them. */
+    std::size_t supersededFrames = 0;
 };
 
 /** Serialize @p header into its fixed 64-byte form (CRC included). */
@@ -127,10 +171,34 @@ void requireMatchingHeader(const JournalHeader &got,
  * first torn or corrupt one (which ends the valid region -- everything
  * after a bad frame is unreachable garbage by construction). fatal() on
  * an unreadable file, a corrupt full-size header, an out-of-range
- * index, or a duplicate index; a torn tail is NOT fatal, it is the
- * crash the journal exists to absorb.
+ * index, or (under ScanPolicy::Strict) a duplicate index; a torn tail
+ * is NOT fatal, it is the crash the journal exists to absorb.
  */
-JournalScan scanJournal(const std::string &path);
+JournalScan scanJournal(const std::string &path,
+                        ScanPolicy policy = ScanPolicy::Strict);
+
+/** What compactJournal() did (sizes in bytes). */
+struct CompactStats
+{
+    std::size_t frames = 0;          ///< frames kept
+    std::size_t supersededFrames = 0;///< duplicate frames dropped
+    std::uint64_t tornBytes = 0;     ///< torn tail bytes dropped
+    std::uint64_t bytesBefore = 0;
+    std::uint64_t bytesAfter = 0;
+};
+
+/**
+ * Compact the journal at @p path into @p out_path (which may equal
+ * @p path for in-place compaction): keep only the LAST frame per point
+ * index, re-framed and re-CRC'd in ascending index order, drop any torn
+ * tail, and publish atomically (temp + rename), so a crash mid-compact
+ * leaves the input untouched. The compacted journal scans clean under
+ * ScanPolicy::Strict and merges byte-identically to the input. fatal()
+ * on a missing/corrupt input, a torn header (nothing to keep), or any
+ * I/O failure.
+ */
+CompactStats compactJournal(const std::string &path,
+                            const std::string &out_path);
 
 /**
  * Appends checkpoint frames. Create truncates and writes a fresh

@@ -14,7 +14,19 @@
  *
  * The merge refuses partial inputs loudly: a missing journal, a plan
  * mismatch, a torn header, or an uncovered point is fatal with the
- * first missing point named, never a silently shorter document.
+ * first missing point named, never a silently shorter document. The
+ * input is a journal SET -- the primaries in shard order plus any
+ * number of steal journals -- and a point may appear in several files
+ * (a victim's primary and a steal journal, say) as long as every copy
+ * is byte-identical: results are deterministic functions of the
+ * point-derived seeds, so disagreement is corruption, not racing.
+ *
+ * Degraded mode (MergeOptions::degraded) is the explicit escape hatch
+ * for plans with permanently failed points: instead of refusing, it
+ * quarantines every uncovered point into the document's "failed"
+ * section ({index, id} records, grid order) and reports them in
+ * MergeResult::quarantined so the caller can exit non-zero. A degraded
+ * merge of a fully covered plan is byte-identical to a strict merge.
  */
 
 #ifndef MCSIM_SVC_MERGE_HH
@@ -29,6 +41,18 @@
 
 namespace mcsim::svc
 {
+
+/** Merge knobs. */
+struct MergeOptions
+{
+    /**
+     * Tolerate missing or header-torn journals and uncovered points:
+     * quarantine every uncovered point into the document's "failed"
+     * section instead of fatal()ing. The operational contract is that
+     * callers exit 1 when MergeResult::degraded comes back true.
+     */
+    bool degraded = false;
+};
 
 /** The merged canonical outputs of one completed plan. */
 struct MergeResult
@@ -46,15 +70,24 @@ struct MergeResult
     bool chaosOk = false;
     std::string chaosSummary;
     /** @} */
+
+    /** Grid-global indices quarantined by a degraded merge (empty for
+     *  a fully covered plan), in grid order. @{ */
+    std::vector<std::size_t> quarantined;
+    bool degraded = false;
+    /** @} */
 };
 
 /**
- * Merge the journals of @p plan, one path per shard in shard order
- * (journal_paths.size() == plan.shardCount). fatal() on any missing,
- * foreign, corrupt, or incomplete journal.
+ * Merge a journal set of @p plan: the first plan.shardCount paths are
+ * the primary journals in shard order, any further paths are steal
+ * journals (their headers say which slice of which victim they hold).
+ * fatal() on any missing, foreign, corrupt, or disagreeing journal, or
+ * (unless options.degraded) on an uncovered point.
  */
 MergeResult mergeJournals(const ShardPlan &plan,
-                          const std::vector<std::string> &journal_paths);
+                          const std::vector<std::string> &journal_paths,
+                          const MergeOptions &options = {});
 
 } // namespace mcsim::svc
 

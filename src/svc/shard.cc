@@ -1,5 +1,10 @@
 #include "svc/shard.hh"
 
+#include <algorithm>
+#include <cstdio>
+
+#include <dirent.h>
+
 #include "core/machine_config.hh"
 #include "fault/fault_config.hh"
 #include "mem/cache.hh"
@@ -68,6 +73,76 @@ std::string
 ShardPlan::journalPath(const std::string &dir, std::uint32_t shard) const
 {
     return dir + "/" + journalFileName(shard);
+}
+
+JournalHeader
+ShardPlan::stealJournalHeader(std::uint32_t victim, std::uint16_t slice,
+                              std::uint16_t slices,
+                              std::uint32_t slice_points) const
+{
+    JournalHeader header = journalHeader(victim);
+    header.kind = JournalKind::Steal;
+    header.stealSlice = slice;
+    header.stealSlices = slices;
+    header.shardPoints = slice_points;
+    return header;
+}
+
+std::string
+ShardPlan::stealJournalFileName(std::uint32_t victim, std::uint16_t slice,
+                                std::uint16_t slices) const
+{
+    return strprintf("%s.s%03u-of-%03u.steal%02u-of-%02u.mcsj",
+                     grid.name.c_str(), victim, shardCount, slice,
+                     slices);
+}
+
+std::string
+ShardPlan::stealJournalPath(const std::string &dir, std::uint32_t victim,
+                            std::uint16_t slice,
+                            std::uint16_t slices) const
+{
+    return dir + "/" + stealJournalFileName(victim, slice, slices);
+}
+
+std::vector<std::string>
+findStealJournals(const ShardPlan &plan, const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return {};
+    std::vector<std::string> names;
+    for (struct dirent *de = ::readdir(d); de != nullptr;
+         de = ::readdir(d))
+        names.emplace_back(de->d_name);
+    ::closedir(d);
+    // Fixed-width canonical names sort exactly in (victim, slice)
+    // order, so a plain sort makes discovery order deterministic.
+    std::sort(names.begin(), names.end());
+
+    std::vector<std::string> out;
+    const std::string prefix = plan.grid.name + ".s";
+    for (const std::string &name : names) {
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        unsigned victim = 0, count = 0, slice = 0, slices = 0;
+        if (std::sscanf(name.c_str() + prefix.size(),
+                        "%3u-of-%3u.steal%2u-of-%2u.mcsj", &victim,
+                        &count, &slice, &slices) != 4)
+            continue;
+        // Round-trip through the canonical formatter: anything that is
+        // not byte-for-byte a steal journal of THIS plan shape (wrong
+        // shard count, stray suffix, zero-width fields) is ignored.
+        if (count != plan.shardCount || victim >= plan.shardCount ||
+            slices == 0 || slice >= slices)
+            continue;
+        if (name != plan.stealJournalFileName(
+                        victim, static_cast<std::uint16_t>(slice),
+                        static_cast<std::uint16_t>(slices)))
+            continue;
+        out.push_back(dir + "/" + name);
+    }
+    return out;
 }
 
 ShardPlan

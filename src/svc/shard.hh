@@ -80,7 +80,41 @@ struct ShardPlan
     /** @p dir + "/" + journalFileName(shard). */
     std::string journalPath(const std::string &dir,
                             std::uint32_t shard) const;
+
+    /**
+     * Header for a steal journal covering slice @p slice of @p slices
+     * of @p victim's un-journaled remainder (the remainder is frozen by
+     * the coordinator when the victim's lease is revoked). shardIndex
+     * names the victim, so the scan's index-ownership rule is unchanged;
+     * shardPoints is the slice size @p slice_points.
+     */
+    JournalHeader stealJournalHeader(std::uint32_t victim,
+                                     std::uint16_t slice,
+                                     std::uint16_t slices,
+                                     std::uint32_t slice_points) const;
+
+    /** Canonical steal journal file name, e.g.
+     *  "quick.s003-of-008.steal00-of-02.mcsj". */
+    std::string stealJournalFileName(std::uint32_t victim,
+                                     std::uint16_t slice,
+                                     std::uint16_t slices) const;
+
+    /** @p dir + "/" + stealJournalFileName(...). */
+    std::string stealJournalPath(const std::string &dir,
+                                 std::uint32_t victim,
+                                 std::uint16_t slice,
+                                 std::uint16_t slices) const;
 };
+
+/**
+ * Steal journal files of @p plan present in @p dir, as full paths in
+ * sorted (victim, slice) order: the deterministic discovery path shared
+ * by merge, `run --resume` and a restarted coordinator. Matches by the
+ * canonical file-name shape only; headers are validated by whoever
+ * opens the file.
+ */
+std::vector<std::string> findStealJournals(const ShardPlan &plan,
+                                           const std::string &dir);
 
 /**
  * Build and validate a plan: resolve the named grid, apply overrides,

@@ -1,0 +1,56 @@
+#include "svc/svc_io.hh"
+
+#include <cstdio>
+
+namespace mcsim::svc
+{
+
+std::size_t
+SvcIo::write(const void *data, std::size_t size, std::FILE *file)
+{
+    return std::fwrite(data, 1, size, file);
+}
+
+int
+SvcIo::flush(std::FILE *file)
+{
+    return std::fflush(file);
+}
+
+int
+SvcIo::rename(const char *from, const char *to)
+{
+    return std::rename(from, to);
+}
+
+namespace
+{
+
+/** The pass-through singleton and the installed override. @{ */
+SvcIo &
+passthroughIo()
+{
+    static SvcIo io;
+    return io;
+}
+
+SvcIo *overrideIo = nullptr;
+/** @} */
+
+} // namespace
+
+SvcIo &
+svcIo()
+{
+    return overrideIo != nullptr ? *overrideIo : passthroughIo();
+}
+
+SvcIo *
+installSvcIo(SvcIo *io)
+{
+    SvcIo *previous = overrideIo;
+    overrideIo = io;
+    return previous;
+}
+
+} // namespace mcsim::svc

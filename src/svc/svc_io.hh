@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Injectable I/O seam for the orchestrator's durability layer
+ * (DESIGN.md section 16).
+ *
+ * Every write the orchestrator's crash-consistency story depends on --
+ * journal frame appends and flushes (src/svc/journal.cc) and the
+ * temp-write-then-rename publication of results documents
+ * (src/svc/atomic_file.cc) -- goes through this seam instead of calling
+ * the C library directly. The default implementation is a transparent
+ * pass-through; the process-level chaos harness (src/svc/chaos_svc.hh)
+ * installs a faulting implementation that makes the Nth write come up
+ * short, the Nth flush report an error, or a rename fail -- the
+ * deterministic, seed-derived analogue of a disk filling up or a
+ * process dying mid-syscall.
+ *
+ * The seam is intentionally narrow: reads are not routed through it
+ * (a torn or corrupt READ is already modelled end-to-end by the
+ * journal's CRC framing and the scan's torn-tail handling), and
+ * fopen/fclose stay direct (their failures are setup errors, not
+ * mid-flight durability hazards).
+ */
+
+#ifndef MCSIM_SVC_SVC_IO_HH
+#define MCSIM_SVC_SVC_IO_HH
+
+#include <cstddef>
+#include <cstdio>
+
+namespace mcsim::svc
+{
+
+/** The I/O operations the durability layer performs, overridable. */
+class SvcIo
+{
+  public:
+    virtual ~SvcIo() = default;
+
+    /** fwrite: may report (or perform) a short write. */
+    virtual std::size_t write(const void *data, std::size_t size,
+                              std::FILE *file);
+
+    /** fflush: 0 on success, EOF on failure. */
+    virtual int flush(std::FILE *file);
+
+    /** rename(2): 0 on success, -1 on failure. */
+    virtual int rename(const char *from, const char *to);
+};
+
+/** The active seam (the pass-through unless one was installed). */
+SvcIo &svcIo();
+
+/**
+ * Install @p io as the active seam (nullptr restores the pass-through);
+ * returns the previously active override, nullptr if none. Callers are
+ * expected to restore the previous value (RAII guard in chaos_svc);
+ * installation is process-global and not thread-safe against concurrent
+ * installs -- the chaos harness installs before launching any worker
+ * thread and uninstalls after they join.
+ */
+SvcIo *installSvcIo(SvcIo *io);
+
+} // namespace mcsim::svc
+
+#endif // MCSIM_SVC_SVC_IO_HH

@@ -1,11 +1,14 @@
 #include "svc/worker.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
+#include <exception>
 #include <cstdio>
 #include <mutex>
 #include <thread>
-#include <vector>
+
+#include <unistd.h>
 
 #include "exp/chaos.hh"
 #include "exp/sweep.hh"
@@ -14,15 +17,30 @@
 namespace mcsim::svc
 {
 
-WorkerResult
-runShardWorker(const ShardPlan &plan, std::uint32_t shard,
-               const std::string &journal_path,
-               const WorkerOptions &options)
+namespace
 {
-    if (shard >= plan.shardCount)
-        fatal("svc: worker asked for shard %u of %u", shard,
-              plan.shardCount);
-    const JournalHeader want = plan.journalHeader(shard);
+
+bool
+contains(const std::vector<std::size_t> &sorted, std::size_t index)
+{
+    return std::binary_search(sorted.begin(), sorted.end(), index);
+}
+
+/**
+ * The shared assignment core: open-or-create the journal at @p path
+ * (expected header @p want), skip every @p target point that already
+ * has a frame, and run the rest. @p target is the assignment's point
+ * list with quarantined indices already removed; @p label names the
+ * assignment in progress output.
+ */
+WorkerResult
+runAssignment(const ShardPlan &plan, const JournalHeader &want,
+              const std::string &path,
+              const std::vector<std::size_t> &target,
+              const WorkerOptions &options, const std::string &label)
+{
+    std::vector<std::size_t> poison = options.poisonIndices;
+    std::sort(poison.begin(), poison.end());
 
     // Open-or-create: a valid existing journal is the resume state, a
     // torn header (killed during creation) is recreated from scratch.
@@ -30,10 +48,10 @@ runShardWorker(const ShardPlan &plan, std::uint32_t shard,
     std::size_t resumed = 0;
     std::uint64_t valid_bytes = 0;
     bool resuming = false;
-    if (journalExists(journal_path)) {
-        const JournalScan scan = scanJournal(journal_path);
+    if (journalExists(path)) {
+        const JournalScan scan = scanJournal(path);
         if (!scan.headerTorn) {
-            requireMatchingHeader(scan.header, want, journal_path);
+            requireMatchingHeader(scan.header, want, path);
             for (const JournalFrame &frame : scan.frames)
                 journaled[frame.index] = true;
             resumed = scan.frames.size();
@@ -41,34 +59,60 @@ runShardWorker(const ShardPlan &plan, std::uint32_t shard,
             resuming = true;
             if (options.progress && scan.tornBytes > 0) {
                 std::fprintf(stderr,
-                             "svc: shard %u/%u: dropping %llu torn "
-                             "byte(s) from '%s'\n",
-                             shard, plan.shardCount,
+                             "svc: %s: dropping %llu torn byte(s) from "
+                             "'%s'\n",
+                             label.c_str(),
                              static_cast<unsigned long long>(
                                  scan.tornBytes),
-                             journal_path.c_str());
+                             path.c_str());
             }
         }
     }
-    JournalWriter writer =
-        resuming ? JournalWriter::resume(journal_path, valid_bytes)
-                 : JournalWriter::create(journal_path, want);
+    JournalWriter writer = resuming
+                               ? JournalWriter::resume(path, valid_bytes)
+                               : JournalWriter::create(path, want);
 
     std::vector<std::size_t> remaining;
-    for (const std::size_t index : plan.shardIndices(shard))
+    for (const std::size_t index : target)
         if (!journaled[index])
             remaining.push_back(index);
+
+    // A poisoned point crashes whoever attempts it: run the target list
+    // up to the first poisoned member, then die. Truncating up front
+    // keeps the prefix deterministic whatever the thread count.
+    std::size_t poison_at = remaining.size();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (contains(poison, remaining[i])) {
+            poison_at = i;
+            break;
+        }
+    }
+    const bool poisoned = poison_at != remaining.size();
+    const std::size_t poisoned_index =
+        poisoned ? remaining[poison_at] : 0;
+    if (poisoned)
+        remaining.resize(poison_at);
 
     WorkerResult result;
     result.resumedPoints = resumed;
     if (options.progress) {
-        std::fprintf(stderr,
-                     "svc: shard %u/%u: %zu journaled, %zu to run\n",
-                     shard, plan.shardCount, resumed, remaining.size());
+        std::fprintf(stderr, "svc: %s: %zu journaled, %zu to run\n",
+                     label.c_str(), resumed, remaining.size());
     }
-    if (remaining.empty()) {
+    if (options.stallAt != 0 && resumed >= options.stallAt) {
+        // A stalled worker pins its journal at stallAt points TOTAL:
+        // relaunching it is barren by construction, which is what
+        // walks the coordinator from lease revocation to stealing.
+        for (;;)
+            ::pause();
+    }
+    const std::size_t target_done =
+        static_cast<std::size_t>(std::count_if(
+            target.begin(), target.end(),
+            [&](std::size_t index) { return journaled[index]; }));
+    if (remaining.empty() && !poisoned) {
         writer.close();
-        result.done = true;
+        result.done = target_done == target.size();
         return result;
     }
 
@@ -87,6 +131,12 @@ runShardWorker(const ShardPlan &plan, std::uint32_t shard,
         // crash the journal must absorb, so the test hook dies here.
         if (options.killAfter != 0 && fresh >= options.killAfter)
             raise(SIGKILL);
+        if (options.stallAt != 0 && resumed + fresh >= options.stallAt) {
+            // Alive but making zero progress: the journal stops
+            // growing, which is exactly what lease supervision sees.
+            for (;;)
+                ::pause();
+        }
         if (options.stopAfter != 0 && fresh >= options.stopAfter) {
             stopped = true;
             return false;
@@ -119,6 +169,10 @@ runShardWorker(const ShardPlan &plan, std::uint32_t shard,
         std::atomic<bool> stop{false};
         std::mutex sink_mutex;
         std::size_t done_count = 0;
+        // A journal append may throw (failing disk): capture the first
+        // exception and rethrow it from this thread after the joins,
+        // like SweepRunner::runIndices does for its sink.
+        std::exception_ptr sink_error;
         auto chaos_worker = [&]() {
             for (;;) {
                 if (stop.load())
@@ -130,9 +184,17 @@ runShardWorker(const ShardPlan &plan, std::uint32_t shard,
                 const exp::ChaosPointResult r = exp::runChaosPoint(
                     plan.grid.points[index], plan.preset);
                 std::lock_guard<std::mutex> lock(sink_mutex);
-                if (!checkpoint(index,
-                                exp::chaosPointToJson(r).dump(), r.ok))
+                try {
+                    if (!checkpoint(
+                            index, exp::chaosPointToJson(r).dump(),
+                            r.ok))
+                        stop.store(true);
+                } catch (...) {
+                    if (!sink_error)
+                        sink_error = std::current_exception();
                     stop.store(true);
+                    return;
+                }
                 ++done_count;
                 if (options.progress) {
                     std::fprintf(
@@ -152,13 +214,114 @@ runShardWorker(const ShardPlan &plan, std::uint32_t shard,
             pool.emplace_back(chaos_worker);
         for (std::thread &t : pool)
             t.join();
+        if (sink_error)
+            std::rethrow_exception(sink_error);
+    }
+
+    if (poisoned && !stopped) {
+        // Everything before the poisoned point is journaled and
+        // flushed; the crash loses nothing but the poisoned attempt.
+        fatal("svc: %s: poisoned point %zu crashed the worker",
+              label.c_str(), poisoned_index);
     }
 
     writer.close();
     result.completedPoints = fresh;
     result.stopped = stopped;
-    result.done = resumed + fresh == plan.shardPoints(shard);
+    result.done = !stopped && target_done + fresh == target.size();
     return result;
+}
+
+} // namespace
+
+WorkerResult
+runShardWorker(const ShardPlan &plan, std::uint32_t shard,
+               const std::string &journal_path,
+               const WorkerOptions &options)
+{
+    if (shard >= plan.shardCount)
+        fatal("svc: worker asked for shard %u of %u", shard,
+              plan.shardCount);
+    std::vector<std::size_t> skip = options.skipIndices;
+    std::sort(skip.begin(), skip.end());
+
+    std::vector<std::size_t> target;
+    for (const std::size_t index : plan.shardIndices(shard))
+        if (!contains(skip, index))
+            target.push_back(index);
+    return runAssignment(plan, plan.journalHeader(shard), journal_path,
+                         target, options,
+                         strprintf("shard %u/%u", shard,
+                                   plan.shardCount));
+}
+
+std::vector<std::size_t>
+stealSliceMembers(const ShardPlan &plan, std::uint32_t victim,
+                  std::uint16_t slice, std::uint16_t slices,
+                  const std::string &primary_path)
+{
+    if (victim >= plan.shardCount)
+        fatal("svc: steal slice asked for shard %u of %u", victim,
+              plan.shardCount);
+    if (slices == 0 || slice >= slices)
+        fatal("svc: steal slice %u of %u is out of range",
+              static_cast<unsigned>(slice),
+              static_cast<unsigned>(slices));
+
+    // The victim's remainder, frozen: its primary journal no longer
+    // grows once the lease was revoked, so every steal worker (and a
+    // restarted coordinator) re-derives the identical remainder and
+    // the identical slice membership from disk alone.
+    std::vector<bool> journaled(plan.grid.points.size(), false);
+    if (journalExists(primary_path)) {
+        const JournalScan scan = scanJournal(primary_path);
+        if (!scan.headerTorn) {
+            requireMatchingHeader(scan.header, plan.journalHeader(victim),
+                                  primary_path);
+            for (const JournalFrame &frame : scan.frames)
+                journaled[frame.index] = true;
+        }
+    }
+    std::vector<std::size_t> remainder;
+    for (const std::size_t index : plan.shardIndices(victim))
+        if (!journaled[index])
+            remainder.push_back(index);
+
+    std::vector<std::size_t> members;
+    for (std::size_t i = slice; i < remainder.size(); i += slices)
+        members.push_back(remainder[i]);
+    return members;
+}
+
+WorkerResult
+runStealWorker(const ShardPlan &plan, std::uint32_t victim,
+               std::uint16_t slice, std::uint16_t slices,
+               const std::string &primary_path,
+               const std::string &steal_path,
+               const WorkerOptions &options)
+{
+    const std::vector<std::size_t> members =
+        stealSliceMembers(plan, victim, slice, slices, primary_path);
+
+    // The slice size goes in the header BEFORE quarantine filtering,
+    // so the journal's identity depends only on the frozen primary and
+    // the slice arithmetic -- a later quarantine narrows what gets run,
+    // not what the file claims to be.
+    const JournalHeader want = plan.stealJournalHeader(
+        victim, slice, slices,
+        static_cast<std::uint32_t>(members.size()));
+
+    std::vector<std::size_t> skip = options.skipIndices;
+    std::sort(skip.begin(), skip.end());
+    std::vector<std::size_t> target;
+    for (const std::size_t index : members)
+        if (!contains(skip, index))
+            target.push_back(index);
+    return runAssignment(plan, want, steal_path, target, options,
+                         strprintf("steal %u/%u of shard %u/%u",
+                                   static_cast<unsigned>(slice),
+                                   static_cast<unsigned>(slices), victim,
+                                   plan.shardCount));
 }
 
 } // namespace mcsim::svc

@@ -1,15 +1,23 @@
 /**
  * @file
- * Shard worker: executes one shard of a plan, checkpointing every
- * completed point into the shard's journal (DESIGN.md section 15).
+ * Shard worker: executes one assignment of a plan, checkpointing every
+ * completed point into the assignment's journal (DESIGN.md sections 15
+ * and 16).
  *
  * The worker is crash-oblivious by design: it opens (or creates) its
- * journal, re-derives the shard's point list from the plan, skips every
+ * journal, re-derives its target point list from the plan, skips every
  * point that already has a valid frame, and runs the rest, appending a
  * flushed frame per completion. Being SIGKILLed at any instant and
  * relaunched with the same arguments therefore always makes forward
  * progress, and finishing twice is idempotent. A journal written by a
  * different plan (fingerprint mismatch) is refused, never overwritten.
+ *
+ * Two assignment shapes exist: a PRIMARY worker owns a whole shard and
+ * journals into the shard's own file; a STEAL worker owns one slice of
+ * a revoked shard's un-journaled remainder (frozen at revocation, i.e.
+ * re-derived from the victim's primary journal, which no longer grows)
+ * and journals into a separate steal journal, so it never contends with
+ * the victim's file.
  */
 
 #ifndef MCSIM_SVC_WORKER_HH
@@ -17,6 +25,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "svc/shard.hh"
 
@@ -41,6 +50,27 @@ struct WorkerOptions
      *  (0 = run to completion). A clean in-process variant of killAfter
      *  for tests; in-flight points still complete and journal. */
     std::size_t stopAfter = 0;
+    /**
+     * Chaos-engineering hook: once this journal holds this many points
+     * TOTAL (resumed + new), stall forever without journaling anything
+     * further (0 = never). The worker stays alive but makes zero
+     * progress -- exactly the failure lease supervision detects -- and
+     * because the cap is a total, every relaunch stalls again
+     * immediately, which walks the coordinator through revocation,
+     * barren strikes, and finally work stealing.
+     */
+    std::size_t stallAt = 0;
+    /** Quarantined grid-global indices: excluded from the target list
+     *  (the degraded merge reports them; nobody re-runs them). */
+    std::vector<std::size_t> skipIndices;
+    /**
+     * Chaos-engineering hook: grid-global indices that crash the worker
+     * when reached. The worker runs its target list up to (not
+     * including) the first poisoned point, then dies with a fatal
+     * error -- the deterministic analogue of a point that reliably
+     * kills whoever attempts it.
+     */
+    std::vector<std::size_t> poisonIndices;
 };
 
 /** What one worker attempt accomplished. */
@@ -53,7 +83,7 @@ struct WorkerResult
     /** Journaled points whose job/pair FAILED (recorded, not fatal:
      *  merge reproduces the failure byte-for-byte). */
     std::size_t failedJobs = 0;
-    /** Every shard point is journaled. */
+    /** Every target point is journaled. */
     bool done = false;
     /** Cut short by stopAfter (never set together with done). */
     bool stopped = false;
@@ -65,6 +95,37 @@ struct WorkerResult
  */
 WorkerResult runShardWorker(const ShardPlan &plan, std::uint32_t shard,
                             const std::string &journal_path,
+                            const WorkerOptions &options = {});
+
+/**
+ * Grid-global indices of steal slice @p slice of @p slices over shard
+ * @p victim's remainder: the victim's points with no frame in the
+ * primary journal at @p primary_path (missing or header-torn primary
+ * means the whole shard), sliced round-robin by position. This is THE
+ * slice-membership function -- steal workers, the coordinator, and the
+ * chaos driver all derive membership through it, so an assignment
+ * means the same points to everyone.
+ */
+std::vector<std::size_t> stealSliceMembers(const ShardPlan &plan,
+                                           std::uint32_t victim,
+                                           std::uint16_t slice,
+                                           std::uint16_t slices,
+                                           const std::string &primary_path);
+
+/**
+ * Run steal slice @p slice of @p slices over shard @p victim's
+ * remainder: the victim's un-journaled points (per its primary journal
+ * at @p primary_path, which is frozen once the victim's lease was
+ * revoked; a missing or header-torn primary means the whole shard is
+ * the remainder), sliced round-robin by position, journaled into the
+ * steal journal at @p steal_path. Crash-oblivious and idempotent like
+ * a primary worker. fatal() on I/O failure, corruption, plan mismatch,
+ * or slice >= slices.
+ */
+WorkerResult runStealWorker(const ShardPlan &plan, std::uint32_t victim,
+                            std::uint16_t slice, std::uint16_t slices,
+                            const std::string &primary_path,
+                            const std::string &steal_path,
                             const WorkerOptions &options = {});
 
 } // namespace mcsim::svc

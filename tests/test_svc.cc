@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +27,7 @@
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "svc/atomic_file.hh"
+#include "svc/chaos_svc.hh"
 #include "svc/journal.hh"
 #include "svc/merge.hh"
 #include "svc/shard.hh"
@@ -535,6 +537,429 @@ TEST(SvcKillGate, SigkilledWorkersResumeToByteIdenticalQuickGrid)
     const int phase2 =
         runCommand(bin + " run" + plan_flags + " --resume --out " + out);
     EXPECT_EQ(phase2, 0);
+
+    const exp::Grid grid = exp::namedGrid("quick", exp::Scale::Quick);
+    EXPECT_EQ(slurp(out), referenceJson(grid) + "\n");
+}
+
+/** Truncate @p path to @p size bytes in place. */
+void
+truncateFile(const std::string &path, std::size_t size)
+{
+    const std::string data = slurp(path).substr(0, size);
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fwrite(data.data(), 1, data.size(), file);
+    std::fclose(file);
+}
+
+/** Indices with a valid frame in @p path (empty if header torn). */
+std::vector<std::size_t>
+journaledIndices(const std::string &path)
+{
+    std::vector<std::size_t> got;
+    const svc::JournalScan scan = svc::scanJournal(path);
+    if (scan.headerTorn)
+        return got;
+    for (const svc::JournalFrame &frame : scan.frames)
+        got.push_back(frame.index);
+    return got;
+}
+
+TEST(SvcJournal, HeaderBoundaryTearsLoseExactlyTheUnflushedPoints)
+{
+    // The satellite cases around the 64-byte header boundary: a cut AT
+    // the boundary keeps the header and zero frames; a cut INSIDE the
+    // header (and the zero-length file) is a torn header that a real
+    // worker recreates from scratch. In every case the resumed worker
+    // must re-run exactly the lost points and merge byte-identical.
+    const svc::ShardPlan plan = miniPlan(2);
+    const std::string ref_json = referenceJson(plan.grid);
+    const std::string dir = makeTempDir();
+    const std::vector<std::string> paths = {plan.journalPath(dir, 0),
+                                            plan.journalPath(dir, 1)};
+    svc::WorkerOptions run_all;
+    run_all.threads = 1;
+    run_all.progress = false;
+    ASSERT_TRUE(svc::runShardWorker(plan, 1, paths[1], run_all).done);
+    ASSERT_TRUE(svc::runShardWorker(plan, 0, paths[0], run_all).done);
+    const std::vector<std::size_t> shard0 = plan.shardIndices(0);
+
+    struct Cut
+    {
+        std::size_t size;
+        bool torn_header;
+        bool empty_file;
+    };
+    const std::vector<Cut> cuts = {
+        {svc::journalHeaderBytes, false, false}, // exact boundary
+        {svc::journalHeaderBytes - 1, true, false}, // inside header
+        {1, true, false},
+        {0, true, true}, // zero-length: created, never written
+    };
+    for (const Cut &cut : cuts) {
+        truncateFile(paths[0], cut.size);
+        const svc::JournalScan scan = svc::scanJournal(paths[0]);
+        EXPECT_EQ(scan.headerTorn, cut.torn_header) << cut.size;
+        EXPECT_EQ(scan.emptyFile, cut.empty_file) << cut.size;
+        EXPECT_TRUE(scan.frames.empty()) << cut.size;
+
+        // All points were lost; the resumed worker re-runs all of them.
+        const svc::WorkerResult result =
+            svc::runShardWorker(plan, 0, paths[0], run_all);
+        EXPECT_TRUE(result.done);
+        EXPECT_EQ(result.resumedPoints, 0u) << cut.size;
+        EXPECT_EQ(result.completedPoints, shard0.size()) << cut.size;
+        EXPECT_EQ(svc::mergeJournals(plan, paths).document.dump(),
+                  ref_json)
+            << cut.size;
+    }
+}
+
+TEST(SvcJournal, CrcByteFlipDropsExactlyThatFrameAndResumeRestoresIt)
+{
+    // Corrupt one byte of the LAST frame's stored CRC (frame header
+    // offset 12): the scan must drop exactly that frame, the resumed
+    // worker must re-run exactly that point, and the merge must come
+    // back byte-identical.
+    const svc::ShardPlan plan = miniPlan(2);
+    const std::string ref_json = referenceJson(plan.grid);
+    const std::string dir = makeTempDir();
+    const std::vector<std::string> paths = {plan.journalPath(dir, 0),
+                                            plan.journalPath(dir, 1)};
+    svc::WorkerOptions run_all;
+    run_all.threads = 1;
+    run_all.progress = false;
+    ASSERT_TRUE(svc::runShardWorker(plan, 0, paths[0], run_all).done);
+    ASSERT_TRUE(svc::runShardWorker(plan, 1, paths[1], run_all).done);
+
+    const svc::JournalScan before = svc::scanJournal(paths[0]);
+    ASSERT_GE(before.frames.size(), 2u);
+    const std::size_t last = before.frames.size() - 1;
+    const std::uint32_t lost_index = before.frames[last].index;
+    // Start of the last frame = end of the one before it.
+    std::size_t frame_start = svc::journalHeaderBytes;
+    for (std::size_t i = 0; i < last; ++i)
+        frame_start +=
+            svc::frameHeaderBytes + before.frames[i].payload.size();
+
+    std::string data = slurp(paths[0]);
+    data[frame_start + 12] ^= 0x01; // stored CRC, low byte
+    std::FILE *file = std::fopen(paths[0].c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fwrite(data.data(), 1, data.size(), file);
+    std::fclose(file);
+
+    const svc::JournalScan scan = svc::scanJournal(paths[0]);
+    ASSERT_EQ(scan.frames.size(), before.frames.size() - 1);
+    for (std::size_t i = 0; i + 1 < before.frames.size(); ++i)
+        EXPECT_EQ(scan.frames[i].index, before.frames[i].index);
+    EXPECT_EQ(scan.validBytes, frame_start);
+
+    const svc::WorkerResult result =
+        svc::runShardWorker(plan, 0, paths[0], run_all);
+    EXPECT_TRUE(result.done);
+    EXPECT_EQ(result.resumedPoints, before.frames.size() - 1);
+    EXPECT_EQ(result.completedPoints, 1u);
+    const std::vector<std::size_t> now = journaledIndices(paths[0]);
+    EXPECT_EQ(std::count(now.begin(), now.end(), lost_index), 1);
+    EXPECT_EQ(svc::mergeJournals(plan, paths).document.dump(), ref_json);
+}
+
+TEST(SvcJournal, CompactIsCanonicalIdempotentAndRepairsDuplicates)
+{
+    const svc::ShardPlan plan = miniPlan(2);
+    const std::string ref_json = referenceJson(plan.grid);
+    const std::string dir = makeTempDir();
+    const std::vector<std::string> paths = {plan.journalPath(dir, 0),
+                                            plan.journalPath(dir, 1)};
+    svc::WorkerOptions run_all;
+    run_all.threads = 1;
+    run_all.progress = false;
+    ASSERT_TRUE(svc::runShardWorker(plan, 0, paths[0], run_all).done);
+    ASSERT_TRUE(svc::runShardWorker(plan, 1, paths[1], run_all).done);
+
+    // A torn tail compacts away; merge bytes are untouched.
+    appendBytes(paths[0], "\x7fmid-write garbage");
+    const svc::CompactStats stats =
+        svc::compactJournal(paths[0], paths[0]);
+    EXPECT_GT(stats.tornBytes, 0u);
+    EXPECT_EQ(stats.supersededFrames, 0u);
+    EXPECT_EQ(svc::scanJournal(paths[0]).tornBytes, 0u);
+    EXPECT_EQ(svc::mergeJournals(plan, paths).document.dump(), ref_json);
+
+    // Idempotent: compacting a compacted journal is a byte no-op,
+    // whether in place or to a separate output.
+    const std::string once = slurp(paths[0]);
+    svc::compactJournal(paths[0], paths[0]);
+    EXPECT_EQ(slurp(paths[0]), once);
+    const std::string copy = dir + "/copy.mcsj";
+    svc::compactJournal(paths[0], copy);
+    EXPECT_EQ(slurp(copy), once);
+    EXPECT_EQ(slurp(paths[0]), once);
+
+    // An in-file duplicate index (a resume replaying an append after a
+    // lost truncate) is fatal corruption under the operational Strict
+    // policy; the Lenient scan keeps the LAST frame, and compaction
+    // repairs the journal back to strict-clean with that payload.
+    const svc::JournalScan base = svc::scanJournal(paths[1]);
+    const std::uint32_t dup = base.frames.front().index;
+    {
+        svc::JournalWriter writer =
+            svc::JournalWriter::resume(paths[1], base.validBytes);
+        writer.append(dup, base.frames.front().payload);
+        writer.close();
+    }
+    EXPECT_THROW(svc::scanJournal(paths[1]), FatalError);
+    const svc::JournalScan lenient =
+        svc::scanJournal(paths[1], svc::ScanPolicy::Lenient);
+    EXPECT_EQ(lenient.supersededFrames, 1u);
+    EXPECT_EQ(lenient.frames.size(), base.frames.size());
+    const svc::CompactStats repair =
+        svc::compactJournal(paths[1], paths[1]);
+    EXPECT_EQ(repair.supersededFrames, 1u);
+    EXPECT_EQ(repair.frames, base.frames.size());
+    EXPECT_EQ(svc::scanJournal(paths[1]).frames.size(),
+              base.frames.size());
+    EXPECT_EQ(svc::mergeJournals(plan, paths).document.dump(), ref_json);
+}
+
+TEST(SvcWorker, StealSlicesPartitionTheRemainderAndMergeByteIdentical)
+{
+    const svc::ShardPlan plan = miniPlan(2);
+    const std::string ref_json = referenceJson(plan.grid);
+    const std::string ref_csv = referenceCsv(plan.grid);
+    const std::string dir = makeTempDir();
+    const std::vector<std::string> primaries = {
+        plan.journalPath(dir, 0), plan.journalPath(dir, 1)};
+
+    // Shard 1 completes; shard 0 journals one point and "dies".
+    svc::WorkerOptions run_all;
+    run_all.threads = 1;
+    run_all.progress = false;
+    ASSERT_TRUE(svc::runShardWorker(plan, 1, primaries[1], run_all).done);
+    svc::WorkerOptions stop_one = run_all;
+    stop_one.stopAfter = 1;
+    ASSERT_FALSE(
+        svc::runShardWorker(plan, 0, primaries[0], stop_one).done);
+
+    // Slice membership: the slices partition the frozen remainder
+    // (victim's points minus the journaled one), round-robin, exactly.
+    const std::vector<std::size_t> journaled =
+        journaledIndices(primaries[0]);
+    ASSERT_EQ(journaled.size(), 1u);
+    std::vector<std::size_t> remainder;
+    for (const std::size_t index : plan.shardIndices(0))
+        if (index != journaled[0])
+            remainder.push_back(index);
+    const std::vector<std::size_t> slice0 =
+        svc::stealSliceMembers(plan, 0, 0, 2, primaries[0]);
+    const std::vector<std::size_t> slice1 =
+        svc::stealSliceMembers(plan, 0, 1, 2, primaries[0]);
+    std::vector<std::size_t> joined;
+    for (std::size_t i = 0; i < remainder.size(); ++i)
+        joined.push_back(i % 2 == 0 ? slice0[i / 2] : slice1[i / 2]);
+    EXPECT_EQ(joined, remainder);
+    EXPECT_EQ(slice0.size() + slice1.size(), remainder.size());
+    // More slices than remainder points: the excess slices are empty.
+    EXPECT_TRUE(
+        svc::stealSliceMembers(
+            plan, 0, static_cast<std::uint16_t>(remainder.size()), 8,
+            primaries[0])
+            .empty());
+
+    // Steal workers run the slices into their own journals; the merge
+    // over primaries + steals is byte-identical to the reference.
+    std::vector<std::string> paths = primaries;
+    for (std::uint16_t k = 0; k < 2; ++k) {
+        const std::string steal_path =
+            plan.stealJournalPath(dir, 0, k, 2);
+        const svc::WorkerResult result = svc::runStealWorker(
+            plan, 0, k, 2, primaries[0], steal_path, run_all);
+        EXPECT_TRUE(result.done);
+        paths.push_back(steal_path);
+    }
+    EXPECT_EQ(svc::findStealJournals(plan, dir).size(), 2u);
+    const svc::MergeResult merged = svc::mergeJournals(plan, paths);
+    EXPECT_EQ(merged.document.dump(), ref_json);
+    EXPECT_EQ(merged.csv, ref_csv);
+
+    // Cross-file duplicates are tolerated when byte-identical: finish
+    // the victim's primary too (it now covers the stolen points as
+    // well) and the merge must not change.
+    ASSERT_TRUE(svc::runShardWorker(plan, 0, primaries[0], run_all).done);
+    EXPECT_EQ(svc::mergeJournals(plan, paths).document.dump(), ref_json);
+
+    // A cross-file DISAGREEMENT is corruption: a forged steal journal
+    // claiming a different payload for a covered point is fatal.
+    const std::string forged = plan.stealJournalPath(dir, 0, 2, 3);
+    {
+        svc::JournalWriter writer = svc::JournalWriter::create(
+            forged, plan.stealJournalHeader(0, 2, 3, 1));
+        writer.append(static_cast<std::uint32_t>(remainder[0]),
+                      "{\"forged\":true}");
+        writer.close();
+    }
+    std::vector<std::string> with_forged = paths;
+    with_forged.push_back(forged);
+    EXPECT_THROW(svc::mergeJournals(plan, with_forged), FatalError);
+}
+
+TEST(SvcMerge, DegradedMergeQuarantinesExactlyTheUncovered)
+{
+    const svc::ShardPlan plan = miniPlan(2);
+    const std::string ref_json = referenceJson(plan.grid);
+    const std::string dir = makeTempDir();
+    const std::vector<std::string> paths = {plan.journalPath(dir, 0),
+                                            plan.journalPath(dir, 1)};
+
+    svc::WorkerOptions run_all;
+    run_all.threads = 1;
+    run_all.progress = false;
+    svc::WorkerOptions stop_one = run_all;
+    stop_one.stopAfter = 1;
+    ASSERT_FALSE(svc::runShardWorker(plan, 0, paths[0], stop_one).done);
+    ASSERT_TRUE(svc::runShardWorker(plan, 1, paths[1], run_all).done);
+
+    // Strict refuses; degraded quarantines exactly the uncovered set.
+    EXPECT_THROW(svc::mergeJournals(plan, paths), FatalError);
+    std::vector<std::size_t> uncovered;
+    const std::vector<std::size_t> got = journaledIndices(paths[0]);
+    for (const std::size_t index : plan.shardIndices(0))
+        if (std::count(got.begin(), got.end(), index) == 0)
+            uncovered.push_back(index);
+    ASSERT_FALSE(uncovered.empty());
+
+    svc::MergeOptions degraded;
+    degraded.degraded = true;
+    const svc::MergeResult merged =
+        svc::mergeJournals(plan, paths, degraded);
+    EXPECT_TRUE(merged.degraded);
+    EXPECT_EQ(merged.quarantined, uncovered);
+    EXPECT_EQ(merged.totalJobs,
+              plan.grid.points.size() - uncovered.size());
+
+    // The document's failed section names them, index and id, in grid
+    // order.
+    const exp::Json *failed = merged.document.find("failed");
+    ASSERT_NE(failed, nullptr);
+    ASSERT_EQ(failed->size(), uncovered.size());
+    for (std::size_t i = 0; i < uncovered.size(); ++i) {
+        const exp::Json &entry = failed->at(i);
+        ASSERT_NE(entry.find("index"), nullptr);
+        ASSERT_NE(entry.find("id"), nullptr);
+        EXPECT_EQ(entry.find("index")->asNumber(),
+                  static_cast<double>(uncovered[i]));
+        EXPECT_EQ(entry.find("id")->asString(),
+                  plan.grid.points[uncovered[i]].id());
+    }
+
+    // Fully covered, a degraded merge is byte-identical to a strict
+    // one: the failed section only exists when something was lost.
+    ASSERT_TRUE(svc::runShardWorker(plan, 0, paths[0], run_all).done);
+    const svc::MergeResult full =
+        svc::mergeJournals(plan, paths, degraded);
+    EXPECT_FALSE(full.degraded);
+    EXPECT_EQ(full.document.find("failed"), nullptr);
+    EXPECT_EQ(full.document.dump(), ref_json);
+    EXPECT_EQ(full.document.dump(),
+              svc::mergeJournals(plan, paths).document.dump());
+}
+
+TEST(SvcChaosSvc, SeededFaultHistoriesMergeByteIdentical)
+{
+    // The tentpole invariant, in process: randomized (but seeded)
+    // kill/stall/tear/io-fault/coordinator-crash histories against the
+    // mini plan, with immediate steal escalation, must converge with
+    // nothing quarantined and merge byte-identical to the fault-free
+    // reference every round.
+    const svc::ShardPlan plan = miniPlan(2);
+    const std::string dir = makeTempDir();
+    svc::SvcChaosConfig config;
+    config.seed = 20260808;
+    config.rounds = 3;
+    config.preset = "heavy";
+    config.maxRetries = 0; // first barren attempt escalates to steal
+    config.progress = false;
+    const svc::SvcChaosReport report =
+        svc::runSvcChaos(plan, dir, config);
+    ASSERT_EQ(report.rounds.size(), config.rounds);
+    std::size_t faults = 0;
+    for (const svc::SvcChaosRound &round : report.rounds) {
+        EXPECT_TRUE(round.ok) << "round " << round.round << ": "
+                              << round.error;
+        EXPECT_TRUE(round.identical);
+        EXPECT_TRUE(round.compactIdentical);
+        EXPECT_TRUE(round.quarantined.empty());
+        faults += round.kills + round.stalls + round.tears +
+                  round.ioFaults + round.coordCrashes;
+    }
+    EXPECT_TRUE(report.ok());
+    EXPECT_GT(faults, 0u) << "the heavy preset injected nothing";
+
+    // The report serializes; the schema tag is pinned.
+    const exp::Json doc = report.toJson();
+    ASSERT_NE(doc.find("schema"), nullptr);
+    EXPECT_EQ(doc.find("schema")->asString(), "mcsim-svc-chaos-v1");
+    ASSERT_NE(doc.find("ok"), nullptr);
+    EXPECT_TRUE(doc.find("ok")->asBool());
+}
+
+TEST(SvcChaosSvc, PoisonedPointsAreQuarantinedExactly)
+{
+    // Poisoned points crash every worker that attempts them: blame
+    // tracking must quarantine EXACTLY the poisoned set, and the
+    // degraded merge must still be byte-identical to a reference that
+    // skipped them.
+    const svc::ShardPlan plan = miniPlan(2);
+    const std::string dir = makeTempDir();
+    svc::SvcChaosConfig config;
+    config.seed = 7;
+    config.rounds = 2;
+    config.preset = "light";
+    config.poison = {1, 4};
+    config.progress = false;
+    const svc::SvcChaosReport report =
+        svc::runSvcChaos(plan, dir, config);
+    EXPECT_TRUE(report.ok());
+    for (const svc::SvcChaosRound &round : report.rounds) {
+        EXPECT_TRUE(round.ok) << round.error;
+        EXPECT_EQ(round.quarantined,
+                  (std::vector<std::size_t>{1, 4}));
+        EXPECT_TRUE(round.identical);
+    }
+
+    // An out-of-range poison index is a configuration error.
+    svc::SvcChaosConfig bad = config;
+    bad.poison = {999};
+    EXPECT_THROW(svc::runSvcChaos(plan, dir, bad), FatalError);
+    EXPECT_THROW(svc::svcChaosPreset("bogus"), FatalError);
+}
+
+TEST(SvcLeaseGate, StalledWorkersAreRevokedAndStolenToConvergence)
+{
+    // The lease/steal gate at the binary level: every primary worker
+    // stalls forever after 8 journaled points (a stuck process, not a
+    // dead one). Lease supervision must revoke them, barren relaunches
+    // must exhaust retries, and steal slices (3 points each, under the
+    // stall threshold) must finish the remainders -- exit 0, output
+    // byte-identical to the single-process reference.
+    const std::string dir = makeTempDir();
+    const std::string bin = MCSIM_SVC_BIN;
+    const std::string out = dir + "/merged.json";
+    const int status = runCommand(
+        bin + " run --grid quick --shards 2 --threads 2 --no-progress" +
+        " --dir " + dir + " --lease-ms 4000 --poll-ms 100" +
+        " --stall-at 8 --max-retries 1 --steal-fanout 2 --out " + out);
+    EXPECT_EQ(status, 0);
+
+    // The steal journals are on disk and discoverable.
+    svc::PlanOptions plan_options;
+    plan_options.grid = "quick";
+    plan_options.scale = exp::Scale::Quick;
+    plan_options.shards = 2;
+    const svc::ShardPlan plan = svc::buildShardPlan(plan_options);
+    EXPECT_FALSE(svc::findStealJournals(plan, dir).empty());
 
     const exp::Grid grid = exp::namedGrid("quick", exp::Scale::Quick);
     EXPECT_EQ(slurp(out), referenceJson(grid) + "\n");

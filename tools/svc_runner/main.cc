@@ -8,14 +8,22 @@
  *
  * Usage:
  *   svc_runner plan    PLANFLAGS
- *   svc_runner worker  PLANFLAGS --shard N --dir DIR
- *                      [--threads N] [--kill-after N] [--no-progress]
+ *   svc_runner worker  PLANFLAGS --shard N --dir DIR [--steal K/M]
+ *                      [--threads N] [--kill-after N] [--stall-at N]
+ *                      [--skip I]... [--poison I]... [--no-progress]
  *   svc_runner run     PLANFLAGS --dir DIR [--workers N]
- *                      [--max-retries N] [--backoff-ms N] [--threads N]
- *                      [--kill-after N] [--resume] [--out FILE]
- *                      [--csv FILE] [--check DIR] [--no-progress]
- *   svc_runner merge   PLANFLAGS --dir DIR [--out FILE] [--csv FILE]
- *                      [--check DIR]
+ *                      [--max-retries N] [--backoff-ms N]
+ *                      [--lease-ms N] [--poll-ms N] [--steal-fanout N]
+ *                      [--threads N] [--kill-after N] [--stall-at N]
+ *                      [--resume] [--out FILE] [--csv FILE]
+ *                      [--check DIR] [--no-progress]
+ *   svc_runner merge   PLANFLAGS --dir DIR [--degraded] [--out FILE]
+ *                      [--csv FILE] [--check DIR]
+ *   svc_runner chaos   PLANFLAGS --dir DIR [--rounds N] [--seed N]
+ *                      [--preset light|standard|heavy] [--poison I]...
+ *                      [--max-retries N] [--steal-fanout N]
+ *                      [--keep-journals] [--out FILE] [--no-progress]
+ *   svc_runner compact --journal FILE [--out FILE]
  *   svc_runner inspect --journal FILE
  *
  * PLANFLAGS identify the plan everywhere: --grid NAME (default quick),
@@ -27,16 +35,23 @@
  *
  * `run` refuses a directory that already holds journals for this plan
  * unless --resume is given (resume skips every journaled point).
- * --kill-after N makes each worker SIGKILL itself after N new points: a
- * reproducible crash storm. With the default watchdog the run still
- * converges (every attempt makes progress); with --max-retries 0 the
- * first death fails the run, journals intact, and a second `run
- * --resume` finishes -- the CI kill/resume gate. Results files are
- * written atomically (temp + rename).
+ * --lease-ms N arms lease supervision: a worker whose journal stops
+ * growing for N ms is SIGKILLed and judged like any other death.
+ * --steal-fanout M (default 2) lets a shard that exhausts its retries
+ * hand its un-journaled remainder to up to M steal workers, each
+ * journaling into its own steal journal; merge picks those up
+ * automatically. `merge --degraded` quarantines points no journal
+ * covers into the document's "failed" section instead of failing, and
+ * exits 1 to flag the loss. `chaos` replays seeded process-fault
+ * histories (kills, stalls, torn tails, short writes, failed flushes,
+ * coordinator crashes) against an in-process model of the supervised
+ * run and requires every round to merge byte-identical to a fault-free
+ * reference. `compact` rewrites a journal to its canonical minimal
+ * form (same merge bytes, atomically published).
  *
  * Exit status: 0 all jobs ok (and checks clean), 1 on failed jobs,
- * failed shards, golden divergence, or chaos failure, 2 on usage or
- * configuration errors.
+ * failed shards, degraded merges, golden divergence, or chaos failure,
+ * 2 on usage or configuration errors.
  */
 
 #include <cstdio>
@@ -50,6 +65,7 @@
 #include "exp/grid.hh"
 #include "sim/logging.hh"
 #include "svc/atomic_file.hh"
+#include "svc/chaos_svc.hh"
 #include "svc/coordinator.hh"
 #include "svc/journal.hh"
 #include "svc/merge.hh"
@@ -69,20 +85,28 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s plan    PLANFLAGS\n"
-        "       %s worker  PLANFLAGS --shard N --dir DIR [--threads N]\n"
-        "                  [--kill-after N] [--no-progress]\n"
+        "       %s worker  PLANFLAGS --shard N --dir DIR [--steal K/M]\n"
+        "                  [--threads N] [--kill-after N] [--stall-at N]\n"
+        "                  [--skip I]... [--poison I]... [--no-progress]\n"
         "       %s run     PLANFLAGS --dir DIR [--workers N]\n"
         "                  [--max-retries N] [--backoff-ms N]\n"
-        "                  [--threads N] [--kill-after N] [--resume]\n"
+        "                  [--lease-ms N] [--poll-ms N]\n"
+        "                  [--steal-fanout N] [--threads N]\n"
+        "                  [--kill-after N] [--stall-at N] [--resume]\n"
         "                  [--out FILE] [--csv FILE] [--check DIR]\n"
         "                  [--no-progress]\n"
-        "       %s merge   PLANFLAGS --dir DIR [--out FILE] [--csv FILE]\n"
-        "                  [--check DIR]\n"
+        "       %s merge   PLANFLAGS --dir DIR [--degraded] [--out FILE]\n"
+        "                  [--csv FILE] [--check DIR]\n"
+        "       %s chaos   PLANFLAGS --dir DIR [--rounds N] [--seed N]\n"
+        "                  [--preset light|standard|heavy] [--poison I]...\n"
+        "                  [--max-retries N] [--steal-fanout N]\n"
+        "                  [--keep-journals] [--out FILE] [--no-progress]\n"
+        "       %s compact --journal FILE [--out FILE]\n"
         "       %s inspect --journal FILE\n"
         "PLANFLAGS: [--grid NAME] [--scale quick|scaled|full]\n"
         "           [--shards N] [--faults PRESET] [--chaos]\n"
         "           [--procs N] [--cache-bytes N] [--line-bytes N]\n",
-        argv0, argv0, argv0, argv0, argv0);
+        argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 [[noreturn]] void
@@ -107,11 +131,25 @@ struct Options
     std::string checkDir;
     unsigned shard = 0;
     bool shardSet = false;
+    bool stealSet = false;
+    unsigned stealSlice = 0;
+    unsigned stealSlices = 0;
     unsigned workers = 0;
     unsigned maxRetries = 3;
     unsigned backoffMs = 200;
+    unsigned leaseMs = 0;
+    unsigned pollMs = 50;
+    unsigned stealFanout = 2;
     unsigned threads = 0;
     unsigned killAfter = 0;
+    unsigned stallAt = 0;
+    std::vector<std::size_t> skip;
+    std::vector<std::size_t> poison;
+    bool degraded = false;
+    unsigned rounds = 5;
+    std::uint64_t seed = 1;
+    std::string preset = "standard";
+    bool keepJournals = false;
     bool resume = false;
     bool progress = true;
 };
@@ -125,13 +163,16 @@ parseArgs(int argc, char **argv)
     opt.subcommand = argv[1];
     if (opt.subcommand != "plan" && opt.subcommand != "worker" &&
         opt.subcommand != "run" && opt.subcommand != "merge" &&
+        opt.subcommand != "chaos" && opt.subcommand != "compact" &&
         opt.subcommand != "inspect") {
         if (opt.subcommand == "--help" || opt.subcommand == "-h") {
             usage(argv[0]);
             std::exit(0);
         }
-        configError(argv[0], "unknown subcommand '" + opt.subcommand +
-                                 "' (plan/worker/run/merge/inspect)");
+        configError(argv[0],
+                    "unknown subcommand '" + opt.subcommand +
+                        "' (plan/worker/run/merge/chaos/compact/"
+                        "inspect)");
     }
 
     for (int i = 2; i < argc; ++i) {
@@ -182,16 +223,53 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--shard") {
             opt.shard = nextUnsigned();
             opt.shardSet = true;
+        } else if (arg == "--steal") {
+            unsigned k = 0, m = 0;
+            if (std::sscanf(next(), "%u/%u", &k, &m) != 2 || m == 0 ||
+                k >= m) {
+                configError(argv[0],
+                            "--steal expects K/M with K < M, got '" +
+                                std::string(argv[i]) + "'");
+            }
+            opt.stealSet = true;
+            opt.stealSlice = k;
+            opt.stealSlices = m;
         } else if (arg == "--workers") {
             opt.workers = nextUnsigned();
         } else if (arg == "--max-retries") {
             opt.maxRetries = nextUnsigned();
         } else if (arg == "--backoff-ms") {
             opt.backoffMs = nextUnsigned();
+        } else if (arg == "--lease-ms") {
+            opt.leaseMs = nextUnsigned();
+        } else if (arg == "--poll-ms") {
+            opt.pollMs = nextUnsigned();
+        } else if (arg == "--steal-fanout") {
+            opt.stealFanout = nextUnsigned();
         } else if (arg == "--threads") {
             opt.threads = nextUnsigned();
         } else if (arg == "--kill-after") {
             opt.killAfter = nextUnsigned();
+        } else if (arg == "--stall-at") {
+            opt.stallAt = nextUnsigned();
+        } else if (arg == "--skip") {
+            opt.skip.push_back(nextUnsigned());
+        } else if (arg == "--poison") {
+            opt.poison.push_back(nextUnsigned());
+        } else if (arg == "--degraded") {
+            opt.degraded = true;
+        } else if (arg == "--rounds") {
+            opt.rounds = nextUnsigned();
+        } else if (arg == "--seed") {
+            char *end = nullptr;
+            opt.seed = std::strtoull(next(), &end, 0);
+            if (end == nullptr || *end != '\0')
+                configError(argv[0], "--seed expects an integer, got '" +
+                                         std::string(argv[i]) + "'");
+        } else if (arg == "--preset") {
+            opt.preset = next();
+        } else if (arg == "--keep-journals") {
+            opt.keepJournals = true;
         } else if (arg == "--resume") {
             opt.resume = true;
         } else if (arg == "--no-progress") {
@@ -229,6 +307,17 @@ journalPaths(const svc::ShardPlan &plan, const std::string &dir)
     paths.reserve(plan.shardCount);
     for (std::uint32_t s = 0; s < plan.shardCount; ++s)
         paths.push_back(plan.journalPath(dir, s));
+    return paths;
+}
+
+/** Primary journals in shard order, then whatever steal journals the
+ *  directory holds: the full merge input set. */
+std::vector<std::string>
+allJournalPaths(const svc::ShardPlan &plan, const std::string &dir)
+{
+    std::vector<std::string> paths = journalPaths(plan, dir);
+    for (const std::string &path : svc::findStealJournals(plan, dir))
+        paths.push_back(path);
     return paths;
 }
 
@@ -285,21 +374,38 @@ runWorkerCommand(const char *argv0, const Options &opt,
     worker_opts.threads = opt.threads;
     worker_opts.progress = opt.progress;
     worker_opts.killAfter = opt.killAfter;
-    const svc::WorkerResult result = svc::runShardWorker(
-        plan, opt.shard, plan.journalPath(opt.dir, opt.shard),
-        worker_opts);
+    worker_opts.stallAt = opt.stallAt;
+    worker_opts.skipIndices = opt.skip;
+    worker_opts.poisonIndices = opt.poison;
+    const std::string primary = plan.journalPath(opt.dir, opt.shard);
+    const svc::WorkerResult result =
+        opt.stealSet
+            ? svc::runStealWorker(
+                  plan, opt.shard,
+                  static_cast<std::uint16_t>(opt.stealSlice),
+                  static_cast<std::uint16_t>(opt.stealSlices), primary,
+                  plan.stealJournalPath(
+                      opt.dir, opt.shard,
+                      static_cast<std::uint16_t>(opt.stealSlice),
+                      static_cast<std::uint16_t>(opt.stealSlices)),
+                  worker_opts)
+            : svc::runShardWorker(plan, opt.shard, primary, worker_opts);
     return result.done ? 0 : 1;
 }
 
 /**
  * Merge, write outputs atomically, check goldens, report. Shared by
  * `run` (after coordination) and `merge`; returns the process exit.
+ * A degraded merge that actually quarantined points always exits 1:
+ * the document records the loss, the exit status flags it.
  */
 int
 mergeAndReport(const Options &opt, const svc::ShardPlan &plan)
 {
-    const svc::MergeResult merged =
-        svc::mergeJournals(plan, journalPaths(plan, opt.dir));
+    svc::MergeOptions merge_opts;
+    merge_opts.degraded = opt.degraded;
+    const svc::MergeResult merged = svc::mergeJournals(
+        plan, allJournalPaths(plan, opt.dir), merge_opts);
 
     if (!opt.out.empty())
         svc::writeFileAtomic(opt.out, merged.document.dump() + "\n");
@@ -309,23 +415,33 @@ mergeAndReport(const Options &opt, const svc::ShardPlan &plan)
         svc::writeFileAtomic(opt.csv, merged.csv);
     }
 
-    if (plan.mode == svc::RunMode::Chaos) {
-        std::fputs(merged.chaosSummary.c_str(), stdout);
-        return merged.chaosOk ? 0 : 1;
+    if (merged.degraded) {
+        for (const std::size_t index : merged.quarantined)
+            std::printf("svc_runner: point %zu (%s) QUARANTINED (no "
+                        "journal covers it)\n",
+                        index, plan.grid.points[index].id().c_str());
     }
 
-    bool check_ok = true;
-    if (!opt.checkDir.empty()) {
-        const exp::GoldenDiff diff = exp::checkAgainstGoldenDir(
-            merged.document, opt.checkDir, plan.grid.name);
-        std::fputs(diff.report.c_str(), stdout);
-        check_ok = check_ok && diff.ok;
+    int exit_code = 0;
+    if (plan.mode == svc::RunMode::Chaos) {
+        std::fputs(merged.chaosSummary.c_str(), stdout);
+        exit_code = merged.chaosOk ? 0 : 1;
+    } else {
+        bool check_ok = true;
+        if (!opt.checkDir.empty()) {
+            const exp::GoldenDiff diff = exp::checkAgainstGoldenDir(
+                merged.document, opt.checkDir, plan.grid.name);
+            std::fputs(diff.report.c_str(), stdout);
+            check_ok = check_ok && diff.ok;
+        }
+        std::printf(
+            "svc_runner: %zu/%zu job(s) ok across %u shard(s)%s%s\n",
+            merged.totalJobs - merged.failedJobs, merged.totalJobs,
+            plan.shardCount, check_ok ? "" : ", golden check FAILED",
+            merged.degraded ? ", DEGRADED" : "");
+        exit_code = merged.failedJobs == 0 && check_ok ? 0 : 1;
     }
-    std::printf("svc_runner: %zu/%zu job(s) ok across %u shard(s)%s\n",
-                merged.totalJobs - merged.failedJobs, merged.totalJobs,
-                plan.shardCount,
-                check_ok ? "" : ", golden check FAILED");
-    return merged.failedJobs == 0 && check_ok ? 0 : 1;
+    return merged.degraded ? 1 : exit_code;
 }
 
 int
@@ -349,7 +465,7 @@ runRunCommand(const char *argv0, const Options &opt,
     }
 
     const std::string self = selfPath(argv0);
-    auto worker_argv = [&](std::uint32_t shard) {
+    auto worker_argv = [&](const svc::Assignment &asg) {
         std::vector<std::string> args = {
             self,
             "worker",
@@ -360,12 +476,18 @@ runRunCommand(const char *argv0, const Options &opt,
             "--shards",
             strprintf("%u", plan.shardCount),
             "--shard",
-            strprintf("%u", shard),
+            strprintf("%u", asg.shard),
             "--dir",
             opt.dir,
             "--threads",
             strprintf("%u", opt.threads),
         };
+        if (asg.steal) {
+            args.push_back("--steal");
+            args.push_back(strprintf("%u/%u",
+                                     static_cast<unsigned>(asg.slice),
+                                     static_cast<unsigned>(asg.slices)));
+        }
         if (!opt.faults.empty()) {
             args.push_back("--faults");
             args.push_back(opt.faults);
@@ -388,6 +510,10 @@ runRunCommand(const char *argv0, const Options &opt,
             args.push_back("--kill-after");
             args.push_back(strprintf("%u", opt.killAfter));
         }
+        if (opt.stallAt) {
+            args.push_back("--stall-at");
+            args.push_back(strprintf("%u", opt.stallAt));
+        }
         if (!opt.progress)
             args.push_back("--no-progress");
         return args;
@@ -397,9 +523,12 @@ runRunCommand(const char *argv0, const Options &opt,
     coord_opts.workers = opt.workers;
     coord_opts.maxRetries = opt.maxRetries;
     coord_opts.backoffMs = opt.backoffMs;
+    coord_opts.leaseMs = opt.leaseMs;
+    coord_opts.pollMs = opt.pollMs;
+    coord_opts.stealFanout = opt.stealFanout;
     coord_opts.progress = opt.progress;
-    const svc::CoordinatorReport report =
-        svc::runCoordinator(plan, paths, worker_argv, coord_opts);
+    const svc::CoordinatorReport report = svc::runCoordinator(
+        plan, opt.dir, paths, worker_argv, coord_opts);
     if (!report.ok) {
         for (const svc::ShardStatus &status : report.shards) {
             if (!status.done)
@@ -409,11 +538,95 @@ runRunCommand(const char *argv0, const Options &opt,
                             status.error.c_str());
         }
         std::printf("svc_runner: run incomplete; journals kept in %s "
-                    "(re-run with --resume)\n",
+                    "(re-run with --resume, or merge --degraded)\n",
                     opt.dir.c_str());
         return 1;
     }
     return mergeAndReport(opt, plan);
+}
+
+int
+runChaosCommand(const char *argv0, const Options &opt,
+                const svc::ShardPlan &plan)
+{
+    if (opt.dir.empty())
+        configError(argv0, "chaos requires --dir");
+    if (opt.rounds == 0)
+        configError(argv0, "chaos requires --rounds >= 1");
+    bool known = false;
+    for (const std::string &name : svc::svcChaosPresetNames())
+        known = known || name == opt.preset;
+    if (!known)
+        configError(argv0, "unknown chaos preset '" + opt.preset +
+                               "' (light/standard/heavy)");
+    for (const std::size_t index : opt.poison) {
+        if (index >= plan.grid.points.size())
+            configError(argv0,
+                        strprintf("--poison %zu: grid has %zu point(s)",
+                                  index, plan.grid.points.size()));
+    }
+
+    svc::SvcChaosConfig config;
+    config.seed = opt.seed;
+    config.rounds = opt.rounds;
+    config.preset = opt.preset;
+    config.poison = opt.poison;
+    config.maxRetries = opt.maxRetries;
+    config.stealFanout = opt.stealFanout;
+    config.progress = opt.progress;
+    config.keepJournals = opt.keepJournals;
+
+    const svc::SvcChaosReport report =
+        svc::runSvcChaos(plan, opt.dir, config);
+    if (!opt.out.empty())
+        svc::writeFileAtomic(opt.out, report.toJson().dump() + "\n");
+    std::printf("%s\n", report.summary().c_str());
+    return report.ok() ? 0 : 1;
+}
+
+int
+runCompactCommand(const char *argv0, const Options &opt)
+{
+    if (opt.journal.empty())
+        configError(argv0, "compact requires --journal");
+    if (!svc::journalExists(opt.journal))
+        configError(argv0,
+                    "journal '" + opt.journal + "' does not exist");
+    const std::string out = opt.out.empty() ? opt.journal : opt.out;
+    if (out != opt.journal && svc::journalExists(out)) {
+        // Only overwrite an output that is demonstrably an earlier
+        // compaction of the SAME journal; anything else is protected.
+        const svc::JournalScan in_scan = svc::scanJournal(opt.journal);
+        const svc::JournalScan out_scan =
+            svc::scanJournal(out, svc::ScanPolicy::Lenient);
+        bool same = !in_scan.headerTorn && !out_scan.headerTorn;
+        if (same) {
+            try {
+                svc::requireMatchingHeader(out_scan.header,
+                                           in_scan.header, out);
+            } catch (const FatalError &) {
+                same = false;
+            }
+        }
+        if (!same) {
+            configError(argv0,
+                        "refusing to overwrite '" + out +
+                            "': it is not a journal of the same "
+                            "assignment (remove it first)");
+        }
+    }
+    const svc::CompactStats stats =
+        svc::compactJournal(opt.journal, out);
+    std::printf("compacted:   %s -> %s\n", opt.journal.c_str(),
+                out.c_str());
+    std::printf("frames:      %zu kept, %zu superseded dropped\n",
+                stats.frames, stats.supersededFrames);
+    std::printf("torn tail:   %llu byte(s) dropped\n",
+                static_cast<unsigned long long>(stats.tornBytes));
+    std::printf("bytes:       %llu -> %llu\n",
+                static_cast<unsigned long long>(stats.bytesBefore),
+                static_cast<unsigned long long>(stats.bytesAfter));
+    return 0;
 }
 
 int
@@ -423,6 +636,15 @@ runInspectCommand(const char *argv0, const Options &opt)
         configError(argv0, "inspect requires --journal");
     const svc::JournalScan scan = svc::scanJournal(opt.journal);
     std::printf("journal:     %s\n", opt.journal.c_str());
+    if (scan.emptyFile) {
+        // A zero-length file is a journal that was created (or
+        // truncated) but never written: common after a kill during
+        // creation, and a resume handles it by rewriting the header.
+        std::printf("state:       empty (0 bytes; no header was ever "
+                    "written)\n");
+        std::printf("points:      0 journaled\n");
+        return 0;
+    }
     if (scan.headerTorn) {
         std::printf("header:      TORN (%llu byte(s); the worker died "
                     "during creation)\n",
@@ -430,9 +652,19 @@ runInspectCommand(const char *argv0, const Options &opt)
         return 0;
     }
     const svc::JournalHeader &h = scan.header;
+    std::printf("kind:        %s\n", svc::journalKindName(h.kind));
     std::printf("mode:        %s\n", svc::runModeName(h.mode));
     std::printf("grid:        %s\n", h.grid.c_str());
-    std::printf("shard:       %u of %u\n", h.shardIndex, h.shardCount);
+    if (h.kind == svc::JournalKind::Steal) {
+        std::printf("victim:      shard %u of %u\n", h.shardIndex,
+                    h.shardCount);
+        std::printf("slice:       %u of %u\n",
+                    static_cast<unsigned>(h.stealSlice),
+                    static_cast<unsigned>(h.stealSlices));
+    } else {
+        std::printf("shard:       %u of %u\n", h.shardIndex,
+                    h.shardCount);
+    }
     std::printf("fingerprint: %016llx\n",
                 static_cast<unsigned long long>(h.planFingerprint));
     std::printf("points:      %zu journaled of %u (grid total %u)\n",
@@ -458,6 +690,8 @@ main(int argc, char **argv)
     try {
         if (opt.subcommand == "inspect")
             return runInspectCommand(argv[0], opt);
+        if (opt.subcommand == "compact")
+            return runCompactCommand(argv[0], opt);
         const svc::ShardPlan plan = buildPlanOrDie(argv[0], opt);
         if (opt.subcommand == "plan")
             return runPlanCommand(opt, plan);
@@ -465,6 +699,8 @@ main(int argc, char **argv)
             return runWorkerCommand(argv[0], opt, plan);
         if (opt.subcommand == "run")
             return runRunCommand(argv[0], opt, plan);
+        if (opt.subcommand == "chaos")
+            return runChaosCommand(argv[0], opt, plan);
         if (opt.dir.empty())
             configError(argv[0], "merge requires --dir");
         return mergeAndReport(opt, plan);
